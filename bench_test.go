@@ -1,0 +1,334 @@
+package streamcard
+
+// This file holds one benchmark per table and figure of the paper's
+// evaluation section, plus ablation benches for the design choices called
+// out in DESIGN.md §5. Each experiment bench runs the corresponding
+// internal/experiments runner at a reduced scale and reports the headline
+// quantities via b.ReportMetric, so `go test -bench=.` regenerates the
+// paper's rows/series end to end; `cmd/cardbench` prints the full tables.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/hashing"
+)
+
+// benchScale keeps each bench iteration around a second.
+const benchScale = 0.002
+
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: benchScale, Seed: 1}
+}
+
+// BenchmarkTable1DatasetGen regenerates Table I (dataset synthesis +
+// summary statistics) and reports the realized total cardinality of the
+// first dataset.
+func BenchmarkTable1DatasetGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Rows[0].TotalCard), "totalcard")
+	}
+}
+
+// BenchmarkFig2CCDF regenerates the cardinality CCDFs of Fig. 2 and reports
+// the heavy-tail mass P(card >= 100) of the orkut analogue.
+func BenchmarkFig2CCDF(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"orkut"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := res.Series[0]
+		for j, x := range s.X {
+			if x >= 100 {
+				b.ReportMetric(s.Y[j], "ccdf@100")
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkFig3Update measures the paper's per-edge streaming cost (update
+// + tracked-counter refresh) for each method at the paper's m = 1024 —
+// the Fig. 3 series at its rightmost decade. FreeBS/FreeRS are O(1); the
+// others pay O(m) per edge.
+func BenchmarkFig3Update(b *testing.B) {
+	const m = 1024
+	const M = 1 << 23
+	gen := datagen.Generate(datagen.Config{
+		Name: "bench", Users: 20000, MaxCard: 1000, TotalCard: 100000,
+		DuplicateRate: 0.15, Seed: 1,
+	})
+	edges := gen.Edges
+	for _, name := range experiments.AllMethods {
+		b.Run(name, func(b *testing.B) {
+			spec := experiments.MethodSpec{
+				MemoryBits: M, VirtualM: m,
+				NumUsers: gen.NumUsers(), Seed: 1,
+			}
+			methods, err := experiments.Build(spec, []string{name})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mt := methods[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := edges[i%len(edges)]
+				mt.Observe(e.User, e.Item)
+				_ = mt.TrackedEstimate(e.User)
+			}
+		})
+	}
+}
+
+// BenchmarkFig4Scatter regenerates the estimated-vs-actual scatter of
+// Fig. 4 on the orkut analogue and reports each run's FreeRS average
+// relative error.
+func BenchmarkFig4Scatter(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"orkut"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ARE[experiments.NameFreeRS], "freers-are")
+		b.ReportMetric(res.ARE[experiments.NameVHLL], "vhll-are")
+	}
+}
+
+// BenchmarkFig5RSE regenerates the RSE-vs-cardinality curves of Fig. 5, one
+// sub-bench per dataset, reporting the small-cardinality RSE advantage of
+// FreeBS over CSE (the up-to-10^4× claim of §V-E).
+func BenchmarkFig5RSE(b *testing.B) {
+	for _, ds := range datagen.DatasetNames {
+		b.Run(ds, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Datasets = []string{ds}
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFig5(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				curves := res.Curves[ds]
+				fb := curves[experiments.NameFreeBS]
+				cs := curves[experiments.NameCSE]
+				if len(fb) > 0 && len(cs) > 0 && fb[0].RSE > 0 {
+					b.ReportMetric(cs[0].RSE/fb[0].RSE, "cse/freebs-rse@small")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6SpreaderTime regenerates the over-time super-spreader
+// experiment of Fig. 6 (sanjose, 60 evaluation instants) and reports the
+// final-minute FNR of FreeBS and vHLL.
+func BenchmarkFig6SpreaderTime(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.Minute == 60 {
+				switch p.Method {
+				case experiments.NameFreeBS:
+					b.ReportMetric(p.FNR, "freebs-fnr@60")
+				case experiments.NameVHLL:
+					b.ReportMetric(p.FNR, "vhll-fnr@60")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Spreader regenerates Table II, one sub-bench per dataset,
+// reporting FreeRS and vHLL FNR.
+func BenchmarkTable2Spreader(b *testing.B) {
+	for _, ds := range datagen.DatasetNames {
+		b.Run(ds, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Datasets = []string{ds}
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunTable2(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, row := range res.Rows {
+					switch row.Method {
+					case experiments.NameFreeRS:
+						b.ReportMetric(row.FNR, "freers-fnr")
+					case experiments.NameVHLL:
+						b.ReportMetric(row.FNR, "vhll-fnr")
+					}
+				}
+			}
+		})
+	}
+}
+
+// ---- ablation benches (DESIGN.md §5) ----
+
+// BenchmarkAblationPostUpdateQ measures the bias introduced by the literal
+// Algorithm-2 update order (crediting 1/q after updating q) versus the
+// Theorem-2 order implemented by default. Reported metric: mean relative
+// bias of each variant on a known-cardinality stream.
+func BenchmarkAblationPostUpdateQ(b *testing.B) {
+	const M, n, trials = 512, 2000, 40
+	for i := 0; i < b.N; i++ {
+		var sumPre, sumPost float64
+		for tr := 0; tr < trials; tr++ {
+			seed := uint64(i*trials+tr)*7919 + 1
+			pre := core.NewFreeRS(M, seed)
+			post := core.NewFreeRS(M, seed, core.WithPostUpdateQRS())
+			for j := 0; j < n; j++ {
+				pre.Observe(1, uint64(j))
+				post.Observe(1, uint64(j))
+			}
+			sumPre += pre.Estimate(1)
+			sumPost += post.Estimate(1)
+		}
+		b.ReportMetric(sumPre/trials/n-1, "pre-bias")
+		b.ReportMetric(sumPost/trials/n-1, "post-bias")
+	}
+}
+
+// BenchmarkAblationCrossover measures the §IV-C crossover between FreeBS
+// (M bits) and FreeRS (M/5 registers) under equal memory: RSE of each for a
+// user whose pairs arrive late in a long stream, past the theoretical
+// crossover position.
+func BenchmarkAblationCrossover(b *testing.B) {
+	const mBits = 1 << 14
+	cross := core.CrossoverPosition(mBits, 5)
+	for i := 0; i < b.N; i++ {
+		const trials = 30
+		const nUser = 300
+		var seBS, seRS float64
+		for tr := 0; tr < trials; tr++ {
+			seed := uint64(i*trials+tr)*104729 + 13
+			fb := core.NewFreeBS(mBits, seed)
+			fr := core.NewFreeRS(mBits/5, seed)
+			rng := hashing.NewRNG(seed)
+			// Background noise up to ~1.2x the crossover position, then the
+			// late user arrives.
+			noise := int(1.2 * cross)
+			for j := 0; j < noise; j++ {
+				u, d := uint64(rng.Intn(1000)+10), rng.Uint64()
+				fb.Observe(u, d)
+				fr.Observe(u, d)
+			}
+			for j := 0; j < nUser; j++ {
+				fb.Observe(1, uint64(j))
+				fr.Observe(1, uint64(j))
+			}
+			dbs := fb.Estimate(1) - nUser
+			drs := fr.Estimate(1) - nUser
+			seBS += dbs * dbs
+			seRS += drs * drs
+		}
+		b.ReportMetric(math.Sqrt(seBS/trials)/nUser, "freebs-rse-late")
+		b.ReportMetric(math.Sqrt(seRS/trials)/nUser, "freers-rse-late")
+	}
+}
+
+// BenchmarkAblationRegisterWidth sweeps FreeRS register widths w ∈ {4,5}
+// under equal total memory — the paper fixes w=5; w=4 trades range for
+// more registers.
+func BenchmarkAblationRegisterWidth(b *testing.B) {
+	const memBits = 1 << 16
+	for _, w := range []uint8{4, 5} {
+		b.Run(string(rune('0'+w))+"bit", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				const trials = 20
+				const n = 20000
+				var se float64
+				for tr := 0; tr < trials; tr++ {
+					f := core.NewFreeRS(memBits/int(w), uint64(i*trials+tr)+1,
+						core.WithRegisterWidth(w))
+					for j := 0; j < n; j++ {
+						f.Observe(1, uint64(j))
+					}
+					d := f.Estimate(1) - n
+					se += d * d
+				}
+				b.ReportMetric(math.Sqrt(se/trials)/n, "rse")
+			}
+		})
+	}
+}
+
+// BenchmarkTheoremVarianceBounds checks empirical variance against the
+// Theorem 1/2 closed forms at bench scale and reports the ratio (should be
+// <= 1 up to sampling noise).
+func BenchmarkTheoremVarianceBounds(b *testing.B) {
+	const M, nUser, nNoise, trials = 1 << 12, 200, 4000, 60
+	for i := 0; i < b.N; i++ {
+		var sum, sumsq float64
+		for tr := 0; tr < trials; tr++ {
+			f := core.NewFreeBS(M, uint64(i*trials+tr)*31+7)
+			rng := hashing.NewRNG(uint64(tr) + 99)
+			for j := 0; j < nUser; j++ {
+				f.Observe(1, uint64(j))
+				for k := 0; k < nNoise/nUser; k++ {
+					f.Observe(2+uint64(rng.Intn(50)), rng.Uint64())
+				}
+			}
+			e := f.Estimate(1)
+			sum += e
+			sumsq += e * e
+		}
+		mean := sum / trials
+		empVar := sumsq/trials - mean*mean
+		bound := core.FreeBSVarianceBound(nUser, nUser+nNoise, M)
+		b.ReportMetric(empVar/bound, "var/bound")
+	}
+}
+
+// BenchmarkExactTrackerBaseline reports the cost of exact tracking — the
+// memory-infeasible baseline whose avoidance motivates the whole paper.
+func BenchmarkExactTrackerBaseline(b *testing.B) {
+	tr := exact.NewTracker()
+	rng := hashing.NewRNG(1)
+	users := make([]uint64, 8192)
+	items := make([]uint64, 8192)
+	for i := range users {
+		users[i] = uint64(rng.Intn(50000))
+		items[i] = rng.Uint64() % 100000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(users[i&8191], items[i&8191])
+	}
+}
+
+// BenchmarkFacadeObserve measures the public API's per-edge overhead for
+// the two headline methods.
+func BenchmarkFacadeObserve(b *testing.B) {
+	for _, est := range []Estimator{NewFreeBS(1 << 22), NewFreeRS(1 << 22)} {
+		b.Run(est.Name(), func(b *testing.B) {
+			rng := hashing.NewRNG(1)
+			users := make([]uint64, 8192)
+			items := make([]uint64, 8192)
+			for i := range users {
+				users[i] = uint64(rng.Intn(100000))
+				items[i] = rng.Uint64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				est.Observe(users[i&8191], items[i&8191])
+			}
+		})
+	}
+}

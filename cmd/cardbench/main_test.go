@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1Text(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "table1", "-scale", "0.001", "-datasets", "chicago"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table I") || !strings.Contains(s, "chicago") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+	if !strings.Contains(s, "completed in") {
+		t.Fatal("missing timing line")
+	}
+}
+
+func TestRunFig2CSV(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "fig2", "-scale", "0.001", "-datasets", "flickr", "-csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("CSV too short:\n%s", out.String())
+	}
+	if lines[0] != "dataset,cardinality,CCDF" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "flickr,") {
+			t.Fatalf("unexpected CSV row %q", l)
+		}
+	}
+}
+
+func TestRunTable2SubsetMethods(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-exp", "table2", "-scale", "0.001", "-datasets", "livejournal",
+		"-methods", "FreeBS,vHLL",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "FreeBS") || !strings.Contains(s, "vHLL") {
+		t.Fatalf("missing methods:\n%s", s)
+	}
+	if strings.Contains(s, "HLL++") {
+		t.Fatal("method subset not honored")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitList = %v", got)
+	}
+}

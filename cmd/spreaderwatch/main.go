@@ -1,0 +1,113 @@
+// Command spreaderwatch is the paper's motivating application made
+// runnable: it tails a user-item edge stream and reports super spreaders —
+// users whose estimated cardinality reaches delta times the estimated total
+// distinct-pair count — on the fly, using FreeRS (or FreeBS) so each edge
+// costs O(1) and a report is available at any moment.
+//
+// Usage:
+//
+//	streamgen -dataset sanjose -scale 0.01 -out sj.edges
+//	spreaderwatch -in sj.edges -delta 0.005 -every 100000
+//
+//	# or pipe text "user item" lines:
+//	cat edges.txt | spreaderwatch -text -delta 0.001
+//
+// Every -every edges (and once at EOF) it prints the current detections.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	streamcard "repro"
+	"repro/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spreaderwatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("spreaderwatch", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "input edge file (default: stdin)")
+		text   = fs.Bool("text", false, "input is text 'user item' lines (default: binary stream format)")
+		method = fs.String("method", "freers", "estimator: freers|freebs")
+		mbits  = fs.Int("mbits", 1<<24, "sketch memory in bits")
+		delta  = fs.Float64("delta", 0.001, "relative spreader threshold in (0,1)")
+		every  = fs.Int("every", 100000, "report every N edges")
+		top    = fs.Int("top", 10, "print at most N spreaders per report")
+		seed   = fs.Uint64("seed", 1, "hash seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	var edges stream.Stream
+	if *text {
+		edges = stream.NewTextReader(src)
+	} else {
+		r, err := stream.NewReader(src)
+		if err != nil {
+			return err
+		}
+		edges = r
+	}
+
+	var est streamcard.AnytimeEstimator
+	switch *method {
+	case "freers":
+		est = streamcard.NewFreeRS(*mbits, streamcard.WithSeed(*seed))
+	case "freebs":
+		est = streamcard.NewFreeBS(*mbits, streamcard.WithSeed(*seed))
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	det := streamcard.NewSpreaderDetector(est, *delta)
+
+	report := func(t int) {
+		found := det.Detect()
+		fmt.Fprintf(out, "t=%d users=%d total-distinct=%.0f threshold=%.1f spreaders=%d\n",
+			t, est.NumUsers(), est.TotalDistinct(), det.Threshold(), len(found))
+		for i, s := range found {
+			if i >= *top {
+				fmt.Fprintf(out, "  ... and %d more\n", len(found)-*top)
+				break
+			}
+			fmt.Fprintf(out, "  user %-12d est %.0f\n", s.User, s.Estimate)
+		}
+	}
+
+	t := 0
+	for {
+		e, err := edges.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		est.Observe(e.User, e.Item)
+		t++
+		if *every > 0 && t%*every == 0 {
+			report(t)
+		}
+	}
+	report(t)
+	return nil
+}

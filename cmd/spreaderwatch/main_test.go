@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// writeStream writes a binary edge file with one heavy user among noise.
+func writeStream(t *testing.T) string {
+	t.Helper()
+	var edges []stream.Edge
+	for i := 0; i < 5000; i++ {
+		edges = append(edges, stream.Edge{User: 777, Item: uint64(i)})
+		edges = append(edges, stream.Edge{User: uint64(i % 50), Item: uint64(i % 20)})
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.edges")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := stream.Write(f, edges); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWatchBinaryFile(t *testing.T) {
+	path := writeStream(t)
+	var out bytes.Buffer
+	err := run([]string{"-in", path, "-delta", "0.1", "-every", "4000", "-mbits", "1048576"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "user 777") {
+		t.Fatalf("heavy user not reported:\n%s", s)
+	}
+	if strings.Count(s, "t=") < 2 {
+		t.Fatalf("expected periodic + final reports:\n%s", s)
+	}
+}
+
+func TestWatchTextStdinStyle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.txt")
+	var buf bytes.Buffer
+	for i := 0; i < 300; i++ {
+		buf.WriteString("9 ")
+		buf.WriteString(itoa(i))
+		buf.WriteString("\n1 5\n")
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-in", path, "-text", "-delta", "0.5", "-every", "0", "-method", "freebs"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "user 9") {
+		t.Fatalf("heavy user not flagged:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-in", "/does/not/exist"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeStream(t)
+	if err := run([]string{"-in", path, "-method", "nosuch"}, &out); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if err := run([]string{"-in", path, "-text"}, &out); err == nil {
+		t.Fatal("binary file parsed as text")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+func TestGenerateBinaryAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.edges")
+	var log bytes.Buffer
+	err := run([]string{"-dataset", "chicago", "-scale", "0.001", "-out", out}, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "users") {
+		t.Fatalf("missing stats:\n%s", log.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := stream.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exact.NewTracker()
+	if err := truth.ObserveStream(r); err != nil {
+		t.Fatal(err)
+	}
+	if truth.NumUsers() < 1000 {
+		t.Fatalf("replayed only %d users", truth.NumUsers())
+	}
+}
+
+func TestGenerateCustomText(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.txt")
+	var log bytes.Buffer
+	err := run([]string{
+		"-users", "100", "-maxcard", "50", "-totalcard", "500",
+		"-out", out, "-text", "-seed", "9",
+	}, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	edges, err := stream.Collect(stream.NewTextReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) < 500 {
+		t.Fatalf("only %d edges", len(edges))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var log bytes.Buffer
+	if err := run([]string{"-dataset", "chicago"}, &log); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := run([]string{"-out", "/tmp/x"}, &log); err == nil {
+		t.Fatal("missing dataset/custom config accepted")
+	}
+	if err := run([]string{"-dataset", "nosuch", "-out", "/tmp/x"}, &log); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

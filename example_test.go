@@ -1,0 +1,73 @@
+package streamcard_test
+
+import (
+	"fmt"
+
+	streamcard "repro"
+)
+
+// The minimal loop: observe edges, query anytime.
+func ExampleNewFreeRS() {
+	est := streamcard.NewFreeRS(1 << 20)
+	for i := 0; i < 1000; i++ {
+		est.Observe(42, uint64(i)) // user 42 connects to 1000 distinct items
+		est.Observe(42, uint64(i)) // duplicates are free
+		est.Observe(7, 99)         // user 7 connects to one item, many times
+	}
+	fmt.Printf("user42≈%.0f user7≈%.0f\n", est.Estimate(42), est.Estimate(7))
+	// Output: user42≈1001 user7≈1
+}
+
+// FreeBS: identical API, bit-sharing internals.
+func ExampleNewFreeBS() {
+	est := streamcard.NewFreeBS(1 << 20)
+	for i := 0; i < 500; i++ {
+		est.Observe(streamcard.Key("10.0.0.1"), uint64(i))
+	}
+	fmt.Printf("scanner≈%.0f\n", est.Estimate(streamcard.Key("10.0.0.1")))
+	// Output: scanner≈500
+}
+
+// Find the heaviest users right now, mid-stream.
+func ExampleTopK() {
+	est := streamcard.NewFreeRS(1 << 20)
+	for u := uint64(1); u <= 5; u++ {
+		for i := uint64(0); i < u*1000; i++ {
+			est.Observe(u, i|u<<40)
+		}
+	}
+	for _, s := range streamcard.TopK(est, 2) {
+		fmt.Printf("user %d ≈ %.0fk\n", s.User, s.Estimate/1000)
+	}
+	// Output:
+	// user 5 ≈ 5k
+	// user 4 ≈ 4k
+}
+
+// Detect super spreaders on the fly (§V-F of the paper).
+func ExampleNewSpreaderDetector() {
+	est := streamcard.NewFreeBS(1 << 20)
+	for i := 0; i < 10000; i++ {
+		est.Observe(1, uint64(i))    // the spreader: 10k distinct items
+		est.Observe(2, uint64(i%10)) // normal user
+	}
+	det := streamcard.NewSpreaderDetector(est, 0.5)
+	for _, s := range det.Detect() {
+		fmt.Printf("super spreader: user %d\n", s.User)
+	}
+	// Output: super spreader: user 1
+}
+
+// Estimate over the recent past only, by rotating epochs.
+func ExampleNewWindowed() {
+	w := streamcard.NewWindowed(func() streamcard.Estimator {
+		return streamcard.NewFreeRS(1 << 18)
+	})
+	for i := 0; i < 1000; i++ {
+		w.Observe(9, uint64(i))
+	}
+	w.Rotate()
+	w.Rotate() // user 9's activity is now two epochs old
+	fmt.Printf("after aging out: %.0f\n", w.Estimate(9))
+	// Output: after aging out: 0
+}

@@ -1,0 +1,101 @@
+// Compare: all six methods side by side on one stream under equal memory —
+// a miniature of the paper's §V-E accuracy evaluation that you can read in
+// one screen of output.
+//
+//	go run ./examples/compare
+//
+// The program replays the flickr analogue and prints, for a sample of users
+// spanning small to large cardinalities, every method's estimate next to the
+// truth, plus each method's average relative error.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	streamcard "repro"
+	"repro/internal/datagen"
+	"repro/internal/exact"
+	"repro/internal/metrics"
+)
+
+func main() {
+	cfg, err := datagen.PaperConfig("flickr", 0.005, 11)
+	if err != nil {
+		panic(err)
+	}
+	trace := datagen.Generate(cfg)
+
+	// §V-B memory accounting: M bits for everyone.
+	const M = 2_500_000
+	numUsers := trace.NumUsers()
+	ests := []streamcard.Estimator{
+		streamcard.NewFreeBS(M),
+		streamcard.NewFreeRS(M),
+		streamcard.NewCSE(M, 1024),
+		streamcard.NewVHLL(M, 1024),
+		streamcard.NewPerUserLPC(max(1, M/numUsers)),
+		streamcard.NewPerUserHLLPP(max(1, M/(6*numUsers))),
+	}
+
+	truth := exact.NewTracker()
+	for _, e := range trace.Edges {
+		truth.Observe(e.User, e.Item)
+		for _, est := range ests {
+			est.Observe(e.User, e.Item)
+		}
+	}
+
+	// Sample users at distinct cardinality magnitudes.
+	byCard := make(map[int]uint64)
+	truth.Users(func(u uint64, card int) {
+		if _, ok := byCard[magnitude(card)]; !ok {
+			byCard[magnitude(card)] = u
+		}
+	})
+	mags := make([]int, 0, len(byCard))
+	for m := range byCard {
+		mags = append(mags, m)
+	}
+	sort.Ints(mags)
+
+	fmt.Printf("%-8s", "true")
+	for _, est := range ests {
+		fmt.Printf("  %8s", est.Name())
+	}
+	fmt.Println()
+	for _, mg := range mags {
+		u := byCard[mg]
+		fmt.Printf("%-8d", truth.Cardinality(u))
+		for _, est := range ests {
+			fmt.Printf("  %8.0f", est.Estimate(u))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\naverage relative error over all users:")
+	for _, est := range ests {
+		var pairs []metrics.Pair
+		truth.Users(func(u uint64, card int) {
+			pairs = append(pairs, metrics.Pair{Actual: card, Estimate: est.Estimate(u)})
+		})
+		fmt.Printf("  %-8s %.4f\n", est.Name(), metrics.AvgRelativeError(pairs))
+	}
+}
+
+// magnitude buckets a cardinality by order of magnitude.
+func magnitude(n int) int {
+	m := 0
+	for n >= 10 {
+		n /= 10
+		m++
+	}
+	return m
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+// Quickstart: estimate per-user cardinalities over a stream of user-item
+// edges with FreeRS, the paper's parameter-free register-sharing estimator.
+//
+//	go run ./examples/quickstart
+//
+// The program simulates a web-access log — hosts visiting URLs, with many
+// repeat visits — and shows that (1) estimates are available at any moment,
+// (2) duplicates are not double counted, and (3) one shared sketch serves
+// every host with no per-host tuning.
+package main
+
+import (
+	"fmt"
+
+	streamcard "repro"
+	"repro/internal/hashing"
+)
+
+func main() {
+	// One million bits (~125 KB) of shared sketch memory is the ONLY
+	// parameter. There is no per-user sketch size to guess in advance.
+	est := streamcard.NewFreeRS(1 << 20)
+
+	rng := hashing.NewRNG(42)
+
+	// Simulate 3 hosts with very different behaviour:
+	//   - host "scanner" touches 50,000 distinct URLs (an anomaly),
+	//   - host "crawler" touches 2,000 distinct URLs,
+	//   - host "laptop" revisits the same 25 URLs over and over.
+	scanner, crawler, laptop := streamcard.Key("scanner"), streamcard.Key("crawler"), streamcard.Key("laptop")
+
+	for i := 0; i < 200000; i++ {
+		est.Observe(scanner, uint64(i%50000))
+		est.Observe(crawler, uint64(rng.Intn(2000)))
+		est.Observe(laptop, uint64(rng.Intn(25)))
+
+		// Anytime property: query mid-stream whenever you like.
+		if i == 1000 {
+			fmt.Printf("after %6d arrivals: scanner≈%.0f crawler≈%.0f laptop≈%.0f\n",
+				3*(i+1), est.Estimate(scanner), est.Estimate(crawler), est.Estimate(laptop))
+		}
+	}
+
+	fmt.Printf("after %6d arrivals: scanner≈%.0f crawler≈%.0f laptop≈%.0f\n",
+		600000, est.Estimate(scanner), est.Estimate(crawler), est.Estimate(laptop))
+	fmt.Printf("true cardinalities:       scanner=50000 crawler≈2000 laptop=25\n")
+	fmt.Printf("total distinct pairs ≈ %.0f using %d KB of sketch memory\n",
+		est.TotalDistinct(), est.MemoryBits()/8/1024)
+}

@@ -1,0 +1,224 @@
+package streamcard
+
+// Integration tests: exercise the full pipeline — dataset synthesis, stream
+// codec round trip, every estimator, ground truth, metrics — across module
+// boundaries, the paths a downstream user strings together.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/exact"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// TestEndToEndDatasetToMetrics replays a generated dataset through every
+// estimator and checks the headline accuracy ordering on RSE bins.
+func TestEndToEndDatasetToMetrics(t *testing.T) {
+	cfg, err := datagen.PaperConfig("flickr", 0.002, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := datagen.Generate(cfg)
+	truth := exact.NewTracker()
+	if err := truth.ObserveStream(d.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	const M = 1000000 // 5e8 × 0.002
+	ests := []Estimator{
+		NewFreeBS(M),
+		NewFreeRS(M),
+		NewCSE(M, 1024),
+		NewVHLL(M, 1024),
+	}
+	for _, e := range d.Edges {
+		for _, est := range ests {
+			est.Observe(e.User, e.Item)
+		}
+	}
+	rse := make(map[string][]metrics.RSEBin, len(ests))
+	for _, est := range ests {
+		var pairs []metrics.Pair
+		truth.Users(func(u uint64, card int) {
+			pairs = append(pairs, metrics.Pair{Actual: card, Estimate: est.Estimate(u)})
+		})
+		rse[est.Name()] = metrics.RSEBinned(pairs, 5)
+	}
+	// Paper ordering in the smallest bin: FreeBS < CSE, FreeRS < vHLL.
+	if rse["FreeBS"][0].RSE >= rse["CSE"][0].RSE {
+		t.Fatalf("FreeBS %v !< CSE %v at small cardinalities",
+			rse["FreeBS"][0].RSE, rse["CSE"][0].RSE)
+	}
+	if rse["FreeRS"][0].RSE >= rse["vHLL"][0].RSE {
+		t.Fatalf("FreeRS %v !< vHLL %v at small cardinalities",
+			rse["FreeRS"][0].RSE, rse["vHLL"][0].RSE)
+	}
+}
+
+// TestEndToEndStreamCodec generates a dataset, writes it through the binary
+// codec, replays it from bytes, and checks an estimator sees the identical
+// stream (same estimates).
+func TestEndToEndStreamCodec(t *testing.T) {
+	cfg := datagen.Config{
+		Name: "codec", Users: 2000, MaxCard: 300, TotalCard: 15000,
+		DuplicateRate: 0.2, Seed: 5,
+	}
+	d := datagen.Generate(cfg)
+
+	var buf bytes.Buffer
+	if err := stream.Write(&buf, d.Edges); err != nil {
+		t.Fatal(err)
+	}
+	r, err := stream.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct := NewFreeRS(1<<20, WithSeed(9))
+	replayed := NewFreeRS(1<<20, WithSeed(9))
+	for _, e := range d.Edges {
+		direct.Observe(e.User, e.Item)
+	}
+	if err := stream.ForEach(r, func(e stream.Edge) { replayed.Observe(e.User, e.Item) }); err != nil {
+		t.Fatal(err)
+	}
+	if direct.TotalDistinct() != replayed.TotalDistinct() {
+		t.Fatal("codec replay diverged from direct feed")
+	}
+	for u := 0; u < cfg.Users; u += 97 {
+		if direct.Estimate(uint64(u)) != replayed.Estimate(uint64(u)) {
+			t.Fatalf("user %d estimate differs after codec round trip", u)
+		}
+	}
+}
+
+// TestEndToEndCheckpointFacade round-trips the facade-level checkpoint under
+// live traffic.
+func TestEndToEndCheckpointFacade(t *testing.T) {
+	for _, build := range []func() interface {
+		Estimator
+		MarshalBinary() ([]byte, error)
+	}{
+		func() interface {
+			Estimator
+			MarshalBinary() ([]byte, error)
+		} {
+			return NewFreeBS(1 << 16)
+		},
+		func() interface {
+			Estimator
+			MarshalBinary() ([]byte, error)
+		} {
+			return NewFreeRS(1 << 16)
+		},
+	} {
+		orig := build()
+		for i := 0; i < 20000; i++ {
+			orig.Observe(uint64(i%300), uint64(i))
+		}
+		data, err := orig.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch o := orig.(type) {
+		case *FreeBS:
+			restored := NewFreeBS(64)
+			if err := restored.UnmarshalBinary(data); err != nil {
+				t.Fatal(err)
+			}
+			if restored.TotalDistinct() != o.TotalDistinct() {
+				t.Fatal("FreeBS facade restore mismatch")
+			}
+			if err := restored.UnmarshalBinary([]byte("junk")); err == nil {
+				t.Fatal("junk accepted")
+			}
+			// Failed restore must not clobber previous state.
+			if restored.TotalDistinct() != o.TotalDistinct() {
+				t.Fatal("failed restore clobbered state")
+			}
+		case *FreeRS:
+			restored := NewFreeRS(64)
+			if err := restored.UnmarshalBinary(data); err != nil {
+				t.Fatal(err)
+			}
+			if restored.TotalDistinct() != o.TotalDistinct() {
+				t.Fatal("FreeRS facade restore mismatch")
+			}
+		}
+	}
+}
+
+// TestDeterministicEndToEnd pins the full pipeline: same config, same seed,
+// same estimates — across dataset generation, shuffling, and estimation.
+func TestDeterministicEndToEnd(t *testing.T) {
+	runOnce := func() (float64, float64) {
+		cfg, err := datagen.PaperConfig("chicago", 0.001, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := datagen.Generate(cfg)
+		est := NewFreeBS(500000, WithSeed(4))
+		for _, e := range d.Edges {
+			est.Observe(e.User, e.Item)
+		}
+		return est.TotalDistinct(), est.Estimate(0)
+	}
+	t1, e1 := runOnce()
+	t2, e2 := runOnce()
+	if t1 != t2 || e1 != e2 {
+		t.Fatalf("pipeline not deterministic: (%v,%v) vs (%v,%v)", t1, e1, t2, e2)
+	}
+}
+
+// TestWindowedSpreaderPipeline chains the windowed wrapper with TopK on a
+// stream whose heavy hitter changes between epochs — the "recent anomaly"
+// monitoring pattern.
+func TestWindowedSpreaderPipeline(t *testing.T) {
+	w := NewWindowed(func() Estimator { return NewFreeRS(1 << 20) })
+	// Epoch 0: user 100 is the heavy hitter.
+	for i := 0; i < 20000; i++ {
+		w.Observe(100, uint64(i))
+		w.Observe(uint64(i%50), uint64(i%40))
+	}
+	w.Rotate()
+	w.Rotate() // age epoch 0 out entirely
+	// Epoch 2: user 200 takes over.
+	for i := 0; i < 20000; i++ {
+		w.Observe(200, uint64(i)|1<<42)
+		w.Observe(uint64(i%50), uint64(i%40))
+	}
+	if old := w.Estimate(100); old != 0 {
+		t.Fatalf("stale heavy hitter still visible: %v", old)
+	}
+	if now := w.Estimate(200); math.Abs(now-20000) > 2000 {
+		t.Fatalf("current heavy hitter estimate %v", now)
+	}
+}
+
+// TestShardedFullPipeline feeds a generated dataset through the sharded
+// wrapper and compares per-user accuracy with ground truth.
+func TestShardedFullPipeline(t *testing.T) {
+	cfg := datagen.Config{
+		Name: "sharded", Users: 5000, MaxCard: 1000, TotalCard: 60000,
+		DuplicateRate: 0.15, Seed: 8,
+	}
+	d := datagen.Generate(cfg)
+	truth := exact.NewTracker()
+	s := NewSharded(4, func(i int) Estimator {
+		return NewFreeBS(1<<20, WithSeed(uint64(i)+100))
+	})
+	for _, e := range d.Edges {
+		s.Observe(e.User, e.Item)
+		truth.Observe(e.User, e.Item)
+	}
+	var pairs []metrics.Pair
+	truth.Users(func(u uint64, card int) {
+		pairs = append(pairs, metrics.Pair{Actual: card, Estimate: s.Estimate(u)})
+	})
+	if are := metrics.AvgRelativeError(pairs); are > 0.25 {
+		t.Fatalf("sharded ARE %v too high", are)
+	}
+}

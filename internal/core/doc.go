@@ -1,0 +1,30 @@
+// Package core implements the paper's two contributions:
+//
+//   - FreeBS (§IV-A, Algorithm 1): parameter-free bit sharing. All users
+//     share one bit array B of M bits; each user-item pair e = (s, d) is
+//     hashed by h*(e) to a single bit. When that bit flips 0→1, user s's
+//     running estimate is credited with 1/q_B, where q_B = m0/M is the
+//     fraction of zero bits *before* the flip — the probability that a new
+//     pair changes the array. This is a Horvitz–Thompson estimator over the
+//     first-occurrence times of s's pairs, so it is unbiased (Theorem 1).
+//
+//   - FreeRS (§IV-B, Algorithm 2): parameter-free register sharing. All
+//     users share M registers; each pair is hashed to a register index h*(e)
+//     and a geometric rank ρ*(e). When the register grows, s is credited
+//     with 1/q_R, where q_R = Σ_j 2^-R[j] / M is the probability that a new
+//     pair changes some register (Theorem 2).
+//
+// Both process an edge in O(1): q_B is the maintained zero count over M, and
+// q_R is the maintained exact scaled harmonic sum over M (see
+// internal/regarray). Estimates are therefore available at any time t with
+// no per-query work — the anytime property the paper contrasts with the
+// O(m)-per-query CSE and vHLL.
+//
+// # Update-order ablation
+//
+// The paper's Algorithm 2 pseudocode updates q_R before crediting 1/q_R,
+// while the Theorem 2 analysis conditions on the state *before* the edge
+// (and Algorithm 1 uses the pre-update m0). The analysis order is the
+// default here; WithPostUpdateQ switches to the literal pseudocode order so
+// the (small, negative) bias it introduces can be measured.
+package core

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/hashing"
+)
+
+func TestFreeBSEmpty(t *testing.T) {
+	f := NewFreeBS(1024, 1)
+	if f.Estimate(42) != 0 || f.TotalDistinct() != 0 || f.NumUsers() != 0 {
+		t.Fatal("fresh FreeBS not empty")
+	}
+	if f.ChangeProbability() != 1 {
+		t.Fatalf("fresh q_B = %v, want 1", f.ChangeProbability())
+	}
+	if f.M() != 1024 || f.MemoryBits() != 1024 {
+		t.Fatal("size accessors wrong")
+	}
+}
+
+func TestFreeBSPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFreeBS(0, 1)
+}
+
+func TestFreeBSFirstPairCountsAsOne(t *testing.T) {
+	// The very first pair flips a bit with q_B = 1, so the increment is
+	// exactly 1 — the estimator starts exact.
+	f := NewFreeBS(1<<16, 2)
+	if !f.Observe(7, 100) {
+		t.Fatal("first pair must flip a bit")
+	}
+	if got := f.Estimate(7); got != 1 {
+		t.Fatalf("estimate after first pair = %v, want exactly 1", got)
+	}
+}
+
+func TestFreeBSDuplicatesNeverCount(t *testing.T) {
+	f := NewFreeBS(1<<16, 3)
+	f.Observe(7, 100)
+	before := f.Estimate(7)
+	for i := 0; i < 1000; i++ {
+		if f.Observe(7, 100) {
+			t.Fatal("duplicate flipped a bit")
+		}
+	}
+	if f.Estimate(7) != before {
+		t.Fatal("duplicates changed the estimate")
+	}
+	if f.EdgesProcessed() != 1001 {
+		t.Fatalf("edges = %d", f.EdgesProcessed())
+	}
+}
+
+func TestFreeBSTotalEqualsSumOfUsers(t *testing.T) {
+	// Invariant: TotalDistinct is exactly the sum of per-user estimates.
+	f := NewFreeBS(1<<14, 4)
+	rng := hashing.NewRNG(9)
+	for i := 0; i < 20000; i++ {
+		f.Observe(uint64(rng.Intn(50)), rng.Uint64())
+	}
+	sum := 0.0
+	f.Users(func(_ uint64, e float64) { sum += e })
+	if math.Abs(sum-f.TotalDistinct()) > 1e-6*f.TotalDistinct() {
+		t.Fatalf("sum of users %v != total %v", sum, f.TotalDistinct())
+	}
+}
+
+func TestFreeBSQEqualsZeroFractionQuick(t *testing.T) {
+	// Invariant: the incremental q_B always equals ZeroCount/M exactly
+	// (the paper's incremental computation of q_B^(t+1)).
+	f := func(seed uint64, n uint16) bool {
+		fb := NewFreeBS(4096, seed)
+		rng := hashing.NewRNG(seed)
+		for i := 0; i < int(n); i++ {
+			fb.Observe(uint64(rng.Intn(20)), rng.Uint64())
+		}
+		return fb.ChangeProbability() == float64(fb.bits.ZeroCount())/4096 &&
+			fb.bits.Audit() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeBSMonotone(t *testing.T) {
+	f := NewFreeBS(1<<12, 5)
+	rng := hashing.NewRNG(3)
+	prev := 0.0
+	for i := 0; i < 5000; i++ {
+		f.Observe(1, rng.Uint64())
+		if e := f.Estimate(1); e < prev {
+			t.Fatalf("estimate decreased from %v to %v", prev, e)
+		} else {
+			prev = e
+		}
+	}
+}
+
+func TestFreeBSUnbiasedAgainstTheorem1(t *testing.T) {
+	// Statistical test: across many independent seeds, the mean estimate of
+	// a user must sit within 5 standard errors of the truth, with sigma from
+	// the Theorem 1 variance bound.
+	const (
+		M      = 1 << 12
+		nUser  = 200
+		nNoise = 2000
+		trials = 150
+	)
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		f := NewFreeBS(M, uint64(tr)*1000003+17)
+		rng := hashing.NewRNG(uint64(tr) + 500)
+		// Interleave the user's pairs with background noise so q_B decays
+		// during the user's lifetime (the regime Theorem 1 is about).
+		for i := 0; i < nUser; i++ {
+			f.Observe(1, uint64(i))
+			for j := 0; j < nNoise/nUser; j++ {
+				f.Observe(2+uint64(rng.Intn(30)), rng.Uint64())
+			}
+		}
+		sum += f.Estimate(1)
+	}
+	mean := sum / trials
+	sigma := math.Sqrt(FreeBSVarianceBound(nUser, nUser+nNoise, M) / trials)
+	if math.Abs(mean-nUser) > 5*sigma {
+		t.Fatalf("mean estimate %v, want %v ± %v (5σ)", mean, nUser, 5*sigma)
+	}
+}
+
+func TestFreeBSVarianceWithinBound(t *testing.T) {
+	const (
+		M      = 1 << 12
+		nUser  = 300
+		nNoise = 3000
+		trials = 120
+	)
+	var sum, sumsq float64
+	for tr := 0; tr < trials; tr++ {
+		f := NewFreeBS(M, uint64(tr)*7919+3)
+		rng := hashing.NewRNG(uint64(tr) + 900)
+		for i := 0; i < nUser; i++ {
+			f.Observe(1, uint64(i))
+			for j := 0; j < nNoise/nUser; j++ {
+				f.Observe(2+uint64(rng.Intn(30)), rng.Uint64())
+			}
+		}
+		e := f.Estimate(1)
+		sum += e
+		sumsq += e * e
+	}
+	mean := sum / trials
+	empVar := sumsq/trials - mean*mean
+	bound := FreeBSVarianceBound(nUser, nUser+nNoise, M)
+	// Allow 2x the bound to absorb sampling noise of the variance itself.
+	if empVar > 2*bound {
+		t.Fatalf("empirical variance %v exceeds Theorem-1 bound %v", empVar, bound)
+	}
+}
+
+func TestFreeBSAccuracyOnRealisticStream(t *testing.T) {
+	// End-to-end: heavy user among background, estimate within 10%.
+	f := NewFreeBS(1<<20, 6)
+	truth := exact.NewTracker()
+	rng := hashing.NewRNG(44)
+	for i := 0; i < 20000; i++ {
+		u := uint64(rng.Intn(500))
+		d := rng.Uint64() % 5000
+		f.Observe(u, d)
+		truth.Observe(u, d)
+		f.Observe(1000, uint64(i)) // heavy user: 20k distinct
+		truth.Observe(1000, uint64(i))
+	}
+	got := f.Estimate(1000)
+	want := float64(truth.Cardinality(1000))
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("heavy user estimate %v, truth %v", got, want)
+	}
+}
+
+func TestFreeBSSaturation(t *testing.T) {
+	f := NewFreeBS(64, 7)
+	for i := 0; i < 10000; i++ {
+		f.Observe(1, uint64(i))
+	}
+	if !f.Saturated() {
+		t.Fatal("tiny array should saturate")
+	}
+	before := f.Estimate(1)
+	if f.Observe(1, 999999999) {
+		t.Fatal("observe on saturated array flipped a bit")
+	}
+	if f.Estimate(1) != before {
+		t.Fatal("saturated array changed an estimate")
+	}
+	if math.IsInf(before, 0) || math.IsNaN(before) {
+		t.Fatalf("estimate not finite at saturation: %v", before)
+	}
+}
+
+func TestFreeBSTotalLPCTracksTruth(t *testing.T) {
+	f := NewFreeBS(1<<16, 8)
+	truth := exact.NewTracker()
+	rng := hashing.NewRNG(5)
+	for i := 0; i < 30000; i++ {
+		u, d := uint64(rng.Intn(100)), rng.Uint64()%2000
+		f.Observe(u, d)
+		truth.Observe(u, d)
+	}
+	want := float64(truth.TotalCardinality())
+	for name, got := range map[string]float64{
+		"HT":  f.TotalDistinct(),
+		"LPC": f.TotalDistinctLPC(),
+	} {
+		if math.Abs(got-want) > 0.05*want {
+			t.Fatalf("%s total %v, truth %v", name, got, want)
+		}
+	}
+}
+
+func TestFreeBSPostUpdateQBiasDirection(t *testing.T) {
+	// The ablation: post-update q divides by a smaller q, so estimates are
+	// systematically larger than the default (and biased upward).
+	const M = 512
+	sumPre, sumPost := 0.0, 0.0
+	for tr := 0; tr < 60; tr++ {
+		seed := uint64(tr)*131 + 7
+		pre := NewFreeBS(M, seed)
+		post := NewFreeBS(M, seed, WithPostUpdateQ())
+		for i := 0; i < 600; i++ {
+			pre.Observe(1, uint64(i))
+			post.Observe(1, uint64(i))
+		}
+		sumPre += pre.Estimate(1)
+		sumPost += post.Estimate(1)
+	}
+	if sumPost <= sumPre {
+		t.Fatalf("post-update q should inflate estimates: pre=%v post=%v", sumPre/60, sumPost/60)
+	}
+}
+
+func TestFreeBSReset(t *testing.T) {
+	f := NewFreeBS(1024, 9)
+	f.Observe(1, 1)
+	f.Reset()
+	if f.Estimate(1) != 0 || f.TotalDistinct() != 0 || f.NumUsers() != 0 ||
+		f.ChangeProbability() != 1 || f.EdgesProcessed() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestFreeBSMaxEstimate(t *testing.T) {
+	f := NewFreeBS(1000, 10)
+	want := 1000 * math.Log(1000)
+	if math.Abs(f.MaxEstimate()-want) > 1e-9 {
+		t.Fatalf("MaxEstimate = %v, want %v", f.MaxEstimate(), want)
+	}
+}
+
+func TestFreeBSDistinctStreamsIndependent(t *testing.T) {
+	// Two users with disjoint items must have roughly proportional estimates.
+	f := NewFreeBS(1<<18, 11)
+	for i := 0; i < 10000; i++ {
+		f.Observe(1, uint64(i))
+		if i%10 == 0 {
+			f.Observe(2, uint64(i)|1<<40)
+		}
+	}
+	e1, e2 := f.Estimate(1), f.Estimate(2)
+	ratio := e1 / e2
+	if ratio < 7 || ratio > 13 {
+		t.Fatalf("ratio %v, want ~10 (e1=%v e2=%v)", ratio, e1, e2)
+	}
+}
+
+func BenchmarkFreeBSObserve(b *testing.B) {
+	f := NewFreeBS(1<<24, 1)
+	rng := hashing.NewRNG(1)
+	users := make([]uint64, 8192)
+	items := make([]uint64, 8192)
+	for i := range users {
+		users[i] = uint64(rng.Intn(100000))
+		items[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(users[i&8191], items[i&8191])
+	}
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/hashing"
+)
+
+func TestFreeRSEmpty(t *testing.T) {
+	f := NewFreeRS(1024, 1)
+	if f.Estimate(42) != 0 || f.TotalDistinct() != 0 || f.NumUsers() != 0 {
+		t.Fatal("fresh FreeRS not empty")
+	}
+	if f.ChangeProbability() != 1 {
+		t.Fatalf("fresh q_R = %v, want 1", f.ChangeProbability())
+	}
+	if f.M() != 1024 || f.Width() != 5 || f.MemoryBits() != 5*1024 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestFreeRSPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFreeRS(0, 1) },
+		// Width 6 at M=2 cannot maintain the exact sum -> must refuse.
+		func() { NewFreeRS(2, 1, WithRegisterWidth(6)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFreeRSWidthOption(t *testing.T) {
+	f := NewFreeRS(1024, 1, WithRegisterWidth(4))
+	if f.Width() != 4 || f.MemoryBits() != 4*1024 {
+		t.Fatal("width option ignored")
+	}
+}
+
+func TestFreeRSFirstPairCountsAsOne(t *testing.T) {
+	f := NewFreeRS(1<<14, 2)
+	if !f.Observe(7, 100) {
+		t.Fatal("first pair must change a register")
+	}
+	if got := f.Estimate(7); got != 1 {
+		t.Fatalf("estimate after first pair = %v, want exactly 1", got)
+	}
+}
+
+func TestFreeRSDuplicatesNeverCount(t *testing.T) {
+	f := NewFreeRS(1<<14, 3)
+	f.Observe(7, 100)
+	before := f.Estimate(7)
+	for i := 0; i < 1000; i++ {
+		if f.Observe(7, 100) {
+			t.Fatal("duplicate changed a register")
+		}
+	}
+	if f.Estimate(7) != before {
+		t.Fatal("duplicates changed the estimate")
+	}
+}
+
+func TestFreeRSTotalEqualsSumOfUsers(t *testing.T) {
+	f := NewFreeRS(1<<12, 4)
+	rng := hashing.NewRNG(9)
+	for i := 0; i < 20000; i++ {
+		f.Observe(uint64(rng.Intn(50)), rng.Uint64())
+	}
+	sum := 0.0
+	f.Users(func(_ uint64, e float64) { sum += e })
+	if math.Abs(sum-f.TotalDistinct()) > 1e-6*f.TotalDistinct() {
+		t.Fatalf("sum of users %v != total %v", sum, f.TotalDistinct())
+	}
+}
+
+func TestFreeRSQExactlyMatchesRecomputationQuick(t *testing.T) {
+	// The central exactness claim: the O(1)-maintained q_R equals a full
+	// O(M) recomputation bit-for-bit after any stream prefix.
+	f := func(seed uint64, n uint16) bool {
+		fr := NewFreeRS(512, seed)
+		rng := hashing.NewRNG(seed)
+		for i := 0; i < int(n); i++ {
+			fr.Observe(uint64(rng.Intn(20)), rng.Uint64())
+		}
+		recomputed := 0.0
+		for j := 0; j < fr.regs.Size(); j++ {
+			recomputed += math.Exp2(-float64(fr.regs.Get(j)))
+		}
+		recomputed /= float64(fr.regs.Size())
+		return fr.ChangeProbability() == recomputed && fr.regs.Audit() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeRSMonotone(t *testing.T) {
+	f := NewFreeRS(1<<10, 5)
+	rng := hashing.NewRNG(3)
+	prev := 0.0
+	for i := 0; i < 5000; i++ {
+		f.Observe(1, rng.Uint64())
+		if e := f.Estimate(1); e < prev {
+			t.Fatalf("estimate decreased from %v to %v", prev, e)
+		} else {
+			prev = e
+		}
+	}
+}
+
+func TestFreeRSUnbiasedAgainstTheorem2(t *testing.T) {
+	const (
+		M      = 1 << 10
+		nUser  = 200
+		nNoise = 2000
+		trials = 150
+	)
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		f := NewFreeRS(M, uint64(tr)*1000003+29)
+		rng := hashing.NewRNG(uint64(tr) + 800)
+		for i := 0; i < nUser; i++ {
+			f.Observe(1, uint64(i))
+			for j := 0; j < nNoise/nUser; j++ {
+				f.Observe(2+uint64(rng.Intn(30)), rng.Uint64())
+			}
+		}
+		sum += f.Estimate(1)
+	}
+	mean := sum / trials
+	sigma := math.Sqrt(FreeRSVarianceBound(nUser, nUser+nNoise, M) / trials)
+	if math.Abs(mean-nUser) > 5*sigma {
+		t.Fatalf("mean estimate %v, want %v ± %v (5σ)", mean, nUser, 5*sigma)
+	}
+}
+
+func TestFreeRSVarianceWithinBound(t *testing.T) {
+	const (
+		M      = 1 << 10
+		nUser  = 300
+		nNoise = 3000
+		trials = 120
+	)
+	var sum, sumsq float64
+	for tr := 0; tr < trials; tr++ {
+		f := NewFreeRS(M, uint64(tr)*104729+11)
+		rng := hashing.NewRNG(uint64(tr) + 1700)
+		for i := 0; i < nUser; i++ {
+			f.Observe(1, uint64(i))
+			for j := 0; j < nNoise/nUser; j++ {
+				f.Observe(2+uint64(rng.Intn(30)), rng.Uint64())
+			}
+		}
+		e := f.Estimate(1)
+		sum += e
+		sumsq += e * e
+	}
+	mean := sum / trials
+	empVar := sumsq/trials - mean*mean
+	bound := FreeRSVarianceBound(nUser, nUser+nNoise, M)
+	if empVar > 2*bound {
+		t.Fatalf("empirical variance %v exceeds Theorem-2 bound %v", empVar, bound)
+	}
+}
+
+func TestFreeRSLargeRangeBeyondBitSaturation(t *testing.T) {
+	// The range argument of §IV-C: a register array of M=4096 (= 2.5KB)
+	// keeps counting far past the ~M·lnM limit of an equal-register bitmap.
+	f := NewFreeRS(4096, 6)
+	const n = 1 << 20 // a million distinct pairs into 4096 registers
+	for i := 0; i < n; i++ {
+		f.Observe(1, uint64(i))
+	}
+	got := f.Estimate(1)
+	if math.Abs(got-n) > 0.15*n {
+		t.Fatalf("large-range estimate %v, want ~%d", got, n)
+	}
+}
+
+func TestFreeRSAccuracyOnRealisticStream(t *testing.T) {
+	f := NewFreeRS(1<<18, 7)
+	truth := exact.NewTracker()
+	rng := hashing.NewRNG(44)
+	for i := 0; i < 20000; i++ {
+		u := uint64(rng.Intn(500))
+		d := rng.Uint64() % 5000
+		f.Observe(u, d)
+		truth.Observe(u, d)
+		f.Observe(1000, uint64(i))
+		truth.Observe(1000, uint64(i))
+	}
+	got := f.Estimate(1000)
+	want := float64(truth.Cardinality(1000))
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("heavy user estimate %v, truth %v", got, want)
+	}
+}
+
+func TestFreeRSTotalHLLTracksTruth(t *testing.T) {
+	f := NewFreeRS(1<<14, 8)
+	truth := exact.NewTracker()
+	rng := hashing.NewRNG(5)
+	for i := 0; i < 30000; i++ {
+		u, d := uint64(rng.Intn(100)), rng.Uint64()%2000
+		f.Observe(u, d)
+		truth.Observe(u, d)
+	}
+	want := float64(truth.TotalCardinality())
+	for name, got := range map[string]float64{
+		"HT":  f.TotalDistinct(),
+		"HLL": f.TotalDistinctHLL(),
+	} {
+		if math.Abs(got-want) > 0.08*want {
+			t.Fatalf("%s total %v, truth %v", name, got, want)
+		}
+	}
+}
+
+func TestFreeRSUpdateOrderBias(t *testing.T) {
+	// Algorithm-2-literal ordering (post-update q_R) must inflate estimates
+	// relative to the analysis ordering — the discrepancy DESIGN.md documents.
+	const M = 256
+	sumPre, sumPost := 0.0, 0.0
+	for tr := 0; tr < 80; tr++ {
+		seed := uint64(tr)*131 + 7
+		pre := NewFreeRS(M, seed)
+		post := NewFreeRS(M, seed, WithPostUpdateQRS())
+		for i := 0; i < 2000; i++ {
+			pre.Observe(1, uint64(i))
+			post.Observe(1, uint64(i))
+		}
+		sumPre += pre.Estimate(1)
+		sumPost += post.Estimate(1)
+	}
+	if sumPost <= sumPre {
+		t.Fatalf("post-update q should inflate estimates: pre=%v post=%v", sumPre/80, sumPost/80)
+	}
+}
+
+func TestFreeRSReset(t *testing.T) {
+	f := NewFreeRS(512, 9)
+	f.Observe(1, 1)
+	f.Reset()
+	if f.Estimate(1) != 0 || f.TotalDistinct() != 0 || f.NumUsers() != 0 ||
+		f.ChangeProbability() != 1 || f.EdgesProcessed() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestFreeRSMaxEstimate(t *testing.T) {
+	f := NewFreeRS(128, 10)
+	if got, want := f.MaxEstimate(), math.Exp2(32); got != want {
+		t.Fatalf("MaxEstimate = %v, want 2^32", got)
+	}
+}
+
+func TestCrossoverPositionSane(t *testing.T) {
+	// For w=5 the crossover n/M solves e^x = 6.93x, whose larger root is
+	// ~3.1; the paper's cruder 0.772·w gives 3.86. Check the root property
+	// and the ballpark.
+	const mBits = 1 << 20
+	pos := CrossoverPosition(mBits, 5)
+	x := pos / mBits
+	if x < 2 || x > 4.5 {
+		t.Fatalf("crossover x = %v out of plausible range", x)
+	}
+	if math.Abs(math.Exp(x)-1.386*5*x) > 0.01*math.Exp(x) {
+		t.Fatalf("returned x=%v is not a root of e^x = 6.93x", x)
+	}
+}
+
+func TestExpectedInvQMonotone(t *testing.T) {
+	// Both E(1/q) curves grow with n; FreeRS's grows linearly, FreeBS's
+	// exponentially — the §IV-C comparison.
+	const M = 1 << 16
+	if ExpectedInvQB(1000, M) >= ExpectedInvQB(100000, M) {
+		t.Fatal("E(1/qB) must grow with n")
+	}
+	if ExpectedInvQR(float64(3*M), M) >= ExpectedInvQR(float64(10*M), M) {
+		t.Fatal("E(1/qR) must grow with n")
+	}
+	// Deep into the stream, FreeBS's inverse-q explodes past FreeRS's.
+	n := float64(8 * M)
+	if ExpectedInvQB(n, M) <= ExpectedInvQR(n, M) {
+		t.Fatal("e^{n/M} must dominate 1.386n/M for n = 8M")
+	}
+}
+
+func TestFreeRSVsFreeBSSmallCardinalityRegime(t *testing.T) {
+	// §IV-C: under equal memory, early in the stream FreeBS (M bits) has
+	// E(1/q) = e^{n/M_bits} ≈ 1 while FreeRS with M/w registers behaves like
+	// a w×-smaller bitmap. Check E(1/q) ordering at n = M_bits/10.
+	const mBits = 1 << 15
+	n := float64(mBits / 10)
+	invQB := ExpectedInvQB(n, mBits)
+	invQR := ExpectedInvQR(n, mBits/5) // same memory, w=5
+	if invQB >= invQR {
+		t.Fatalf("early-stream ordering violated: invQB=%v invQR=%v", invQB, invQR)
+	}
+}
+
+func BenchmarkFreeRSObserve(b *testing.B) {
+	f := NewFreeRS(1<<22, 1)
+	rng := hashing.NewRNG(1)
+	users := make([]uint64, 8192)
+	items := make([]uint64, 8192)
+	for i := range users {
+		users[i] = uint64(rng.Intn(100000))
+		items[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(users[i&8191], items[i&8191])
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitarray"
+	"repro/internal/regarray"
+)
+
+// Serialization lets a long-running monitor checkpoint its full estimator
+// state — shared array, per-user running estimates, and the incremental
+// bookkeeping — and resume after a restart with bit-identical behaviour.
+//
+// Format (little-endian): magic, version byte, fixed header fields, the
+// underlying array's own binary form (length-prefixed), then the per-user
+// estimate map as a varint count followed by (uint64 user, float64 bits)
+// pairs. Map iteration order does not matter: estimates are summable
+// credits, and the total is stored explicitly.
+
+const (
+	freeBSMagic = "FBS1"
+	freeRSMagic = "FRS1"
+)
+
+// MarshalBinary serializes the complete FreeBS state.
+func (f *FreeBS) MarshalBinary() ([]byte, error) {
+	arr, err := f.bits.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 64+len(arr)+len(f.est)*16)
+	out = append(out, freeBSMagic...)
+	out = append(out, boolByte(f.postUpdateQ))
+	out = binary.LittleEndian.AppendUint64(out, f.seed)
+	out = binary.LittleEndian.AppendUint64(out, f.edges)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f.total))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(arr)))
+	out = append(out, arr...)
+	out = appendEstimates(out, f.est)
+	return out, nil
+}
+
+// UnmarshalBinary restores state serialized by MarshalBinary.
+func (f *FreeBS) UnmarshalBinary(data []byte) error {
+	body, err := checkMagic(data, freeBSMagic)
+	if err != nil {
+		return err
+	}
+	if len(body) < 1+8+8+8+8 {
+		return errors.New("core: FreeBS payload truncated")
+	}
+	postQ := body[0] != 0
+	seed := binary.LittleEndian.Uint64(body[1:])
+	edges := binary.LittleEndian.Uint64(body[9:])
+	total := math.Float64frombits(binary.LittleEndian.Uint64(body[17:]))
+	arrLen := int(binary.LittleEndian.Uint64(body[25:]))
+	body = body[33:]
+	if arrLen < 0 || arrLen > len(body) {
+		return errors.New("core: FreeBS array length out of bounds")
+	}
+	bits := new(bitarray.BitArray)
+	if err := bits.UnmarshalBinary(body[:arrLen]); err != nil {
+		return fmt.Errorf("core: FreeBS array: %w", err)
+	}
+	est, err := readEstimates(body[arrLen:])
+	if err != nil {
+		return err
+	}
+	f.bits = bits
+	f.seed = seed
+	f.est = est
+	f.total = total
+	f.edges = edges
+	f.postUpdateQ = postQ
+	return nil
+}
+
+// MarshalBinary serializes the complete FreeRS state.
+func (f *FreeRS) MarshalBinary() ([]byte, error) {
+	arr, err := f.regs.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 64+len(arr)+len(f.est)*16)
+	out = append(out, freeRSMagic...)
+	out = append(out, boolByte(f.postUpdateQ), f.width)
+	out = binary.LittleEndian.AppendUint64(out, f.seedIdx)
+	out = binary.LittleEndian.AppendUint64(out, f.seedRank)
+	out = binary.LittleEndian.AppendUint64(out, f.edges)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f.total))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(arr)))
+	out = append(out, arr...)
+	out = appendEstimates(out, f.est)
+	return out, nil
+}
+
+// UnmarshalBinary restores state serialized by MarshalBinary.
+func (f *FreeRS) UnmarshalBinary(data []byte) error {
+	body, err := checkMagic(data, freeRSMagic)
+	if err != nil {
+		return err
+	}
+	if len(body) < 2+8+8+8+8+8 {
+		return errors.New("core: FreeRS payload truncated")
+	}
+	postQ := body[0] != 0
+	width := body[1]
+	seedIdx := binary.LittleEndian.Uint64(body[2:])
+	seedRank := binary.LittleEndian.Uint64(body[10:])
+	edges := binary.LittleEndian.Uint64(body[18:])
+	total := math.Float64frombits(binary.LittleEndian.Uint64(body[26:]))
+	arrLen := int(binary.LittleEndian.Uint64(body[34:]))
+	body = body[42:]
+	if arrLen < 0 || arrLen > len(body) {
+		return errors.New("core: FreeRS array length out of bounds")
+	}
+	regs := new(regarray.Array)
+	if err := regs.UnmarshalBinary(body[:arrLen]); err != nil {
+		return fmt.Errorf("core: FreeRS array: %w", err)
+	}
+	if regs.Width() != width {
+		return errors.New("core: FreeRS width mismatch")
+	}
+	if !regs.Exact() {
+		return errors.New("core: FreeRS requires an exactly maintained array")
+	}
+	est, err := readEstimates(body[arrLen:])
+	if err != nil {
+		return err
+	}
+	f.regs = regs
+	f.seedIdx = seedIdx
+	f.seedRank = seedRank
+	f.est = est
+	f.total = total
+	f.edges = edges
+	f.postUpdateQ = postQ
+	f.width = width
+	return nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func checkMagic(data []byte, magic string) ([]byte, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("core: bad magic (want %s)", magic)
+	}
+	return data[len(magic):], nil
+}
+
+func appendEstimates(out []byte, est map[uint64]float64) []byte {
+	out = binary.AppendUvarint(out, uint64(len(est)))
+	for u, e := range est {
+		out = binary.LittleEndian.AppendUint64(out, u)
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(e))
+	}
+	return out
+}
+
+func readEstimates(data []byte) (map[uint64]float64, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errors.New("core: bad estimate count")
+	}
+	data = data[n:]
+	if uint64(len(data)) != count*16 {
+		return nil, fmt.Errorf("core: estimate payload %d bytes, want %d", len(data), count*16)
+	}
+	est := make(map[uint64]float64, count)
+	for i := uint64(0); i < count; i++ {
+		u := binary.LittleEndian.Uint64(data[i*16:])
+		e := math.Float64frombits(binary.LittleEndian.Uint64(data[i*16+8:]))
+		est[u] = e
+	}
+	return est, nil
+}

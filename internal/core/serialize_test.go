@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func populateFreeBS(f *FreeBS, n int, seed uint64) {
+	rng := hashing.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		f.Observe(uint64(rng.Intn(100)), rng.Uint64())
+	}
+}
+
+func populateFreeRS(f *FreeRS, n int, seed uint64) {
+	rng := hashing.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		f.Observe(uint64(rng.Intn(100)), rng.Uint64())
+	}
+}
+
+func TestFreeBSCheckpointRestore(t *testing.T) {
+	orig := NewFreeBS(4096, 7)
+	populateFreeBS(orig, 5000, 1)
+
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &FreeBS{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.TotalDistinct() != orig.TotalDistinct() ||
+		restored.NumUsers() != orig.NumUsers() ||
+		restored.EdgesProcessed() != orig.EdgesProcessed() ||
+		restored.ChangeProbability() != orig.ChangeProbability() {
+		t.Fatal("restored summary state differs")
+	}
+	orig.Users(func(u uint64, e float64) {
+		if restored.Estimate(u) != e {
+			t.Fatalf("user %d estimate differs", u)
+		}
+	})
+
+	// Bit-identical continuation: feeding both the same suffix must keep
+	// them in lockstep.
+	populateFreeBS(orig, 2000, 2)
+	populateFreeBS(restored, 2000, 2)
+	if restored.TotalDistinct() != orig.TotalDistinct() ||
+		restored.ChangeProbability() != orig.ChangeProbability() {
+		t.Fatal("continuation diverged after restore")
+	}
+}
+
+func TestFreeRSCheckpointRestore(t *testing.T) {
+	orig := NewFreeRS(2048, 9)
+	populateFreeRS(orig, 5000, 3)
+
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &FreeRS{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.TotalDistinct() != orig.TotalDistinct() ||
+		restored.NumUsers() != orig.NumUsers() ||
+		restored.ChangeProbability() != orig.ChangeProbability() ||
+		restored.Width() != orig.Width() {
+		t.Fatal("restored summary state differs")
+	}
+	populateFreeRS(orig, 2000, 4)
+	populateFreeRS(restored, 2000, 4)
+	if restored.TotalDistinct() != orig.TotalDistinct() ||
+		restored.ChangeProbability() != orig.ChangeProbability() {
+		t.Fatal("continuation diverged after restore")
+	}
+}
+
+func TestFreeRSCheckpointPreservesOptions(t *testing.T) {
+	orig := NewFreeRS(256, 1, WithPostUpdateQRS(), WithRegisterWidth(4))
+	populateFreeRS(orig, 500, 5)
+	data, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &FreeRS{}
+	if err := restored.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.postUpdateQ || restored.Width() != 4 {
+		t.Fatal("options lost across checkpoint")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	good, err := NewFreeBS(64, 1).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"nil":            nil,
+		"short":          []byte("FB"),
+		"wrong magic":    append([]byte("XXXX"), good[4:]...),
+		"truncated body": good[:len(good)-1],
+		"header only":    []byte("FBS1"),
+	}
+	for name, data := range cases {
+		var f FreeBS
+		if err := f.UnmarshalBinary(data); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	goodRS, err := NewFreeRS(64, 1).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fr FreeRS
+	if err := fr.UnmarshalBinary(goodRS[:10]); err == nil {
+		t.Fatal("truncated FreeRS accepted")
+	}
+	if err := fr.UnmarshalBinary(append([]byte("FBS1"), goodRS[4:]...)); err == nil {
+		t.Fatal("cross-type restore accepted")
+	}
+}
+
+func TestCrossTypeMagicRejected(t *testing.T) {
+	bs, _ := NewFreeBS(64, 1).MarshalBinary()
+	var fr FreeRS
+	if err := fr.UnmarshalBinary(bs); err == nil {
+		t.Fatal("FreeRS accepted FreeBS bytes")
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import "math"
+
+// This file implements the closed-form error analysis of Theorems 1 and 2,
+// used by the statistical tests (to set tolerance bands from predicted
+// variance) and by the §IV-C crossover analysis between FreeBS and FreeRS.
+
+// ExpectedInvQB approximates E(1/q_B^(i)) after n distinct pairs have been
+// recorded into an M-bit FreeBS array (Theorem 1):
+//
+//	E(1/q_B) ≈ e^{n/M} · (1 + (e^{n/M} - n/M - 1)/M)
+func ExpectedInvQB(n float64, M int) float64 {
+	x := n / float64(M)
+	return math.Exp(x) * (1 + (math.Exp(x)-x-1)/float64(M))
+}
+
+// ExpectedInvQR approximates E(1/q_R^(i)) after n distinct pairs have been
+// recorded into an M-register FreeRS array (Theorem 2). The paper gives
+// E(1/q_R) ≈ n/(α_M·M) ≈ 1.386·n/M for n > 2.5M; below that the register
+// array behaves like a bitmap, E(1/q_R) ≈ e^{n/M}.
+func ExpectedInvQR(n float64, M int) float64 {
+	if n > 2.5*float64(M) {
+		alphaM := 0.7213 / (1 + 1.079/float64(M))
+		return n / (alphaM * float64(M))
+	}
+	return math.Exp(n / float64(M))
+}
+
+// FreeBSVarianceBound returns the Theorem 1 upper bound on Var(n̂_s) for a
+// user with true cardinality ns when n distinct pairs total have been
+// recorded: Var ≤ ns·(E(1/q_B^(t)) - 1).
+func FreeBSVarianceBound(ns, n float64, M int) float64 {
+	return ns * (ExpectedInvQB(n, M) - 1)
+}
+
+// FreeRSVarianceBound returns the Theorem 2 upper bound on Var(n̂_s):
+// Var ≤ ns·(E(1/q_R^(t)) - 1).
+func FreeRSVarianceBound(ns, n float64, M int) float64 {
+	return ns * (ExpectedInvQR(n, M) - 1)
+}
+
+// CrossoverPosition returns the stream position (in distinct pairs) beyond
+// which FreeRS with mBits/w registers has smaller per-increment variance
+// than FreeBS with mBits bits — the §IV-C comparison under equal memory.
+// It solves e^x = 1.386·w·x for x = n/mBits (the larger root: where
+// E(1/q_B) ≈ e^{n/M} overtakes E(1/q_R) ≈ 1.386·w·n/M) and returns
+// x·mBits. The paper quotes the cruder x ≈ 0.772·w for the same crossover;
+// the exact root is reported so the ablation bench can test both.
+func CrossoverPosition(mBits int, w uint8) float64 {
+	target := 1.386 * float64(w)
+	lo, hi := 1.0, 100.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if math.Exp(mid) > target*mid {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo * float64(mBits)
+}

@@ -1,0 +1,203 @@
+package cse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1, 0) },
+		func() { New(100, 0, 0) },
+		func() { New(100, 101, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := New(1<<16, 128, 1)
+	if c.M() != 1<<16 || c.VirtualSize() != 128 || c.MemoryBits() != 1<<16 {
+		t.Fatal("accessors wrong")
+	}
+	if c.GlobalZeroFraction() != 1 {
+		t.Fatalf("fresh zero fraction = %v", c.GlobalZeroFraction())
+	}
+	if got, want := c.MaxEstimate(), 128*math.Log(128); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MaxEstimate = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyUserEstimatesNearZero(t *testing.T) {
+	c := New(1<<16, 128, 2)
+	if got := c.Estimate(42); got != 0 {
+		t.Fatalf("empty estimate = %v", got)
+	}
+}
+
+func TestSingleUserNoNoise(t *testing.T) {
+	// One user alone: CSE reduces to LPC with a (tiny) correction; accuracy
+	// should be within LPC-like error.
+	c := New(1<<18, 1024, 3)
+	const n = 500
+	for i := 0; i < n; i++ {
+		c.Observe(7, uint64(i))
+	}
+	got := c.Estimate(7)
+	if math.Abs(got-n) > 75 {
+		t.Fatalf("estimate %v for n=%d", got, n)
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	c := New(1<<14, 256, 4)
+	for i := 0; i < 50; i++ {
+		c.Observe(1, uint64(i))
+	}
+	before := c.Estimate(1)
+	for i := 0; i < 50; i++ {
+		c.Observe(1, uint64(i))
+	}
+	if c.Estimate(1) != before {
+		t.Fatal("duplicates changed the estimate")
+	}
+}
+
+func TestNoiseCorrectionRemovesOtherUsers(t *testing.T) {
+	// A small user among heavy background traffic: without the correction
+	// term its virtual sketch would look much fuller than its true set.
+	c := New(1<<17, 512, 5)
+	rng := hashing.NewRNG(9)
+	// Background: 400 users × 200 items = 80k pairs -> shared array fills up.
+	for u := uint64(100); u < 500; u++ {
+		for i := 0; i < 200; i++ {
+			c.Observe(u, rng.Uint64())
+		}
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		c.Observe(7, uint64(i))
+	}
+	got := c.Estimate(7)
+	// The uncorrected LPC estimate over the noisy virtual sketch:
+	uncorrected := got - 512*math.Log(c.GlobalZeroFraction())
+	if uncorrected <= got {
+		t.Fatalf("correction did not reduce the estimate: corrected %v, uncorrected %v", got, uncorrected)
+	}
+	if math.Abs(got-n) > 100 {
+		t.Fatalf("corrected estimate %v for n=%d (uncorrected %v)", got, n, uncorrected)
+	}
+}
+
+func TestEstimateClampedNonNegative(t *testing.T) {
+	// With pure background noise and no own items, the estimator's raw value
+	// fluctuates around 0 and can dip negative; the clamp must hold.
+	c := New(1<<14, 512, 6)
+	rng := hashing.NewRNG(11)
+	for u := uint64(0); u < 100; u++ {
+		for i := 0; i < 100; i++ {
+			c.Observe(u, rng.Uint64())
+		}
+	}
+	for u := uint64(1000); u < 1200; u++ {
+		if got := c.Estimate(u); got < 0 {
+			t.Fatalf("negative estimate %v", got)
+		}
+	}
+}
+
+func TestSaturatedVirtualSketchPinsAtRangeLimit(t *testing.T) {
+	// Overload one user's sketch far past m·ln m: the estimate must stay
+	// finite, near the range limit (CSE's known failure mode, Fig. 4c).
+	c := New(1<<15, 64, 7)
+	for i := 0; i < 200000; i++ {
+		c.Observe(1, uint64(i))
+	}
+	got := c.Estimate(1)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("estimate not finite: %v", got)
+	}
+	if got > c.MaxEstimate()+1 {
+		t.Fatalf("estimate %v above range limit %v", got, c.MaxEstimate())
+	}
+}
+
+func TestGlobalZeroFractionTracks(t *testing.T) {
+	c := New(1024, 64, 8)
+	before := c.GlobalZeroFraction()
+	for i := 0; i < 500; i++ {
+		c.Observe(uint64(i), uint64(i))
+	}
+	after := c.GlobalZeroFraction()
+	if after >= before {
+		t.Fatal("zero fraction did not fall")
+	}
+	if after <= 0 || after >= 1 {
+		t.Fatalf("zero fraction = %v", after)
+	}
+}
+
+func TestVarianceFormula(t *testing.T) {
+	// At q=1 (no noise) the formula reduces to the LPC variance.
+	v := Variance(100, 1024, 1)
+	x := 100.0 / 1024
+	want := 1024 * (math.Exp(x) - x - 1)
+	if math.Abs(v-want) > 1e-9 {
+		t.Fatalf("Variance(q=1) = %v, want %v", v, want)
+	}
+	// Noise (q<1) must increase variance.
+	if Variance(100, 1024, 0.5) <= v {
+		t.Fatal("noise must increase variance")
+	}
+}
+
+func TestDifferentUsersIsolated(t *testing.T) {
+	// With a large shared array, estimates for two users should roughly
+	// reflect their own cardinalities.
+	c := New(1<<18, 512, 10)
+	for i := 0; i < 1000; i++ {
+		c.Observe(1, uint64(i))
+	}
+	for i := 0; i < 10; i++ {
+		c.Observe(2, uint64(i))
+	}
+	e1, e2 := c.Estimate(1), c.Estimate(2)
+	if e1 < e2*10 {
+		t.Fatalf("isolation failed: e1=%v e2=%v", e1, e2)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	c := New(1<<20, 1024, 1)
+	rng := hashing.NewRNG(1)
+	users := make([]uint64, 4096)
+	items := make([]uint64, 4096)
+	for i := range users {
+		users[i] = uint64(rng.Intn(10000))
+		items[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(users[i&4095], items[i&4095])
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	c := New(1<<20, 1024, 1)
+	for i := 0; i < 100000; i++ {
+		c.Observe(uint64(i%100), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Estimate(uint64(i % 100))
+	}
+}

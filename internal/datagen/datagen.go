@@ -1,0 +1,308 @@
+// Package datagen synthesizes the six evaluation datasets of Table I.
+//
+// The real traces (CAIDA equinix-sanjose/chicago passive captures and the
+// Twitter/Flickr/Orkut/LiveJournal crawls) are not redistributable, so each
+// dataset is replaced by a synthetic stream calibrated to its published
+// summary statistics: number of users, maximum cardinality, and total
+// cardinality (= number of distinct user-item pairs). Per-user cardinalities
+// follow a truncated discrete Pareto law — matching the heavy-tailed CCDFs
+// of Fig. 2 — whose exponent is fitted by bisection so the mean cardinality
+// matches the target. The largest user is pinned at the dataset's maximum
+// cardinality.
+//
+// Items are drawn from a shared global item space: user u's items are the
+// contiguous block [offset(u), offset(u)+n_u) modulo the space size, so
+// items are exactly distinct within a user (true cardinality is known by
+// construction) while overlapping across users, as in the real bipartite
+// graphs. Edge duplicates are injected at a configurable Poisson rate
+// ("an edge in Γ may appear more than once", §II) and the arrival order is
+// a seeded uniform shuffle — arrival position is the paper's time axis.
+//
+// Everything is deterministic given (Config, Seed).
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// Config describes a synthetic dataset.
+type Config struct {
+	Name          string
+	Users         int     // target number of users |S|
+	MaxCard       int     // maximum per-user cardinality
+	TotalCard     int     // target Σ_s n_s (distinct pairs)
+	DuplicateRate float64 // Poisson rate of extra arrivals per distinct pair
+	Seed          uint64
+}
+
+// paperTarget holds Table I's published statistics at scale 1.0.
+type paperTarget struct {
+	users, maxCard, totalCard int
+}
+
+var paperTargets = map[string]paperTarget{
+	"sanjose":     {8387347, 313772, 23073907},
+	"chicago":     {1966677, 106026, 9910287},
+	"twitter":     {40103281, 2997496, 1468365182},
+	"flickr":      {1441431, 26185, 22613980},
+	"orkut":       {2997376, 31949, 223534301},
+	"livejournal": {4590650, 9186, 76937805},
+}
+
+// DatasetNames lists the six paper datasets in Table I order.
+var DatasetNames = []string{"sanjose", "chicago", "twitter", "flickr", "orkut", "livejournal"}
+
+// DefaultDuplicateRate is the Poisson rate of repeat arrivals per distinct
+// pair (the paper reports duplicates exist but not their rate; 15% extra
+// arrivals is typical of the public SNAP multigraph versions).
+const DefaultDuplicateRate = 0.15
+
+// PaperConfig returns the configuration for one of the six Table I datasets
+// scaled by scale. Users and total cardinality scale jointly (preserving the
+// mean cardinality and, together with a jointly scaled memory budget M, the
+// dimensionless loads n/M and M/|S| the estimators depend on). The maximum
+// cardinality is kept at the paper's full value whenever the scaled total
+// allows — preserving the cardinality range of Figs. 4 and 5, including the
+// region past CSE's m·ln m limit — and is otherwise capped at TotalCard/5 so
+// the pinned largest user cannot dominate the stream. It returns an error
+// for unknown names or scales outside (0, 1].
+func PaperConfig(name string, scale float64, seed uint64) (Config, error) {
+	t, ok := paperTargets[name]
+	if !ok {
+		return Config{}, fmt.Errorf("datagen: unknown dataset %q", name)
+	}
+	if scale <= 0 || scale > 1 {
+		return Config{}, fmt.Errorf("datagen: scale %v out of (0,1]", scale)
+	}
+	scaleInt := func(v int) int {
+		s := int(math.Round(float64(v) * scale))
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	users := scaleInt(t.users)
+	total := scaleInt(t.totalCard)
+	if total < users {
+		total = users
+	}
+	mean := float64(total) / float64(users)
+	maxCard := total / 5
+	if floor := int(50*mean) + 1; maxCard < floor {
+		maxCard = floor // keep the Pareto fit feasible at tiny scales
+	}
+	if maxCard > t.maxCard {
+		maxCard = t.maxCard
+	}
+	return Config{
+		Name:          name,
+		Users:         users,
+		MaxCard:       maxCard,
+		TotalCard:     total,
+		DuplicateRate: DefaultDuplicateRate,
+		Seed:          seed,
+	}, nil
+}
+
+// Dataset is a fully materialized synthetic dataset.
+type Dataset struct {
+	Config Config
+	// Cards[u] is the exact cardinality of user u (users are 0..len-1).
+	Cards []int
+	// Edges is the arrival sequence: shuffled, duplicates included.
+	Edges []stream.Edge
+	// Alpha is the fitted Pareto exponent (for reporting).
+	Alpha float64
+}
+
+// Generate materializes the dataset described by cfg. It panics on invalid
+// configurations (non-positive sizes, MaxCard > TotalCard).
+func Generate(cfg Config) *Dataset {
+	if cfg.Users <= 0 || cfg.MaxCard <= 0 || cfg.TotalCard < cfg.Users {
+		panic("datagen: need Users > 0, MaxCard > 0, TotalCard >= Users")
+	}
+	targetMean := float64(cfg.TotalCard) / float64(cfg.Users)
+	if float64(cfg.MaxCard) < targetMean {
+		panic("datagen: MaxCard below mean cardinality is unsatisfiable")
+	}
+	alpha := fitAlpha(targetMean, float64(cfg.MaxCard))
+	rng := hashing.NewRNG(cfg.Seed ^ 0x5bf03635f0a31e21)
+
+	cards := sampleCards(cfg, alpha, rng)
+	edges := materializeEdges(cfg, cards, rng)
+	return &Dataset{Config: cfg, Cards: cards, Edges: edges, Alpha: alpha}
+}
+
+// fitAlpha finds the bounded-Pareto exponent whose continuous mean matches
+// targetMean for support [1, maxCard], by bisection. Larger alpha -> smaller
+// mean. Exponents below 1 are allowed: high-mean datasets (orkut, twitter)
+// need tails heavier than any alpha > 1 can deliver on [1, H].
+func fitAlpha(targetMean, maxCard float64) float64 {
+	lo, hi := 0.05, 8.0
+	if paretoMean(hi, maxCard) > targetMean {
+		return hi // extremely light tail requested; clamp
+	}
+	if paretoMean(lo, maxCard) < targetMean {
+		return lo // heaviest supported tail
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if paretoMean(mid, maxCard) > targetMean {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// paretoMean is the mean of a continuous bounded Pareto on [1, H] with
+// exponent a (the mean of floor(X)+ adjustments is close enough for the
+// tolerance the tests enforce).
+func paretoMean(a, h float64) float64 {
+	if math.Abs(a-1) < 1e-9 {
+		return math.Log(h) * h / (h - 1)
+	}
+	return a / (a - 1) * (1 - math.Pow(h, 1-a)) / (1 - math.Pow(h, -a))
+}
+
+// sampleCards assigns per-user cardinalities by stratified quantile
+// sampling: user i receives the ((σ(i)+0.5)/n)-quantile of the fitted
+// bounded Pareto for a random permutation σ. Unlike i.i.d. sampling — whose
+// realized total has enormous variance for the α < 1 tails that orkut and
+// twitter require — the quantile set is deterministic, so the realized total
+// cardinality tracks the fitted mean tightly at every scale. The largest
+// user is pinned to MaxCard, matching Table I's max-cardinality column.
+func sampleCards(cfg Config, alpha float64, rng *hashing.RNG) []int {
+	h := float64(cfg.MaxCard)
+	n := cfg.Users
+	cards := make([]int, n)
+	hPowNegA := math.Pow(h, -alpha)
+	perm := rng.Perm(n)
+	for i := range cards {
+		// Inverse CDF of the bounded Pareto on [1, H] at a stratified point.
+		u := (float64(perm[i]) + 0.5) / float64(n)
+		x := math.Pow(1-u*(1-hPowNegA), -1/alpha)
+		c := int(x + 0.5)
+		if c < 1 {
+			c = 1
+		}
+		if c > cfg.MaxCard {
+			c = cfg.MaxCard
+		}
+		cards[i] = c
+	}
+	// Pin the maximum: promote the current largest user to exactly MaxCard.
+	maxIdx := 0
+	for i, c := range cards {
+		if c > cards[maxIdx] {
+			maxIdx = i
+		}
+	}
+	cards[maxIdx] = cfg.MaxCard
+	return cards
+}
+
+// materializeEdges builds the shuffled arrival sequence with duplicates.
+// User u's distinct items are the contiguous block starting at a random
+// offset in a global item space of size >= 4*MaxCard, so they are exactly
+// n_u distinct while overlapping with other users' blocks.
+func materializeEdges(cfg Config, cards []int, rng *hashing.RNG) []stream.Edge {
+	itemSpace := uint64(cfg.MaxCard) * 4
+	if itemSpace < 1024 {
+		itemSpace = 1024
+	}
+	totalDistinct := 0
+	for _, c := range cards {
+		totalDistinct += c
+	}
+	edges := make([]stream.Edge, 0, totalDistinct)
+	for u, c := range cards {
+		offset := uint64(rng.Intn(int(itemSpace)))
+		for i := 0; i < c; i++ {
+			edges = append(edges, stream.Edge{
+				User: uint64(u),
+				Item: (offset + uint64(i)) % itemSpace,
+			})
+		}
+	}
+	edges = stream.InjectDuplicates(edges, cfg.DuplicateRate, cfg.Seed^0x7c15d4a6e38f9b02)
+	stream.Shuffle(edges, cfg.Seed^0x2e03f1a79b5c6d84)
+	return edges
+}
+
+// Stream returns a replayable stream over the arrival sequence.
+func (d *Dataset) Stream() *stream.Slice { return stream.NewSlice(d.Edges) }
+
+// NumUsers returns the number of users.
+func (d *Dataset) NumUsers() int { return len(d.Cards) }
+
+// TotalCard returns the realized Σ_s n_s.
+func (d *Dataset) TotalCard() int {
+	total := 0
+	for _, c := range d.Cards {
+		total += c
+	}
+	return total
+}
+
+// MaxCard returns the realized maximum cardinality.
+func (d *Dataset) MaxCard() int {
+	maxCard := 0
+	for _, c := range d.Cards {
+		if c > maxCard {
+			maxCard = c
+		}
+	}
+	return maxCard
+}
+
+// NumEdges returns the arrival count (duplicates included).
+func (d *Dataset) NumEdges() int { return len(d.Edges) }
+
+// CCDF returns P(cardinality >= x) for each x in xs — the curves of Fig. 2.
+// xs must be ascending.
+func CCDF(cards []int, xs []int) []float64 {
+	sorted := make([]int, len(cards))
+	copy(sorted, cards)
+	sort.Ints(sorted)
+	out := make([]float64, len(xs))
+	n := float64(len(sorted))
+	for i, x := range xs {
+		// Index of the first card >= x.
+		idx := sort.SearchInts(sorted, x)
+		out[i] = float64(len(sorted)-idx) / n
+	}
+	return out
+}
+
+// LogPoints returns ~pointsPerDecade log-spaced integers from 1 to max,
+// deduplicated and ascending — the x axes of Figs. 2 and 5.
+func LogPoints(max, pointsPerDecade int) []int {
+	if max < 1 {
+		return nil
+	}
+	var out []int
+	last := 0
+	decades := math.Log10(float64(max))
+	total := int(decades*float64(pointsPerDecade)) + 1
+	for i := 0; i <= total; i++ {
+		x := int(math.Round(math.Pow(10, float64(i)/float64(pointsPerDecade))))
+		if x > max {
+			x = max
+		}
+		if x != last {
+			out = append(out, x)
+			last = x
+		}
+		if x == max {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+func TestPaperConfigScaling(t *testing.T) {
+	cfg, err := PaperConfig("orkut", 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Users != 29974 {
+		t.Fatalf("users = %d", cfg.Users)
+	}
+	// Total/5 = 447068 exceeds the paper's max, so the full range is kept.
+	if cfg.MaxCard != 31949 {
+		t.Fatalf("maxCard = %d, want the paper's full 31949", cfg.MaxCard)
+	}
+	if cfg.TotalCard != 2235343 {
+		t.Fatalf("totalCard = %d", cfg.TotalCard)
+	}
+	// At a tiny scale the cap engages: maxCard = totalCard/5.
+	tiny, err := PaperConfig("flickr", 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.MaxCard != tiny.TotalCard/5 {
+		t.Fatalf("tiny-scale maxCard = %d, want %d", tiny.MaxCard, tiny.TotalCard/5)
+	}
+}
+
+func TestPaperConfigErrors(t *testing.T) {
+	if _, err := PaperConfig("nosuch", 0.1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := PaperConfig("orkut", 0, 1); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := PaperConfig("orkut", 1.5, 1); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+}
+
+func TestAllPaperConfigsResolve(t *testing.T) {
+	for _, name := range DatasetNames {
+		cfg, err := PaperConfig(name, 0.005, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cfg.Users <= 0 || cfg.TotalCard < cfg.Users {
+			t.Fatalf("%s: degenerate config %+v", name, cfg)
+		}
+	}
+}
+
+func TestGenerateHitsTargets(t *testing.T) {
+	cfg := Config{
+		Name: "test", Users: 20000, MaxCard: 500, TotalCard: 100000,
+		DuplicateRate: 0.15, Seed: 42,
+	}
+	d := Generate(cfg)
+	if d.NumUsers() != cfg.Users {
+		t.Fatalf("users = %d", d.NumUsers())
+	}
+	if d.MaxCard() != cfg.MaxCard {
+		t.Fatalf("max card = %d, want pinned %d", d.MaxCard(), cfg.MaxCard)
+	}
+	total := d.TotalCard()
+	if math.Abs(float64(total-cfg.TotalCard)) > 0.15*float64(cfg.TotalCard) {
+		t.Fatalf("total = %d, want %d ± 15%%", total, cfg.TotalCard)
+	}
+	// Duplicates: arrivals exceed distinct pairs by ~DuplicateRate.
+	extra := float64(d.NumEdges()-total) / float64(total)
+	if extra < 0.10 || extra > 0.20 {
+		t.Fatalf("duplicate fraction = %.3f", extra)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "t", Users: 1000, MaxCard: 100, TotalCard: 5000, DuplicateRate: 0.1, Seed: 9}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("same config, different edge counts")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same config, different streams")
+		}
+	}
+	cfg.Seed = 10
+	c := Generate(cfg)
+	if len(a.Edges) == len(c.Edges) {
+		same := true
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical streams")
+		}
+	}
+}
+
+func TestCardsMatchStream(t *testing.T) {
+	// The declared Cards must equal the exact distinct counts in the
+	// materialized stream — the generator's core invariant.
+	cfg := Config{Name: "t", Users: 500, MaxCard: 200, TotalCard: 4000, DuplicateRate: 0.2, Seed: 3}
+	d := Generate(cfg)
+	truth := exact.NewTracker()
+	if err := truth.ObserveStream(d.Stream()); err != nil {
+		t.Fatal(err)
+	}
+	if truth.NumUsers() != cfg.Users {
+		t.Fatalf("stream users = %d, want %d", truth.NumUsers(), cfg.Users)
+	}
+	for u, want := range d.Cards {
+		if got := truth.Cardinality(uint64(u)); got != want {
+			t.Fatalf("user %d: stream cardinality %d != declared %d", u, got, want)
+		}
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	// A power law must produce many small users and a few big ones.
+	cfg := Config{Name: "t", Users: 50000, MaxCard: 2000, TotalCard: 250000, Seed: 5}
+	d := Generate(cfg)
+	small, big := 0, 0
+	for _, c := range d.Cards {
+		if c <= 2 {
+			small++
+		}
+		if c >= 100 {
+			big++
+		}
+	}
+	if float64(small) < 0.4*float64(cfg.Users) {
+		t.Fatalf("only %d/%d users with card <= 2; tail not heavy", small, cfg.Users)
+	}
+	if big == 0 {
+		t.Fatal("no large users at all")
+	}
+	if big > cfg.Users/20 {
+		t.Fatalf("%d large users; tail too fat", big)
+	}
+}
+
+func TestItemsSharedAcrossUsers(t *testing.T) {
+	cfg := Config{Name: "t", Users: 2000, MaxCard: 300, TotalCard: 20000, Seed: 11}
+	d := Generate(cfg)
+	itemUsers := make(map[uint64]uint64)
+	shared := false
+	for _, e := range d.Edges {
+		if prev, ok := itemUsers[e.Item]; ok && prev != e.User {
+			shared = true
+			break
+		}
+		itemUsers[e.Item] = e.User
+	}
+	if !shared {
+		t.Fatal("no item is shared across users; bipartite overlap missing")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Users: 0, MaxCard: 1, TotalCard: 1},
+		{Users: 10, MaxCard: 0, TotalCard: 10},
+		{Users: 10, MaxCard: 5, TotalCard: 5},    // total < users
+		{Users: 10, MaxCard: 1, TotalCard: 1000}, // mean > max
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v accepted", cfg)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	cards := []int{1, 1, 2, 5, 10}
+	xs := []int{1, 2, 5, 10, 11}
+	got := CCDF(cards, xs)
+	want := []float64{1.0, 0.6, 0.4, 0.2, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CCDF[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	cfg := Config{Name: "t", Users: 10000, MaxCard: 1000, TotalCard: 60000, Seed: 13}
+	d := Generate(cfg)
+	xs := LogPoints(d.MaxCard(), 10)
+	ys := CCDF(d.Cards, xs)
+	for i := 1; i < len(ys); i++ {
+		if ys[i] > ys[i-1] {
+			t.Fatalf("CCDF not non-increasing at %d", i)
+		}
+	}
+	if ys[0] != 1.0 {
+		t.Fatalf("CCDF(1) = %v, want 1 (every user has card >= 1)", ys[0])
+	}
+}
+
+func TestLogPoints(t *testing.T) {
+	pts := LogPoints(1000, 3)
+	if pts[0] != 1 {
+		t.Fatalf("first point = %d", pts[0])
+	}
+	if pts[len(pts)-1] != 1000 {
+		t.Fatalf("last point = %d", pts[len(pts)-1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatalf("points not strictly ascending: %v", pts)
+		}
+	}
+	if LogPoints(0, 3) != nil {
+		t.Fatal("LogPoints(0) should be nil")
+	}
+	one := LogPoints(1, 5)
+	if len(one) != 1 || one[0] != 1 {
+		t.Fatalf("LogPoints(1) = %v", one)
+	}
+}
+
+func TestFitAlphaMeanAccuracy(t *testing.T) {
+	// The fitted exponent should reproduce the target mean within a few
+	// percent when sampled.
+	for _, target := range []float64{2.75, 5.0, 16.0, 75.0} {
+		alpha := fitAlpha(target, 10000)
+		got := paretoMean(alpha, 10000)
+		if math.Abs(got-target) > 0.02*target {
+			t.Fatalf("target mean %v: fitted alpha %v gives mean %v", target, alpha, got)
+		}
+	}
+}
+
+func TestScaledDatasetSanity(t *testing.T) {
+	// A very small-scale version of each paper dataset must materialize and
+	// roughly match its targets.
+	for _, name := range DatasetNames {
+		cfg, err := PaperConfig(name, 0.001, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Generate(cfg)
+		if d.NumUsers() != cfg.Users {
+			t.Fatalf("%s: users %d != %d", name, d.NumUsers(), cfg.Users)
+		}
+		if d.MaxCard() != cfg.MaxCard {
+			t.Fatalf("%s: max %d != %d", name, d.MaxCard(), cfg.MaxCard)
+		}
+		err2 := math.Abs(float64(d.TotalCard()-cfg.TotalCard)) / float64(cfg.TotalCard)
+		if err2 > 0.25 {
+			t.Fatalf("%s: total off by %.0f%%", name, err2*100)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := Config{Name: "bench", Users: 10000, MaxCard: 500, TotalCard: 100000, DuplicateRate: 0.15, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		_ = Generate(cfg)
+	}
+}

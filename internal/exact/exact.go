@@ -1,0 +1,147 @@
+// Package exact computes exact per-user cardinalities — the ground truth
+// n_s^(t) = |N_s^(t)| against which every sketch in the repository is
+// evaluated, and the exact total n^(t) = Σ_s n_s^(t) that defines the
+// super-spreader threshold Δ·n^(t) in §V-F of the paper.
+//
+// It is deliberately memory-hungry (a hash set of distinct edges); the whole
+// point of the paper is that this is infeasible at line rate, but at
+// evaluation scale it is the reference implementation. Each user's item set
+// starts as a small sorted slice and upgrades to a map once it grows past a
+// threshold, which keeps the common case (most users have tiny cardinality,
+// Fig. 2) compact.
+package exact
+
+import (
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// upgradeThreshold is the set size at which a user's item slice becomes a
+// map. Linear scans below this size are faster and far smaller than maps.
+const upgradeThreshold = 32
+
+type userSet struct {
+	small []uint64            // sorted when len <= upgradeThreshold
+	large map[uint64]struct{} // non-nil once upgraded
+}
+
+func (u *userSet) add(item uint64) bool {
+	if u.large != nil {
+		if _, ok := u.large[item]; ok {
+			return false
+		}
+		u.large[item] = struct{}{}
+		return true
+	}
+	i := sort.Search(len(u.small), func(i int) bool { return u.small[i] >= item })
+	if i < len(u.small) && u.small[i] == item {
+		return false
+	}
+	if len(u.small) < upgradeThreshold {
+		u.small = append(u.small, 0)
+		copy(u.small[i+1:], u.small[i:])
+		u.small[i] = item
+		return true
+	}
+	u.large = make(map[uint64]struct{}, len(u.small)*2)
+	for _, v := range u.small {
+		u.large[v] = struct{}{}
+	}
+	u.small = nil
+	u.large[item] = struct{}{}
+	return true
+}
+
+func (u *userSet) size() int {
+	if u.large != nil {
+		return len(u.large)
+	}
+	return len(u.small)
+}
+
+// Tracker maintains exact distinct-item counts per user.
+type Tracker struct {
+	sets  map[uint64]*userSet
+	total int // Σ_s n_s = number of distinct (user,item) pairs
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{sets: make(map[uint64]*userSet)}
+}
+
+// Observe records edge (user, item) and reports whether the pair was new
+// (its first occurrence in the stream).
+func (t *Tracker) Observe(user, item uint64) bool {
+	s := t.sets[user]
+	if s == nil {
+		s = &userSet{}
+		t.sets[user] = s
+	}
+	if s.add(item) {
+		t.total++
+		return true
+	}
+	return false
+}
+
+// ObserveStream drains a stream into the tracker.
+func (t *Tracker) ObserveStream(s stream.Stream) error {
+	return stream.ForEach(s, func(e stream.Edge) { t.Observe(e.User, e.Item) })
+}
+
+// Cardinality returns n_s, the exact number of distinct items of user s
+// (0 if the user has not appeared).
+func (t *Tracker) Cardinality(user uint64) int {
+	if s := t.sets[user]; s != nil {
+		return s.size()
+	}
+	return 0
+}
+
+// TotalCardinality returns n = Σ_s n_s, the number of distinct pairs seen.
+func (t *Tracker) TotalCardinality() int { return t.total }
+
+// NumUsers returns |S|, the number of distinct users seen.
+func (t *Tracker) NumUsers() int { return len(t.sets) }
+
+// Users calls fn for every (user, cardinality) pair, in unspecified order.
+func (t *Tracker) Users(fn func(user uint64, card int)) {
+	for u, s := range t.sets {
+		fn(u, s.size())
+	}
+}
+
+// MaxCardinality returns the largest per-user cardinality (0 if empty).
+func (t *Tracker) MaxCardinality() int {
+	maxCard := 0
+	for _, s := range t.sets {
+		if n := s.size(); n > maxCard {
+			maxCard = n
+		}
+	}
+	return maxCard
+}
+
+// Cardinalities returns every user's cardinality as a slice (order
+// unspecified). Used by CCDF computation.
+func (t *Tracker) Cardinalities() []int {
+	out := make([]int, 0, len(t.sets))
+	for _, s := range t.sets {
+		out = append(out, s.size())
+	}
+	return out
+}
+
+// SuperSpreaders returns the users whose exact cardinality is at least
+// threshold — the ground-truth detection set of §V-F.
+func (t *Tracker) SuperSpreaders(threshold float64) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for u, s := range t.sets {
+		if float64(s.size()) >= threshold {
+			out[u] = true
+		}
+	}
+	return out
+}

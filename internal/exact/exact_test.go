@@ -1,0 +1,204 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+func TestEmptyTracker(t *testing.T) {
+	tr := NewTracker()
+	if tr.TotalCardinality() != 0 || tr.NumUsers() != 0 || tr.MaxCardinality() != 0 {
+		t.Fatal("empty tracker not empty")
+	}
+	if tr.Cardinality(5) != 0 {
+		t.Fatal("unknown user must have cardinality 0")
+	}
+}
+
+func TestObserveBasics(t *testing.T) {
+	tr := NewTracker()
+	if !tr.Observe(1, 10) {
+		t.Fatal("first pair must be new")
+	}
+	if tr.Observe(1, 10) {
+		t.Fatal("duplicate pair must not be new")
+	}
+	if !tr.Observe(1, 11) {
+		t.Fatal("second item must be new")
+	}
+	if !tr.Observe(2, 10) {
+		t.Fatal("same item for another user must be new")
+	}
+	if tr.Cardinality(1) != 2 || tr.Cardinality(2) != 1 {
+		t.Fatalf("cards: %d %d", tr.Cardinality(1), tr.Cardinality(2))
+	}
+	if tr.TotalCardinality() != 3 || tr.NumUsers() != 2 {
+		t.Fatalf("total=%d users=%d", tr.TotalCardinality(), tr.NumUsers())
+	}
+}
+
+func TestSmallToLargeUpgrade(t *testing.T) {
+	tr := NewTracker()
+	// Push one user well past the upgrade threshold with interleaved
+	// duplicates, in descending order to stress the sorted-insert path.
+	for pass := 0; pass < 2; pass++ {
+		for i := 200; i > 0; i-- {
+			tr.Observe(7, uint64(i))
+		}
+	}
+	if tr.Cardinality(7) != 200 {
+		t.Fatalf("card = %d, want 200", tr.Cardinality(7))
+	}
+	if tr.TotalCardinality() != 200 {
+		t.Fatalf("total = %d", tr.TotalCardinality())
+	}
+}
+
+func TestAgainstNaiveReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := hashing.NewRNG(seed)
+		tr := NewTracker()
+		ref := make(map[uint64]map[uint64]bool)
+		refTotal := 0
+		for i := 0; i < 5000; i++ {
+			u := uint64(rng.Intn(40))
+			d := uint64(rng.Intn(60))
+			isNew := tr.Observe(u, d)
+			if ref[u] == nil {
+				ref[u] = make(map[uint64]bool)
+			}
+			refNew := !ref[u][d]
+			ref[u][d] = true
+			if refNew {
+				refTotal++
+			}
+			if isNew != refNew {
+				return false
+			}
+		}
+		if tr.TotalCardinality() != refTotal || tr.NumUsers() != len(ref) {
+			return false
+		}
+		for u, items := range ref {
+			if tr.Cardinality(u) != len(items) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveStream(t *testing.T) {
+	es := []stream.Edge{
+		{User: 1, Item: 1}, {User: 1, Item: 1}, {User: 1, Item: 2}, {User: 2, Item: 1},
+	}
+	tr := NewTracker()
+	if err := tr.ObserveStream(stream.NewSlice(es)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cardinality(1) != 2 || tr.Cardinality(2) != 1 || tr.TotalCardinality() != 3 {
+		t.Fatal("stream observation wrong")
+	}
+}
+
+func TestUsersIteration(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(1, 1)
+	tr.Observe(2, 1)
+	tr.Observe(2, 2)
+	got := make(map[uint64]int)
+	tr.Users(func(u uint64, c int) { got[u] = c })
+	if len(got) != 2 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("Users gave %v", got)
+	}
+}
+
+func TestMaxCardinalityAndSlice(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < 5; i++ {
+		tr.Observe(1, uint64(i))
+	}
+	for i := 0; i < 3; i++ {
+		tr.Observe(2, uint64(i))
+	}
+	if tr.MaxCardinality() != 5 {
+		t.Fatalf("max = %d", tr.MaxCardinality())
+	}
+	cards := tr.Cardinalities()
+	if len(cards) != 2 {
+		t.Fatalf("cards len = %d", len(cards))
+	}
+	sum := cards[0] + cards[1]
+	if sum != 8 {
+		t.Fatalf("cards = %v", cards)
+	}
+}
+
+func TestSuperSpreaders(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < 10; i++ {
+		tr.Observe(100, uint64(i))
+	}
+	tr.Observe(200, 1)
+	ss := tr.SuperSpreaders(5)
+	if !ss[100] || ss[200] || len(ss) != 1 {
+		t.Fatalf("spreaders = %v", ss)
+	}
+	ss = tr.SuperSpreaders(1)
+	if len(ss) != 2 {
+		t.Fatalf("threshold 1 should include everyone: %v", ss)
+	}
+	ss = tr.SuperSpreaders(100)
+	if len(ss) != 0 {
+		t.Fatalf("impossible threshold matched: %v", ss)
+	}
+}
+
+func TestBoundaryAtUpgradeThreshold(t *testing.T) {
+	tr := NewTracker()
+	// Exactly upgradeThreshold inserts stay in slice mode; one more upgrades.
+	for i := 0; i < upgradeThreshold; i++ {
+		tr.Observe(1, uint64(i*2)) // even items
+	}
+	s := tr.sets[1]
+	if s.large != nil {
+		t.Fatal("upgraded too early")
+	}
+	// A duplicate at the boundary must not upgrade or recount.
+	tr.Observe(1, 0)
+	if s.large != nil || tr.Cardinality(1) != upgradeThreshold {
+		t.Fatal("duplicate at boundary misbehaved")
+	}
+	tr.Observe(1, 999)
+	if tr.sets[1].large == nil {
+		t.Fatal("did not upgrade past threshold")
+	}
+	if tr.Cardinality(1) != upgradeThreshold+1 {
+		t.Fatalf("card after upgrade = %d", tr.Cardinality(1))
+	}
+	// Membership preserved across the upgrade.
+	if tr.Observe(1, 2) {
+		t.Fatal("pre-upgrade item forgotten after upgrade")
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	tr := NewTracker()
+	rng := hashing.NewRNG(1)
+	users := make([]uint64, 4096)
+	items := make([]uint64, 4096)
+	for i := range users {
+		users[i] = uint64(rng.Intn(10000))
+		items[i] = uint64(rng.Intn(100000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(users[i&4095], items[i&4095])
+	}
+}

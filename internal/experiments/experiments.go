@@ -1,0 +1,617 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cse"
+	"repro/internal/datagen"
+	"repro/internal/exact"
+	"repro/internal/hll"
+	"repro/internal/lpc"
+	"repro/internal/metrics"
+	"repro/internal/superspreader"
+)
+
+// PaperMemoryBits is the paper's memory budget (M = 5×10⁸ bits, §V-E);
+// configs scale it by the dataset scale.
+const PaperMemoryBits = 5e8
+
+// Config parameterizes every experiment.
+type Config struct {
+	Scale         float64  // dataset scale factor (default 0.01)
+	Seed          uint64   // master seed (default 1)
+	MemoryBits    int      // M; 0 -> round(PaperMemoryBits · Scale)
+	VirtualM      int      // m for CSE/vHLL (default 1024, §V-E)
+	Delta         float64  // super-spreader threshold at paper scale (default 5e-5, §V-F)
+	Datasets      []string // default: all six
+	Methods       []string // default: per-experiment paper set
+	BinsPerDecade int      // RSE bins per decade (default 5)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MemoryBits <= 0 {
+		c.MemoryBits = int(math.Round(PaperMemoryBits * c.Scale))
+	}
+	if c.VirtualM <= 0 {
+		c.VirtualM = 1024
+	}
+	if c.Delta <= 0 {
+		c.Delta = 5e-5
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = datagen.DatasetNames
+	}
+	if c.BinsPerDecade <= 0 {
+		c.BinsPerDecade = 5
+	}
+	return c
+}
+
+// effectiveDelta converts the paper-scale Δ into the threshold fraction for
+// a scaled run. The absolute spreader threshold in the paper is Δ·n with n
+// the full-scale total cardinality; since the total scales by Scale while
+// the per-user cardinality distribution is preserved, the equivalent
+// fraction at scale s is Δ/s (clamped below 1). At Scale = 1 this is Δ.
+func (c Config) effectiveDelta() float64 {
+	d := c.Delta / c.Scale
+	if d >= 1 {
+		d = 0.999999
+	}
+	return d
+}
+
+func (c Config) methodsOr(def []string) []string {
+	if len(c.Methods) != 0 {
+		return c.Methods
+	}
+	return def
+}
+
+// loadDataset generates a dataset and its ground truth.
+func (c Config) loadDataset(name string) (*datagen.Dataset, *exact.Tracker, error) {
+	cfg, err := datagen.PaperConfig(name, c.Scale, c.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := datagen.Generate(cfg)
+	truth := exact.NewTracker()
+	if err := truth.ObserveStream(d.Stream()); err != nil {
+		return nil, nil, err
+	}
+	return d, truth, nil
+}
+
+// ---------------------------------------------------------------- Table I
+
+// Table1Row is one dataset summary row.
+type Table1Row struct {
+	Name      string
+	Users     int
+	MaxCard   int
+	TotalCard int
+	Edges     int     // arrivals including duplicates
+	Alpha     float64 // fitted Pareto exponent
+}
+
+// Table1Result is the regenerated Table I.
+type Table1Result struct {
+	Scale float64
+	Rows  []Table1Row
+}
+
+// RunTable1 regenerates Table I at the configured scale.
+func RunTable1(c Config) (*Table1Result, error) {
+	c = c.withDefaults()
+	res := &Table1Result{Scale: c.Scale}
+	for _, name := range c.Datasets {
+		cfg, err := datagen.PaperConfig(name, c.Scale, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		d := datagen.Generate(cfg)
+		res.Rows = append(res.Rows, Table1Row{
+			Name:      name,
+			Users:     d.NumUsers(),
+			MaxCard:   d.MaxCard(),
+			TotalCard: d.TotalCard(),
+			Edges:     d.NumEdges(),
+			Alpha:     d.Alpha,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Table1Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Table I: summary of datasets (scale %g)", r.Scale),
+		"dataset", "#users", "max-cardinality", "total cardinality", "#arrivals", "fitted alpha")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.Users, row.MaxCard, row.TotalCard, row.Edges, row.Alpha)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+// Fig2Series is the CCDF of one dataset.
+type Fig2Series struct {
+	Name string
+	X    []int     // cardinality
+	Y    []float64 // P(cardinality >= x)
+}
+
+// Fig2Result holds the CCDF curves of Fig. 2.
+type Fig2Result struct {
+	Series []Fig2Series
+}
+
+// RunFig2 regenerates the CCDF curves of Fig. 2.
+func RunFig2(c Config) (*Fig2Result, error) {
+	c = c.withDefaults()
+	res := &Fig2Result{}
+	for _, name := range c.Datasets {
+		cfg, err := datagen.PaperConfig(name, c.Scale, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		d := datagen.Generate(cfg)
+		xs := datagen.LogPoints(d.MaxCard(), 4)
+		res.Series = append(res.Series, Fig2Series{
+			Name: name,
+			X:    xs,
+			Y:    datagen.CCDF(d.Cards, xs),
+		})
+	}
+	return res, nil
+}
+
+// Table renders all series as one long table.
+func (r *Fig2Result) Table() *metrics.Table {
+	t := metrics.NewTable("Figure 2: CCDFs of user cardinalities",
+		"dataset", "cardinality", "CCDF")
+	for _, s := range r.Series {
+		for i := range s.X {
+			t.AddRow(s.Name, s.X[i], s.Y[i])
+		}
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// Fig3Cell is one (method, m) runtime measurement.
+type Fig3Cell struct {
+	Method  string
+	M       int     // virtual/per-user sketch size (x axis)
+	NsPerOp float64 // average wall time per edge, ns
+}
+
+// Fig3Result holds the runtime sweep of Fig. 3.
+type Fig3Result struct {
+	Ms    []int
+	Cells []Fig3Cell
+	Edges int // stream length measured
+}
+
+// DefaultFig3Ms is the sweep of per-user sketch sizes.
+var DefaultFig3Ms = []int{16, 64, 256, 1024, 4096}
+
+// RunFig3 measures the per-edge processing time — update plus refreshing the
+// arriving user's tracked counter, the paper's streaming cost model — for
+// every method across the m sweep. FreeBS and FreeRS have no m, so their
+// rows are flat by construction and measured once per m for symmetry.
+func RunFig3(c Config) (*Fig3Result, error) {
+	c = c.withDefaults()
+	// A fixed mid-sized stream; runtime is workload-insensitive.
+	gcfg := datagen.Config{
+		Name: "runtime", Users: 20000, MaxCard: 2000, TotalCard: 200000,
+		DuplicateRate: datagen.DefaultDuplicateRate, Seed: c.Seed,
+	}
+	d := datagen.Generate(gcfg)
+	edges := d.Edges
+	methods := c.methodsOr(AllMethods)
+
+	res := &Fig3Result{Ms: DefaultFig3Ms, Edges: len(edges)}
+	for _, m := range DefaultFig3Ms {
+		for _, name := range methods {
+			mt, err := buildForRuntime(c, name, m, gcfg.Users)
+			if err != nil {
+				return nil, err
+			}
+			// Warm-up pass to populate maps and page in memory.
+			for _, e := range edges[:len(edges)/10] {
+				mt.Observe(e.User, e.Item)
+				_ = mt.TrackedEstimate(e.User)
+			}
+			start := time.Now()
+			for _, e := range edges {
+				mt.Observe(e.User, e.Item)
+				_ = mt.TrackedEstimate(e.User)
+			}
+			elapsed := time.Since(start)
+			res.Cells = append(res.Cells, Fig3Cell{
+				Method:  name,
+				M:       m,
+				NsPerOp: float64(elapsed.Nanoseconds()) / float64(len(edges)),
+			})
+		}
+	}
+	return res, nil
+}
+
+// buildForRuntime sizes per-user/virtual sketches directly from the swept m
+// (Fig. 3's x axis), unlike Build, which derives them from M and |S|.
+func buildForRuntime(c Config, name string, m, numUsers int) (*Method, error) {
+	bigM := c.MemoryBits
+	if bigM < 16*m {
+		bigM = 16 * m // keep M >> m so CSE/vHLL stay constructible
+	}
+	switch name {
+	case NameCSE, NameVHLL, NameFreeBS, NameFreeRS:
+		return buildOne(MethodSpec{MemoryBits: bigM, VirtualM: m, NumUsers: numUsers, Seed: c.Seed}, name)
+	case NameLPC:
+		p := lpc.NewPerUser(m, c.Seed)
+		return &Method{
+			Name:            name,
+			Observe:         p.Observe,
+			Estimate:        p.Estimate,
+			TrackedEstimate: p.EstimateScan,
+			TotalDistinct:   func() float64 { return 0 },
+			MemoryBits:      int64(m) * int64(numUsers),
+		}, nil
+	case NameHLLPP:
+		p := hll.NewPerUser(m, c.Seed)
+		return &Method{
+			Name:            name,
+			Observe:         p.Observe,
+			Estimate:        p.Estimate,
+			TrackedEstimate: p.EstimateScan,
+			TotalDistinct:   func() float64 { return 0 },
+			MemoryBits:      int64(m) * hll.PlusPlusWidth * int64(numUsers),
+		}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown method %q", name)
+}
+
+// Table renders the sweep with one row per (m, method).
+func (r *Fig3Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 3: update time per edge (ns) vs m, %d-edge stream", r.Edges),
+		"m", "method", "ns/edge")
+	for _, cell := range r.Cells {
+		t.AddRow(cell.M, cell.Method, cell.NsPerOp)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// Fig4Result holds per-method (actual, estimated) pairs on one dataset.
+type Fig4Result struct {
+	Dataset string
+	// Pairs maps method name to all users' (actual, estimate).
+	Pairs map[string][]metrics.Pair
+	// ARE maps method name to average relative error (scatter summary).
+	ARE map[string]float64
+}
+
+// RunFig4 regenerates the estimated-vs-actual scatter of Fig. 4 (orkut by
+// default; set Datasets[0] to override).
+func RunFig4(c Config) (*Fig4Result, error) {
+	c = c.withDefaults()
+	name := "orkut"
+	if len(c.Datasets) == 1 {
+		name = c.Datasets[0]
+	}
+	d, truth, err := c.loadDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	methods, err := Build(MethodSpec{
+		MemoryBits: c.MemoryBits, VirtualM: c.VirtualM,
+		NumUsers: d.NumUsers(), Seed: c.Seed,
+	}, c.methodsOr(AllMethods))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range d.Edges {
+		for _, mt := range methods {
+			mt.Observe(e.User, e.Item)
+		}
+	}
+	res := &Fig4Result{
+		Dataset: name,
+		Pairs:   make(map[string][]metrics.Pair, len(methods)),
+		ARE:     make(map[string]float64, len(methods)),
+	}
+	for _, mt := range methods {
+		pairs := make([]metrics.Pair, 0, truth.NumUsers())
+		truth.Users(func(u uint64, card int) {
+			pairs = append(pairs, metrics.Pair{Actual: card, Estimate: mt.Estimate(u)})
+		})
+		res.Pairs[mt.Name] = pairs
+		res.ARE[mt.Name] = metrics.AvgRelativeError(pairs)
+	}
+	return res, nil
+}
+
+// Table renders a log-binned summary of each method's scatter (mean estimate
+// per actual-cardinality bin) plus the ARE.
+func (r *Fig4Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 4 (%s): estimated vs actual cardinality", r.Dataset),
+		"method", "actual (bin mean)", "mean estimate", "users")
+	names := sortedKeys(r.Pairs)
+	for _, name := range names {
+		type acc struct {
+			sumAct, sumEst float64
+			n              int
+		}
+		bins := map[int]*acc{}
+		for _, p := range r.Pairs[name] {
+			if p.Actual <= 0 {
+				continue
+			}
+			b := int(math.Floor(math.Log10(float64(p.Actual)) * 4))
+			a := bins[b]
+			if a == nil {
+				a = &acc{}
+				bins[b] = a
+			}
+			a.sumAct += float64(p.Actual)
+			a.sumEst += p.Estimate
+			a.n++
+		}
+		idxs := make([]int, 0, len(bins))
+		for b := range bins {
+			idxs = append(idxs, b)
+		}
+		sort.Ints(idxs)
+		for _, b := range idxs {
+			a := bins[b]
+			t.AddRow(name, a.sumAct/float64(a.n), a.sumEst/float64(a.n), a.n)
+		}
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Fig5Result holds the RSE curves for every dataset and method.
+type Fig5Result struct {
+	// Curves[dataset][method] is the binned RSE curve.
+	Curves map[string]map[string][]metrics.RSEBin
+}
+
+// RunFig5 regenerates the RSE-vs-cardinality curves of Fig. 5 for every
+// configured dataset.
+func RunFig5(c Config) (*Fig5Result, error) {
+	c = c.withDefaults()
+	res := &Fig5Result{Curves: make(map[string]map[string][]metrics.RSEBin)}
+	for _, name := range c.Datasets {
+		d, truth, err := c.loadDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		methods, err := Build(MethodSpec{
+			MemoryBits: c.MemoryBits, VirtualM: c.VirtualM,
+			NumUsers: d.NumUsers(), Seed: c.Seed,
+		}, c.methodsOr(Fig5Methods))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range d.Edges {
+			for _, mt := range methods {
+				mt.Observe(e.User, e.Item)
+			}
+		}
+		byMethod := make(map[string][]metrics.RSEBin, len(methods))
+		for _, mt := range methods {
+			pairs := make([]metrics.Pair, 0, truth.NumUsers())
+			truth.Users(func(u uint64, card int) {
+				pairs = append(pairs, metrics.Pair{Actual: card, Estimate: mt.Estimate(u)})
+			})
+			byMethod[mt.Name] = metrics.RSEBinned(pairs, c.BinsPerDecade)
+		}
+		res.Curves[name] = byMethod
+	}
+	return res, nil
+}
+
+// Table renders every curve point.
+func (r *Fig5Result) Table() *metrics.Table {
+	t := metrics.NewTable("Figure 5: RSE vs cardinality",
+		"dataset", "method", "cardinality (bin mean)", "users", "RSE")
+	for _, ds := range sortedKeys(r.Curves) {
+		for _, mt := range sortedKeys(r.Curves[ds]) {
+			for _, b := range r.Curves[ds][mt] {
+				t.AddRow(ds, mt, b.MeanCard, b.Count, b.RSE)
+			}
+		}
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Fig6Point is one method's detection quality at one evaluation instant.
+type Fig6Point struct {
+	Method string
+	Minute int
+	FNR    float64
+	FPR    float64
+}
+
+// Fig6Result holds the over-time detection curves of Fig. 6.
+type Fig6Result struct {
+	Dataset string
+	Delta   float64
+	Points  []Fig6Point
+}
+
+// RunFig6 regenerates the super-spreader-over-time experiment of Fig. 6:
+// the sanjose stream is replayed in 60 equal slices ("minutes" of the
+// one-hour trace); after each slice every method's tracked per-user counters
+// are scored against the exact spreader set at that instant.
+func RunFig6(c Config) (*Fig6Result, error) {
+	c = c.withDefaults()
+	name := "sanjose"
+	if len(c.Datasets) == 1 {
+		name = c.Datasets[0]
+	}
+	cfg, err := datagen.PaperConfig(name, c.Scale, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	d := datagen.Generate(cfg)
+	methods, err := Build(MethodSpec{
+		MemoryBits: c.MemoryBits, VirtualM: c.VirtualM,
+		NumUsers: d.NumUsers(), Seed: c.Seed,
+	}, c.methodsOr(Fig5Methods))
+	if err != nil {
+		return nil, err
+	}
+	truth := exact.NewTracker()
+	// Tracked per-user counters, refreshed on each arrival (the paper's
+	// streaming adaptation for CSE/vHLL/LPC/HLL++; FreeBS/FreeRS maintain
+	// theirs natively).
+	counters := make([]map[uint64]float64, len(methods))
+	for i := range counters {
+		counters[i] = make(map[uint64]float64)
+	}
+	const minutes = 60
+	delta := c.effectiveDelta()
+	res := &Fig6Result{Dataset: name, Delta: delta}
+	edges := d.Edges
+	for minute := 1; minute <= minutes; minute++ {
+		lo := len(edges) * (minute - 1) / minutes
+		hi := len(edges) * minute / minutes
+		for _, e := range edges[lo:hi] {
+			truth.Observe(e.User, e.Item)
+			for i, mt := range methods {
+				mt.Observe(e.User, e.Item)
+				counters[i][e.User] = mt.TrackedEstimate(e.User)
+			}
+		}
+		for i, mt := range methods {
+			ctr := counters[i]
+			counts := superspreader.Evaluate(func(u uint64) float64 { return ctr[u] }, truth, delta)
+			res.Points = append(res.Points, Fig6Point{
+				Method: mt.Name,
+				Minute: minute,
+				FNR:    counts.FNR(),
+				FPR:    counts.FPR(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the over-time curves.
+func (r *Fig6Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 6 (%s): super-spreader detection over time, delta=%g", r.Dataset, r.Delta),
+		"minute", "method", "FNR", "FPR")
+	for _, p := range r.Points {
+		t.AddRow(p.Minute, p.Method, p.FNR, p.FPR)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------- Table II
+
+// Table2Row is one (dataset, method) detection summary.
+type Table2Row struct {
+	Dataset string
+	Method  string
+	FNR     float64
+	FPR     float64
+	// RangeExceeded marks the paper's "N/A" condition: the dataset's
+	// spreader threshold lies beyond the method's estimation range, so the
+	// method cannot report any spreader (CSE on twitter/orkut in Table II).
+	RangeExceeded bool
+}
+
+// Table2Result holds the all-datasets detection summary of Table II.
+type Table2Result struct {
+	Delta float64
+	Rows  []Table2Row
+}
+
+// RunTable2 regenerates Table II: end-of-stream FNR/FPR for every dataset
+// and method.
+func RunTable2(c Config) (*Table2Result, error) {
+	c = c.withDefaults()
+	delta := c.effectiveDelta()
+	res := &Table2Result{Delta: delta}
+	for _, name := range c.Datasets {
+		d, truth, err := c.loadDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		methods, err := Build(MethodSpec{
+			MemoryBits: c.MemoryBits, VirtualM: c.VirtualM,
+			NumUsers: d.NumUsers(), Seed: c.Seed,
+		}, c.methodsOr(Fig5Methods))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range d.Edges {
+			for _, mt := range methods {
+				mt.Observe(e.User, e.Item)
+			}
+		}
+		threshold := delta * float64(truth.TotalCardinality())
+		for _, mt := range methods {
+			counts := superspreader.Evaluate(mt.Estimate, truth, delta)
+			row := Table2Row{
+				Dataset: name,
+				Method:  mt.Name,
+				FNR:     counts.FNR(),
+				FPR:     counts.FPR(),
+			}
+			// CSE's estimation range is m·ln m; when the threshold is out of
+			// range the method reports an empty set (the paper's N/A).
+			if mt.Name == NameCSE && threshold > cse.MaxEstimateFor(c.VirtualM) {
+				row.RangeExceeded = true
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Table renders Table II.
+func (r *Table2Result) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Table II: super-spreader detection, delta=%g", r.Delta),
+		"dataset", "method", "FNR", "FPR")
+	for _, row := range r.Rows {
+		if row.RangeExceeded {
+			t.AddRow(row.Dataset, row.Method, "N/A", "N/A")
+			continue
+		}
+		t.AddRow(row.Dataset, row.Method, row.FNR, row.FPR)
+	}
+	return t
+}
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment tests fast: ~0.1% of the paper scale, two
+// small datasets unless a test needs a specific one.
+func tinyConfig() Config {
+	return Config{
+		Scale:    0.001,
+		Seed:     7,
+		Datasets: []string{"chicago", "livejournal"},
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 0.01 || c.Seed != 1 || c.VirtualM != 1024 || c.Delta != 5e-5 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.MemoryBits != 5e6 {
+		t.Fatalf("default memory = %d, want 5e6 (paper 5e8 × scale 0.01)", c.MemoryBits)
+	}
+	if len(c.Datasets) != 6 {
+		t.Fatalf("default datasets: %v", c.Datasets)
+	}
+}
+
+func TestBuildAllMethods(t *testing.T) {
+	methods, err := Build(MethodSpec{MemoryBits: 1 << 20, VirtualM: 256, NumUsers: 1000, Seed: 1}, AllMethods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(methods) != 6 {
+		t.Fatalf("built %d methods", len(methods))
+	}
+	// Every method must estimate ~100 for a 100-item user (loose check that
+	// the adapters are wired to real estimators, not stubs).
+	for _, mt := range methods {
+		for i := 0; i < 100; i++ {
+			mt.Observe(5, uint64(i))
+		}
+		got := mt.Estimate(5)
+		if got < 30 || got > 300 {
+			t.Fatalf("%s: estimate %v for n=100", mt.Name, got)
+		}
+		if mt.Estimate(12345) != 0 {
+			t.Fatalf("%s: unseen user estimate nonzero", mt.Name)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(MethodSpec{MemoryBits: 0}, []string{NameFreeBS}); err == nil {
+		t.Fatal("zero memory accepted")
+	}
+	if _, err := Build(MethodSpec{MemoryBits: 100, VirtualM: 0, NumUsers: 1}, []string{NameCSE}); err == nil {
+		t.Fatal("CSE with m=0 accepted")
+	}
+	if _, err := Build(MethodSpec{MemoryBits: 100, VirtualM: 50, NumUsers: 1}, []string{NameVHLL}); err == nil {
+		t.Fatal("vHLL with m >= M/5 accepted")
+	}
+	if _, err := Build(MethodSpec{MemoryBits: 100, VirtualM: 10, NumUsers: 0}, []string{NameLPC}); err == nil {
+		t.Fatal("LPC without NumUsers accepted")
+	}
+	if _, err := Build(MethodSpec{MemoryBits: 100, VirtualM: 10, NumUsers: 1}, []string{"nosuch"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestMemoryAccountingParity(t *testing.T) {
+	// §V-B: all methods get (approximately) the same memory budget M.
+	const M = 1 << 22
+	methods, err := Build(MethodSpec{MemoryBits: M, VirtualM: 1024, NumUsers: 4096, Seed: 1}, AllMethods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range methods {
+		if mt.MemoryBits > M || mt.MemoryBits < M*9/10 {
+			t.Fatalf("%s: memory %d not within [0.9M, M] of %d", mt.Name, mt.MemoryBits, M)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	res, err := RunTable1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Users <= 0 || row.TotalCard < row.Users || row.Edges < row.TotalCard {
+			t.Fatalf("degenerate row: %+v", row)
+		}
+		if row.MaxCard <= 0 || row.Alpha <= 0 {
+			t.Fatalf("bad stats: %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := res.Table().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "chicago") {
+		t.Fatal("table missing dataset row")
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	res, err := RunFig2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.X) != len(s.Y) || len(s.X) < 3 {
+			t.Fatalf("%s: malformed series", s.Name)
+		}
+		if s.Y[0] != 1.0 {
+			t.Fatalf("%s: CCDF(1) = %v", s.Name, s.Y[0])
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1] {
+				t.Fatalf("%s: CCDF increases", s.Name)
+			}
+		}
+	}
+}
+
+func TestRunFig3SmokeAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runtime sweep is slow")
+	}
+	c := Config{Scale: 0.001, Seed: 3, Methods: []string{NameFreeBS, NameCSE}}
+	res, err := RunFig3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(DefaultFig3Ms)*2 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	// Timing assertions are kept weak (shared CI machines), but the headline
+	// claim must hold robustly: at m=4096, CSE's per-edge cost (O(m) tracked
+	// estimate) exceeds FreeBS's O(1) by a wide margin.
+	var freeBS4096, cse4096 float64
+	for _, cell := range res.Cells {
+		if cell.M == 4096 {
+			switch cell.Method {
+			case NameFreeBS:
+				freeBS4096 = cell.NsPerOp
+			case NameCSE:
+				cse4096 = cell.NsPerOp
+			}
+		}
+		if cell.NsPerOp <= 0 {
+			t.Fatalf("non-positive timing: %+v", cell)
+		}
+	}
+	if cse4096 < 3*freeBS4096 {
+		t.Fatalf("CSE@4096 (%v ns) not clearly slower than FreeBS (%v ns)", cse4096, freeBS4096)
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"chicago"}
+	res, err := RunFig4(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset != "chicago" {
+		t.Fatalf("dataset = %s", res.Dataset)
+	}
+	if len(res.Pairs) != 6 {
+		t.Fatalf("methods = %d", len(res.Pairs))
+	}
+	// FreeBS and FreeRS must beat the shared-array competitors CSE and vHLL
+	// on average relative error. (HLL++ is excluded from this aggregate
+	// check: its sparse phase is exact for the many tiny users, so it can
+	// win the ARE average while losing badly at the large cardinalities
+	// the detection experiments exercise.)
+	for _, worse := range []string{NameCSE, NameVHLL} {
+		if res.ARE[NameFreeBS] >= res.ARE[worse] {
+			t.Fatalf("FreeBS ARE %v not better than %s ARE %v",
+				res.ARE[NameFreeBS], worse, res.ARE[worse])
+		}
+		if res.ARE[NameFreeRS] >= res.ARE[worse] {
+			t.Fatalf("FreeRS ARE %v not better than %s ARE %v",
+				res.ARE[NameFreeRS], worse, res.ARE[worse])
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := res.Table().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"livejournal"}
+	res, err := RunFig5(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := res.Curves["livejournal"]
+	if len(curves) != 5 {
+		t.Fatalf("methods = %d", len(curves))
+	}
+	// Small-cardinality supremacy: in the smallest bin, FreeBS RSE must be
+	// well below CSE's and vHLL's (the up-to-10000x claim of §V-E).
+	first := func(name string) float64 { return curves[name][0].RSE }
+	if !(first(NameFreeBS) < first(NameCSE)) {
+		t.Fatalf("FreeBS first-bin RSE %v !< CSE %v", first(NameFreeBS), first(NameCSE))
+	}
+	if !(first(NameFreeRS) < first(NameVHLL)) {
+		t.Fatalf("FreeRS first-bin RSE %v !< vHLL %v", first(NameFreeRS), first(NameVHLL))
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	c := Config{Scale: 0.0005, Seed: 7, Methods: []string{NameFreeBS, NameVHLL}}
+	res, err := RunFig6(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset != "sanjose" {
+		t.Fatalf("dataset = %s", res.Dataset)
+	}
+	if len(res.Points) != 60*2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.FNR < 0 || p.FNR > 1 || p.FPR < 0 || p.FPR > 1 {
+			t.Fatalf("ratio out of range: %+v", p)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	c := tinyConfig()
+	c.Datasets = []string{"chicago"}
+	res, err := RunTable2(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	rowOf := func(name string) Table2Row {
+		for _, r := range res.Rows {
+			if r.Method == name {
+				return r
+			}
+		}
+		t.Fatalf("method %s missing", name)
+		return Table2Row{}
+	}
+	// FreeBS/FreeRS must dominate vHLL and HLL++ on FNR+FPR (Table II's
+	// qualitative result).
+	for _, better := range []string{NameFreeBS, NameFreeRS} {
+		for _, worse := range []string{NameVHLL, NameHLLPP} {
+			b, w := rowOf(better), rowOf(worse)
+			if b.FNR+b.FPR > w.FNR+w.FPR {
+				t.Fatalf("%s (FNR %v FPR %v) worse than %s (FNR %v FPR %v)",
+					better, b.FNR, b.FPR, worse, w.FNR, w.FPR)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := res.Table().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable2RangeExceededMarksNA(t *testing.T) {
+	// With a tiny virtual sketch, the spreader threshold exceeds CSE's
+	// m·ln m range and the row must be marked N/A, as in the paper's
+	// twitter/orkut columns.
+	c := Config{
+		Scale:    0.001,
+		Seed:     7,
+		Datasets: []string{"orkut"},
+		Methods:  []string{NameCSE},
+		VirtualM: 64,
+		Delta:    0.01,
+	}
+	res, err := RunTable2(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0].RangeExceeded {
+		t.Fatalf("expected range-exceeded N/A, got %+v", res.Rows[0])
+	}
+	var buf bytes.Buffer
+	if _, err := res.Table().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "N/A") {
+		t.Fatal("table missing N/A cell")
+	}
+}
+
+func TestSortedKeysDeterministic(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := sortedKeys(m)
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("sortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,181 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): Table I (datasets), Fig. 2 (CCDFs), Fig. 3 (update time
+// vs m), Fig. 4 (estimated-vs-actual scatter), Fig. 5 (RSE vs cardinality),
+// Fig. 6 (super-spreader detection over time) and Table II (super-spreader
+// detection on all datasets). Each runner returns a structured result that
+// can be rendered as an aligned text table or CSV.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cse"
+	"repro/internal/hll"
+	"repro/internal/lpc"
+	"repro/internal/vhll"
+)
+
+// Method names as the paper spells them.
+const (
+	NameFreeBS = "FreeBS"
+	NameFreeRS = "FreeRS"
+	NameCSE    = "CSE"
+	NameVHLL   = "vHLL"
+	NameLPC    = "LPC"
+	NameHLLPP  = "HLL++"
+)
+
+// AllMethods lists all six methods in the paper's presentation order.
+var AllMethods = []string{NameFreeBS, NameFreeRS, NameCSE, NameVHLL, NameLPC, NameHLLPP}
+
+// Fig5Methods lists the five methods of Fig. 5 / Fig. 6 / Table II (the
+// paper drops LPC after Fig. 4 because of its tiny estimation range).
+var Fig5Methods = []string{NameFreeBS, NameFreeRS, NameCSE, NameVHLL, NameHLLPP}
+
+// Method adapts one estimator behind a uniform interface.
+//
+// Estimate is the batch query used at evaluation instants. TrackedEstimate
+// is the per-arrival estimate the paper's streaming adaptation maintains in
+// a per-user counter: identical values, but for the sketch-per-user and
+// virtual-sketch methods it carries their O(m) per-query cost, which is what
+// the Fig. 3 runtime experiment measures.
+type Method struct {
+	Name            string
+	Observe         func(user, item uint64)
+	Estimate        func(user uint64) float64
+	TrackedEstimate func(user uint64) float64
+	TotalDistinct   func() float64
+	MemoryBits      int64
+}
+
+// MethodSpec sizes the estimators the way §V-B does.
+type MethodSpec struct {
+	MemoryBits int    // M: total sketch memory in bits, shared by all methods
+	VirtualM   int    // m: virtual sketch size for CSE and vHLL
+	NumUsers   int    // |S|: used to size the per-user LPC and HLL++ sketches
+	Seed       uint64 // hash seed
+}
+
+// Build constructs the named methods under the paper's memory accounting:
+// FreeBS and CSE get M bits; FreeRS and vHLL get M/5 five-bit registers;
+// LPC gets M/|S| bits per user; HLL++ gets M/(6·|S|) six-bit registers per
+// user. Unknown names are an error.
+func Build(spec MethodSpec, names []string) ([]*Method, error) {
+	if spec.MemoryBits <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive memory %d", spec.MemoryBits)
+	}
+	out := make([]*Method, 0, len(names))
+	for _, name := range names {
+		m, err := buildOne(spec, name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func buildOne(spec MethodSpec, name string) (*Method, error) {
+	switch name {
+	case NameFreeBS:
+		f := core.NewFreeBS(spec.MemoryBits, spec.Seed)
+		return &Method{
+			Name:            name,
+			Observe:         func(u, d uint64) { f.Observe(u, d) },
+			Estimate:        f.Estimate,
+			TrackedEstimate: f.Estimate, // already O(1), always fresh
+			TotalDistinct:   f.TotalDistinctLPC,
+			MemoryBits:      f.MemoryBits(),
+		}, nil
+
+	case NameFreeRS:
+		regs := spec.MemoryBits / core.DefaultRegisterWidth
+		if regs < 1 {
+			regs = 1
+		}
+		f := core.NewFreeRS(regs, spec.Seed)
+		return &Method{
+			Name:            name,
+			Observe:         func(u, d uint64) { f.Observe(u, d) },
+			Estimate:        f.Estimate,
+			TrackedEstimate: f.Estimate,
+			TotalDistinct:   f.TotalDistinctHLL,
+			MemoryBits:      f.MemoryBits(),
+		}, nil
+
+	case NameCSE:
+		if spec.VirtualM <= 0 || spec.VirtualM > spec.MemoryBits {
+			return nil, fmt.Errorf("experiments: CSE needs 0 < m <= M, have m=%d M=%d", spec.VirtualM, spec.MemoryBits)
+		}
+		c := cse.New(spec.MemoryBits, spec.VirtualM, spec.Seed)
+		return &Method{
+			Name:            name,
+			Observe:         c.Observe,
+			Estimate:        c.Estimate,
+			TrackedEstimate: c.Estimate, // O(m): enumerates the virtual sketch
+			TotalDistinct:   c.TotalEstimate,
+			MemoryBits:      c.MemoryBits(),
+		}, nil
+
+	case NameVHLL:
+		regs := spec.MemoryBits / vhll.Width
+		if spec.VirtualM <= 0 || spec.VirtualM >= regs {
+			return nil, fmt.Errorf("experiments: vHLL needs 0 < m < M/5, have m=%d regs=%d", spec.VirtualM, regs)
+		}
+		v := vhll.New(regs, spec.VirtualM, spec.Seed)
+		return &Method{
+			Name:            name,
+			Observe:         v.Observe,
+			Estimate:        v.Estimate,
+			TrackedEstimate: v.Estimate, // O(m)
+			TotalDistinct:   v.TotalEstimate,
+			MemoryBits:      v.MemoryBits(),
+		}, nil
+
+	case NameLPC:
+		if spec.NumUsers <= 0 {
+			return nil, fmt.Errorf("experiments: LPC needs NumUsers > 0")
+		}
+		bits := spec.MemoryBits / spec.NumUsers
+		if bits < 1 {
+			bits = 1
+		}
+		p := lpc.NewPerUser(bits, spec.Seed)
+		return &Method{
+			Name:            name,
+			Observe:         p.Observe,
+			Estimate:        p.Estimate,
+			TrackedEstimate: p.EstimateScan, // the paper's O(m) cost model
+			TotalDistinct: func() float64 {
+				total := 0.0
+				p.Users(func(u uint64) { total += p.Estimate(u) })
+				return total
+			},
+			MemoryBits: int64(bits) * int64(spec.NumUsers),
+		}, nil
+
+	case NameHLLPP:
+		if spec.NumUsers <= 0 {
+			return nil, fmt.Errorf("experiments: HLL++ needs NumUsers > 0")
+		}
+		regs := spec.MemoryBits / (hll.PlusPlusWidth * spec.NumUsers)
+		if regs < 1 {
+			regs = 1
+		}
+		p := hll.NewPerUser(regs, spec.Seed)
+		return &Method{
+			Name:            name,
+			Observe:         p.Observe,
+			Estimate:        p.Estimate,
+			TrackedEstimate: p.EstimateScan, // the paper's O(m) cost model
+			TotalDistinct: func() float64 {
+				total := 0.0
+				p.Users(func(u uint64) { total += p.Estimate(u) })
+				return total
+			},
+			MemoryBits: int64(regs) * hll.PlusPlusWidth * int64(spec.NumUsers),
+		}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown method %q", name)
+}

@@ -1,0 +1,222 @@
+// Package hashing provides the hash-function substrate used by every sketch
+// in this repository: seeded 64-bit hashes for integer identifiers and byte
+// strings, geometric-rank extraction for HyperLogLog-style registers, fast
+// unbiased range reduction, and a double-hashing index family that stands in
+// for the m independent hash functions f_1(s), ..., f_m(s) used by the
+// virtual-sketch methods (CSE, vHLL) in the paper.
+//
+// Everything is implemented from scratch on top of the standard library so
+// that the repository has no external dependencies and the hash behaviour is
+// fully deterministic across platforms.
+package hashing
+
+import "math/bits"
+
+// SplitMix64 advances a splitmix64 state and returns the next 64-bit value.
+// It is the canonical generator from Steele, Lea & Flood (OOPSLA 2014) and is
+// used both as a seeding primitive and as a cheap high-quality mixer.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the splitmix64 finalizer to x. It is a bijection on uint64
+// with full avalanche, suitable for hashing integer identifiers.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashU64 hashes a 64-bit identifier under the given seed. Distinct seeds
+// yield (empirically) independent hash functions; the construction is two
+// rounds of the splitmix64 finalizer with the seed folded in between, which
+// passes the avalanche and uniformity tests in this package.
+func HashU64(x, seed uint64) uint64 {
+	h := Mix64(x + 0x9e3779b97f4a7c15)
+	h ^= Mix64(seed ^ 0x94d049bb133111eb)
+	return Mix64(h)
+}
+
+// HashPair hashes an ordered pair of 64-bit identifiers (user, item) under a
+// seed. It is the h*(e) function of FreeBS/FreeRS: a uniform hash of the
+// user-item pair itself, as opposed to per-user or per-item hashes.
+func HashPair(a, b, seed uint64) uint64 {
+	h := Mix64(a ^ 0x9e3779b97f4a7c15)
+	h = Mix64(h ^ b ^ 0xbf58476d1ce4e5b9)
+	return Mix64(h ^ seed)
+}
+
+// Hash64 hashes an arbitrary byte string under a seed using the 64-bit half
+// of a from-scratch Murmur3-x64-128 implementation.
+func Hash64(data []byte, seed uint64) uint64 {
+	h1, _ := Hash128(data, seed)
+	return h1
+}
+
+// Hash128 is a from-scratch implementation of MurmurHash3 x64 128-bit
+// (public domain, Austin Appleby). It is used for hashing string identifiers
+// so that external datasets with textual user/item IDs can be replayed.
+func Hash128(data []byte, seed uint64) (uint64, uint64) {
+	const (
+		c1 = 0x87c37b91114253d5
+		c2 = 0x4cf5ad432745937f
+	)
+	h1 := seed
+	h2 := seed
+	n := len(data)
+	nblocks := n / 16
+
+	for i := 0; i < nblocks; i++ {
+		k1 := le64(data[i*16:])
+		k2 := le64(data[i*16+8:])
+
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	var k1, k2 uint64
+	tail := data[nblocks*16:]
+	switch len(tail) & 15 {
+	case 15:
+		k2 ^= uint64(tail[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(tail[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(tail[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(tail[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(tail[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(tail[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(tail[8])
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(tail[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(tail[0])
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+	h1 += h2
+	h2 += h1
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+	h1 += h2
+	h2 += h1
+	return h1, h2
+}
+
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Rho returns the geometric rank ρ of a 64-bit hash value: one plus the
+// number of leading zero bits, so that P(ρ = k) = 2^-k for k = 1, 2, ....
+// The result is clamped to max (register capacity). A zero input (probability
+// 2^-64) yields max.
+func Rho(v uint64, max uint8) uint8 {
+	if v == 0 {
+		return max
+	}
+	r := uint8(bits.LeadingZeros64(v)) + 1
+	if r > max {
+		return max
+	}
+	return r
+}
+
+// RhoBits returns ρ computed from the low `width` bits of v (the bits not
+// consumed by bucket selection), matching the footnote-1 construction of the
+// paper: ρ(d) is the number of leading zeros of the remaining bit string plus
+// one. The result is clamped to max.
+func RhoBits(v uint64, width, max uint8) uint8 {
+	if width == 0 || width > 64 {
+		width = 64
+	}
+	v <<= 64 - width // move the usable bits to the top
+	if v == 0 {
+		if uint8(width)+1 < max {
+			return uint8(width) + 1
+		}
+		return max
+	}
+	r := uint8(bits.LeadingZeros64(v)) + 1
+	if r > max {
+		return max
+	}
+	return r
+}
+
+// UniformIndex maps a 64-bit hash to {0, ..., m-1} using Lemire's
+// multiply-shift range reduction. The bias is at most m/2^64, which is
+// negligible for every m used in this repository.
+func UniformIndex(h uint64, m int) int {
+	hi, _ := bits.Mul64(h, uint64(m))
+	return int(hi)
+}

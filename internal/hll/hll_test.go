@@ -1,0 +1,318 @@
+package hll
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func TestAlphaValues(t *testing.T) {
+	if Alpha(16) != 0.673 || Alpha(32) != 0.697 || Alpha(64) != 0.709 {
+		t.Fatal("tabulated alpha wrong")
+	}
+	want := 0.7213 / (1 + 1.079/128)
+	if math.Abs(Alpha(128)-want) > 1e-12 {
+		t.Fatalf("Alpha(128) = %v, want %v", Alpha(128), want)
+	}
+	if Alpha(1024) >= 0.7213 || Alpha(1024) <= 0.70 {
+		t.Fatalf("Alpha(1024) = %v out of plausible range", Alpha(1024))
+	}
+}
+
+func TestBetaMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, m := range []int{16, 32, 64, 128, 1024} {
+		b := Beta(m)
+		if b > prev {
+			t.Fatalf("Beta(%d) = %v not non-increasing", m, b)
+		}
+		prev = b
+	}
+}
+
+func TestEmptySketch(t *testing.T) {
+	s := New(64, 5, 1)
+	// Raw estimate of an empty sketch triggers linear counting with V=m,
+	// giving m*ln(1) = 0.
+	if got := s.Estimate(); got != 0 {
+		t.Fatalf("empty estimate = %v", got)
+	}
+}
+
+func TestDuplicatesIdempotent(t *testing.T) {
+	s := New(128, 6, 2)
+	s.Add(42)
+	before := s.Estimate()
+	for i := 0; i < 100; i++ {
+		if s.Add(42) {
+			t.Fatal("duplicate changed a register")
+		}
+	}
+	if s.Estimate() != before {
+		t.Fatal("duplicates changed the estimate")
+	}
+}
+
+func TestSmallRangeUsesLinearCounting(t *testing.T) {
+	// At n << m, estimates should be near-exact thanks to linear counting.
+	s := New(1024, 6, 3)
+	for i := 0; i < 30; i++ {
+		s.Add(uint64(i) * 2654435761)
+	}
+	got := s.Estimate()
+	if math.Abs(got-30) > 6 {
+		t.Fatalf("small-range estimate %v, want ~30", got)
+	}
+}
+
+func TestAccuracyLargeRange(t *testing.T) {
+	// RSE of HLL ~ 1.04/sqrt(m) ~ 3.25% at m=1024; require within 6 sigma.
+	const m, n = 1024, 200000
+	s := New(m, 6, 4)
+	for i := 0; i < n; i++ {
+		s.Add(uint64(i))
+	}
+	got := s.Estimate()
+	sigma := Beta(m) / math.Sqrt(m) * n
+	if math.Abs(got-n) > 6*sigma {
+		t.Fatalf("estimate %v for n=%d (sigma %.0f)", got, n, sigma)
+	}
+}
+
+func TestAccuracyWidth5(t *testing.T) {
+	// Width-5 registers (the vHLL/FreeRS configuration) must work too.
+	const m, n = 512, 50000
+	s := New(m, 5, 5)
+	for i := 0; i < n; i++ {
+		s.Add(uint64(i) * 11400714819323198485)
+	}
+	got := s.Estimate()
+	sigma := Beta(m) / math.Sqrt(m) * n
+	if math.Abs(got-n) > 6*sigma {
+		t.Fatalf("estimate %v for n=%d", got, n)
+	}
+}
+
+func TestEstimateScanAgrees(t *testing.T) {
+	s := New(256, 6, 6)
+	for i := 0; i < 1000; i++ {
+		s.Add(uint64(i))
+	}
+	a, b := s.Estimate(), s.EstimateScan()
+	if math.Abs(a-b) > 1e-9*math.Max(a, 1) {
+		t.Fatalf("Estimate %v != EstimateScan %v", a, b)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(256, 6, 7)
+	b := New(256, 6, 7)
+	for i := 0; i < 5000; i++ {
+		a.Add(uint64(i))
+	}
+	for i := 2500; i < 7500; i++ {
+		b.Add(uint64(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	union := New(256, 6, 7)
+	for i := 0; i < 7500; i++ {
+		union.Add(uint64(i))
+	}
+	if a.Estimate() != union.Estimate() {
+		t.Fatalf("merge %v != union %v", a.Estimate(), union.Estimate())
+	}
+}
+
+func TestMergeMismatch(t *testing.T) {
+	a := New(64, 6, 1)
+	if err := a.Merge(New(64, 6, 2)); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestUnbiasedLargeRange(t *testing.T) {
+	// Average over independent sketches should approach n (HLL's residual
+	// bias at n >> 2.5m is sub-percent).
+	const m, n, trials = 256, 20000, 60
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		s := New(m, 6, uint64(tr)+100)
+		for i := 0; i < n; i++ {
+			s.Add(uint64(i))
+		}
+		sum += s.Estimate()
+	}
+	mean := sum / trials
+	se := Beta(m) / math.Sqrt(m) * n / math.Sqrt(trials)
+	if math.Abs(mean-n) > 5*se {
+		t.Fatalf("mean %v, want %v ± %v", mean, n, 5*se)
+	}
+}
+
+func TestPlusPlusSparsePhaseExact(t *testing.T) {
+	p := NewPlusPlus(1024, 1)
+	if !p.Sparse() {
+		t.Fatal("fresh sketch must be sparse")
+	}
+	for i := 0; i < 50; i++ {
+		p.Add(uint64(i))
+		p.Add(uint64(i)) // duplicates
+	}
+	if !p.Sparse() {
+		t.Fatal("50 < cap, should still be sparse")
+	}
+	if got := p.Estimate(); got != 50 {
+		t.Fatalf("sparse estimate = %v, want exactly 50", got)
+	}
+}
+
+func TestPlusPlusConversion(t *testing.T) {
+	p := NewPlusPlus(128, 2)
+	capN := p.sparseCap
+	for i := 0; i <= capN; i++ {
+		p.Add(uint64(i) * 7919)
+	}
+	if p.Sparse() {
+		t.Fatalf("should have converted after %d distinct items", capN+1)
+	}
+	got := p.Estimate()
+	want := float64(capN + 1)
+	if math.Abs(got-want) > want/2+3 {
+		t.Fatalf("post-conversion estimate %v, want ~%v", got, want)
+	}
+}
+
+func TestPlusPlusConversionPreservesItems(t *testing.T) {
+	// Adding the same items before and after conversion must be equivalent
+	// to a dense sketch fed the same pre-hash stream.
+	p := NewPlusPlus(64, 3)
+	const n = 500
+	for i := 0; i < n; i++ {
+		p.Add(uint64(i))
+	}
+	d := New(64, PlusPlusWidth, 3)
+	for i := 0; i < n; i++ {
+		d.addPre(hashing.HashU64(uint64(i), 3))
+	}
+	if p.Estimate() != d.Estimate() {
+		t.Fatalf("converted %v != direct dense %v", p.Estimate(), d.Estimate())
+	}
+}
+
+func TestPlusPlusLargeAccuracy(t *testing.T) {
+	const m, n = 512, 100000
+	p := NewPlusPlus(m, 4)
+	for i := 0; i < n; i++ {
+		p.Add(uint64(i))
+	}
+	got := p.Estimate()
+	sigma := Beta(m) / math.Sqrt(m) * n
+	if math.Abs(got-n) > 6*sigma {
+		t.Fatalf("estimate %v for n=%d", got, n)
+	}
+}
+
+func TestPlusPlusScanAgrees(t *testing.T) {
+	p := NewPlusPlus(64, 5)
+	for i := 0; i < 10; i++ {
+		p.Add(uint64(i))
+	}
+	if p.Estimate() != p.EstimateScan() {
+		t.Fatal("sparse scan disagrees")
+	}
+	for i := 0; i < 3000; i++ {
+		p.Add(uint64(i))
+	}
+	a, b := p.Estimate(), p.EstimateScan()
+	if math.Abs(a-b) > 1e-9*a {
+		t.Fatalf("dense scan disagrees: %v vs %v", a, b)
+	}
+}
+
+func TestPerUser(t *testing.T) {
+	pu := NewPerUser(64, 1)
+	for i := 0; i < 1000; i++ {
+		pu.Observe(1, uint64(i))
+	}
+	pu.Observe(2, 7)
+	e1, e2 := pu.Estimate(1), pu.Estimate(2)
+	if math.Abs(e1-1000) > 450 {
+		t.Fatalf("user 1 estimate %v", e1)
+	}
+	if e2 != 1 {
+		t.Fatalf("user 2 estimate %v, want exactly 1 (sparse)", e2)
+	}
+	if pu.Estimate(99) != 0 || pu.EstimateScan(99) != 0 {
+		t.Fatal("unseen user must estimate 0")
+	}
+	if pu.NumUsers() != 2 {
+		t.Fatalf("users = %d", pu.NumUsers())
+	}
+	if pu.MemoryBits() != 2*64*PlusPlusWidth {
+		t.Fatalf("memory = %d", pu.MemoryBits())
+	}
+	if pu.RegistersPerUser() != 64 {
+		t.Fatalf("m = %d", pu.RegistersPerUser())
+	}
+	seen := 0
+	pu.Users(func(uint64) { seen++ })
+	if seen != 2 {
+		t.Fatalf("Users visited %d", seen)
+	}
+}
+
+func TestPerUserPanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPerUser(0, 1)
+}
+
+func TestNewPlusPlusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPlusPlus(0, 1)
+}
+
+func TestRegistersAccessor(t *testing.T) {
+	s := New(32, 5, 9)
+	s.Add(1)
+	if s.Registers().Size() != 32 {
+		t.Fatal("Registers accessor broken")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(1024, 6, 1)
+	rng := hashing.NewRNG(1)
+	items := make([]uint64, 4096)
+	for i := range items {
+		items[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(items[i&4095])
+	}
+}
+
+func BenchmarkEstimateScan(b *testing.B) {
+	s := New(1024, 6, 1)
+	for i := 0; i < 5000; i++ {
+		s.Add(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.EstimateScan()
+	}
+}

@@ -1,0 +1,289 @@
+package lpc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func TestEmptyEstimate(t *testing.T) {
+	s := New(1024, 1)
+	if got := s.Estimate(); got != 0 {
+		t.Fatalf("empty estimate = %v", got)
+	}
+	if s.ZeroCount() != 1024 {
+		t.Fatalf("zeros = %d", s.ZeroCount())
+	}
+}
+
+func TestDuplicatesDoNotGrow(t *testing.T) {
+	s := New(256, 1)
+	if !s.Add(42) {
+		t.Fatal("first add must flip a bit")
+	}
+	before := s.Estimate()
+	for i := 0; i < 100; i++ {
+		if s.Add(42) {
+			t.Fatal("duplicate flipped a bit")
+		}
+	}
+	if s.Estimate() != before {
+		t.Fatal("duplicates changed the estimate")
+	}
+}
+
+func TestAccuracyMidRange(t *testing.T) {
+	// With m=4096 and n=2000 (n/m ~ 0.5), LPC's RSE is ~sqrt(e^x - x - 1)/x
+	// per the paper's variance formula — about 1.5%. Require within 6 sigma.
+	const m = 4096
+	const n = 2000
+	s := New(m, 7)
+	for i := 0; i < n; i++ {
+		s.Add(uint64(i))
+	}
+	got := s.Estimate()
+	sigma := math.Sqrt(Variance(n, m))
+	if math.Abs(got-n) > 6*sigma {
+		t.Fatalf("estimate %v for n=%d (sigma %.1f)", got, n, sigma)
+	}
+}
+
+func TestAccuracyAcrossScales(t *testing.T) {
+	for _, n := range []int{10, 100, 1000} {
+		s := New(4096, uint64(n))
+		for i := 0; i < n; i++ {
+			s.Add(uint64(i) * 1000003)
+		}
+		got := s.Estimate()
+		sigma := math.Sqrt(Variance(float64(n), 4096))
+		if math.Abs(got-float64(n)) > 6*sigma+1 {
+			t.Fatalf("n=%d: estimate %v (sigma %.2f)", n, got, sigma)
+		}
+	}
+}
+
+func TestSaturationReturnsRangeMax(t *testing.T) {
+	const m = 64
+	s := New(m, 3)
+	// Far more distinct items than bits: all bits eventually set.
+	for i := 0; i < 100000; i++ {
+		s.Add(uint64(i))
+	}
+	if s.ZeroCount() != 0 {
+		t.Fatalf("expected saturation, %d zeros left", s.ZeroCount())
+	}
+	want := float64(m) * math.Log(m)
+	if got := s.Estimate(); got != want {
+		t.Fatalf("saturated estimate = %v, want range max %v", got, want)
+	}
+	if got := s.MaxEstimate(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MaxEstimate = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateScanAgreesWithEstimate(t *testing.T) {
+	s := New(512, 9)
+	for i := 0; i < 300; i++ {
+		s.Add(uint64(i * 7))
+	}
+	if a, b := s.Estimate(), s.EstimateScan(); a != b {
+		t.Fatalf("Estimate %v != EstimateScan %v", a, b)
+	}
+}
+
+func TestUnbiasedInExpectation(t *testing.T) {
+	// Mean over many independent sketches should be within the paper's bias
+	// formula plus sampling noise.
+	const m, n, trials = 512, 300, 200
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		s := New(m, uint64(tr)*977+1)
+		for i := 0; i < n; i++ {
+			s.Add(uint64(i))
+		}
+		sum += s.Estimate()
+	}
+	mean := sum / trials
+	wantBias := Bias(n, m)
+	se := math.Sqrt(Variance(n, m) / trials)
+	if math.Abs(mean-(n+wantBias)) > 5*se {
+		t.Fatalf("mean %v, want %v ± %v", mean, n+wantBias, 5*se)
+	}
+}
+
+func TestVarianceMatchesEmpirical(t *testing.T) {
+	const m, n, trials = 1024, 800, 300
+	var sum, sumsq float64
+	for tr := 0; tr < trials; tr++ {
+		s := New(m, uint64(tr)*31+5)
+		for i := 0; i < n; i++ {
+			s.Add(uint64(i))
+		}
+		e := s.Estimate()
+		sum += e
+		sumsq += e * e
+	}
+	mean := sum / trials
+	empVar := sumsq/trials - mean*mean
+	anaVar := Variance(n, m)
+	if empVar < anaVar/3 || empVar > anaVar*3 {
+		t.Fatalf("empirical variance %v vs analytical %v", empVar, anaVar)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(256, 5)
+	b := New(256, 5)
+	for i := 0; i < 100; i++ {
+		a.Add(uint64(i))
+	}
+	for i := 50; i < 150; i++ {
+		b.Add(uint64(i))
+	}
+	union := New(256, 5)
+	for i := 0; i < 150; i++ {
+		union.Add(uint64(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != union.Estimate() {
+		t.Fatalf("merged estimate %v != union-built estimate %v", a.Estimate(), union.Estimate())
+	}
+}
+
+func TestMergeSeedMismatch(t *testing.T) {
+	a := New(256, 1)
+	if err := a.Merge(New(256, 2)); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if err := a.Merge(New(128, 1)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestBiasVarianceFormulas(t *testing.T) {
+	// At n/m -> 0 both bias and variance must vanish; both grow with n.
+	if b := Bias(0, 100); math.Abs(b) > 1e-12 {
+		t.Fatalf("Bias(0) = %v", b)
+	}
+	if v := Variance(0, 100); math.Abs(v) > 1e-12 {
+		t.Fatalf("Variance(0) = %v", v)
+	}
+	if Bias(200, 100) <= Bias(100, 100) {
+		t.Fatal("bias must grow with n")
+	}
+	if Variance(200, 100) <= Variance(100, 100) {
+		t.Fatal("variance must grow with n")
+	}
+}
+
+func TestPerUserIndependence(t *testing.T) {
+	p := NewPerUser(256, 1)
+	for i := 0; i < 100; i++ {
+		p.Observe(1, uint64(i))
+	}
+	p.Observe(2, 0)
+	e1, e2 := p.Estimate(1), p.Estimate(2)
+	if e1 < 50 || e1 > 200 {
+		t.Fatalf("user 1 estimate %v", e1)
+	}
+	if e2 < 0.5 || e2 > 3 {
+		t.Fatalf("user 2 estimate %v (should be ~1)", e2)
+	}
+	if p.Estimate(3) != 0 {
+		t.Fatal("unseen user must estimate 0")
+	}
+}
+
+func TestPerUserAccounting(t *testing.T) {
+	p := NewPerUser(64, 2)
+	p.Observe(1, 1)
+	p.Observe(2, 1)
+	p.Observe(2, 2)
+	if p.NumUsers() != 2 {
+		t.Fatalf("users = %d", p.NumUsers())
+	}
+	if p.MemoryBits() != 128 {
+		t.Fatalf("memory = %d bits", p.MemoryBits())
+	}
+	if p.BitsPerUser() != 64 {
+		t.Fatalf("m = %d", p.BitsPerUser())
+	}
+	seen := map[uint64]bool{}
+	p.Users(func(u uint64) { seen[u] = true })
+	if !seen[1] || !seen[2] || len(seen) != 2 {
+		t.Fatalf("Users iterated %v", seen)
+	}
+}
+
+func TestPerUserScanMatches(t *testing.T) {
+	p := NewPerUser(128, 3)
+	for i := 0; i < 50; i++ {
+		p.Observe(9, uint64(i))
+	}
+	if p.Estimate(9) != p.EstimateScan(9) {
+		t.Fatal("scan estimate differs")
+	}
+	if p.EstimateScan(1234) != 0 {
+		t.Fatal("unseen user scan must be 0")
+	}
+}
+
+func TestPerUserPanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPerUser(0, 1)
+}
+
+func TestDifferentUsersDifferentBits(t *testing.T) {
+	// The per-user seed derivation must decorrelate users: the same item
+	// stream should produce different bit patterns for different users.
+	p := NewPerUser(1024, 11)
+	for i := 0; i < 400; i++ {
+		p.Observe(1, uint64(i))
+		p.Observe(2, uint64(i))
+	}
+	a := p.sketches[1]
+	b := p.sketches[2]
+	diff := 0
+	for i := 0; i < 1024; i++ {
+		if a.bits.Get(i) != b.bits.Get(i) {
+			diff++
+		}
+	}
+	if diff < 100 {
+		t.Fatalf("only %d bits differ between users with identical items", diff)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(1024, 1)
+	rng := hashing.NewRNG(1)
+	items := make([]uint64, 4096)
+	for i := range items {
+		items[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(items[i&4095])
+	}
+}
+
+func BenchmarkEstimateScan(b *testing.B) {
+	s := New(1024, 1)
+	for i := 0; i < 500; i++ {
+		s.Add(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.EstimateScan()
+	}
+}

@@ -1,0 +1,269 @@
+// Package metrics implements the evaluation metrics of §V: the relative
+// standard error RSE(n) grouped by actual cardinality (§V-C), the false
+// negative / false positive ratios of super-spreader detection (§V-F), and
+// plain-text/CSV table writers used by the experiment harness to print the
+// same rows and series the paper reports.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Pair couples a user's true cardinality with an estimate.
+type Pair struct {
+	Actual   int
+	Estimate float64
+}
+
+// RSEExact returns the paper's fine-grained metric for each distinct actual
+// cardinality n present in pairs:
+//
+//	RSE(n) = (1/n)·sqrt( Σ_{s: n_s=n} (n̂_s - n)² / #{s: n_s=n} )
+//
+// keyed by n. Cardinality-0 users are skipped (RSE undefined).
+func RSEExact(pairs []Pair) map[int]float64 {
+	sums := make(map[int]float64)
+	counts := make(map[int]int)
+	for _, p := range pairs {
+		if p.Actual <= 0 {
+			continue
+		}
+		d := p.Estimate - float64(p.Actual)
+		sums[p.Actual] += d * d
+		counts[p.Actual]++
+	}
+	out := make(map[int]float64, len(sums))
+	for n, s := range sums {
+		out[n] = math.Sqrt(s/float64(counts[n])) / float64(n)
+	}
+	return out
+}
+
+// RSEBin is one geometric cardinality bin of an RSE curve.
+type RSEBin struct {
+	Lo, Hi   int     // cardinality range [Lo, Hi)
+	MeanCard float64 // mean actual cardinality inside the bin
+	Count    int     // users in the bin
+	RSE      float64 // (1/meanCard)·sqrt(mean squared error)
+}
+
+// RSEBinned groups pairs into geometric bins (binsPerDecade bins per factor
+// of 10) and computes the RSE within each — the plottable form of Fig. 5,
+// where exact-n groups would be too sparse at evaluation scale.
+func RSEBinned(pairs []Pair, binsPerDecade int) []RSEBin {
+	if binsPerDecade <= 0 {
+		binsPerDecade = 5
+	}
+	type acc struct {
+		sumSq, sumCard float64
+		count          int
+	}
+	ratio := math.Pow(10, 1/float64(binsPerDecade))
+	binIdx := func(n int) int {
+		return int(math.Floor(math.Log(float64(n))/math.Log(ratio) + 1e-9))
+	}
+	accs := make(map[int]*acc)
+	for _, p := range pairs {
+		if p.Actual <= 0 {
+			continue
+		}
+		b := binIdx(p.Actual)
+		a := accs[b]
+		if a == nil {
+			a = &acc{}
+			accs[b] = a
+		}
+		d := p.Estimate - float64(p.Actual)
+		a.sumSq += d * d
+		a.sumCard += float64(p.Actual)
+		a.count++
+	}
+	idxs := make([]int, 0, len(accs))
+	for b := range accs {
+		idxs = append(idxs, b)
+	}
+	sort.Ints(idxs)
+	out := make([]RSEBin, 0, len(idxs))
+	for _, b := range idxs {
+		a := accs[b]
+		mean := a.sumCard / float64(a.count)
+		out = append(out, RSEBin{
+			Lo:       int(math.Ceil(math.Pow(ratio, float64(b)) - 1e-9)),
+			Hi:       int(math.Ceil(math.Pow(ratio, float64(b+1)) - 1e-9)),
+			MeanCard: mean,
+			Count:    a.count,
+			RSE:      math.Sqrt(a.sumSq/float64(a.count)) / mean,
+		})
+	}
+	return out
+}
+
+// AvgRelativeError returns mean(|n̂ - n| / n) over pairs with Actual > 0.
+func AvgRelativeError(pairs []Pair) float64 {
+	sum, count := 0.0, 0
+	for _, p := range pairs {
+		if p.Actual <= 0 {
+			continue
+		}
+		sum += math.Abs(p.Estimate-float64(p.Actual)) / float64(p.Actual)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// DetectionCounts tallies a detection experiment (§V-F).
+type DetectionCounts struct {
+	TruePositives  int // true spreaders detected
+	FalseNegatives int // true spreaders missed
+	FalsePositives int // non-spreaders flagged
+	TotalUsers     int // all occurred users
+}
+
+// FNR returns FalseNegatives / (TruePositives + FalseNegatives): the ratio
+// of super spreaders not detected to the number of super spreaders.
+func (d DetectionCounts) FNR() float64 {
+	spreaders := d.TruePositives + d.FalseNegatives
+	if spreaders == 0 {
+		return 0
+	}
+	return float64(d.FalseNegatives) / float64(spreaders)
+}
+
+// FPR returns FalsePositives / TotalUsers: the ratio of users wrongly
+// flagged to the number of all users — the paper's definition, which
+// normalizes by all users rather than by true negatives.
+func (d DetectionCounts) FPR() float64 {
+	if d.TotalUsers == 0 {
+		return 0
+	}
+	return float64(d.FalsePositives) / float64(d.TotalUsers)
+}
+
+// Table is a simple column-aligned table with a title, used by the
+// experiment harness for every figure/table it regenerates.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row of cells (Sprint-ed to strings).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: scientific for very small/large
+// magnitudes (the FNR/FPR and RSE columns), fixed otherwise.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 0):
+		return "Inf"
+	case math.Abs(v) < 1e-3 || math.Abs(v) >= 1e7:
+		return fmt.Sprintf("%.2e", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// WriteTo writes the table as aligned plain text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// WriteCSV writes the table as CSV (headers + rows, comma-separated, cells
+// containing commas or quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

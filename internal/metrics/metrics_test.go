@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRSEExactPerfectEstimates(t *testing.T) {
+	pairs := []Pair{{10, 10}, {10, 10}, {5, 5}}
+	rse := RSEExact(pairs)
+	if rse[10] != 0 || rse[5] != 0 {
+		t.Fatalf("perfect estimates should give RSE 0: %v", rse)
+	}
+}
+
+func TestRSEExactKnownValue(t *testing.T) {
+	// Two users with n=10, estimates 8 and 12: MSE = (4+4)/2 = 4, RMSE = 2,
+	// RSE = 2/10 = 0.2.
+	pairs := []Pair{{10, 8}, {10, 12}}
+	rse := RSEExact(pairs)
+	if math.Abs(rse[10]-0.2) > 1e-12 {
+		t.Fatalf("RSE = %v, want 0.2", rse[10])
+	}
+}
+
+func TestRSEExactSkipsZeroCardinality(t *testing.T) {
+	rse := RSEExact([]Pair{{0, 5}, {-1, 2}})
+	if len(rse) != 0 {
+		t.Fatalf("zero-cardinality users must be skipped: %v", rse)
+	}
+}
+
+func TestRSEBinnedGrouping(t *testing.T) {
+	var pairs []Pair
+	// 100 users at n=10 (estimates 9), 100 at n=1000 (estimates 1100).
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, Pair{10, 9}, Pair{1000, 1100})
+	}
+	bins := RSEBinned(pairs, 5)
+	if len(bins) != 2 {
+		t.Fatalf("want 2 bins, got %d: %+v", len(bins), bins)
+	}
+	if math.Abs(bins[0].RSE-0.1) > 1e-9 {
+		t.Fatalf("bin 0 RSE = %v, want 0.1", bins[0].RSE)
+	}
+	if math.Abs(bins[1].RSE-0.1) > 1e-9 {
+		t.Fatalf("bin 1 RSE = %v, want 0.1", bins[1].RSE)
+	}
+	if bins[0].MeanCard != 10 || bins[1].MeanCard != 1000 {
+		t.Fatalf("mean cards: %v %v", bins[0].MeanCard, bins[1].MeanCard)
+	}
+	if bins[0].Count != 100 || bins[1].Count != 100 {
+		t.Fatal("bin counts wrong")
+	}
+}
+
+func TestRSEBinnedAscendingAndBounded(t *testing.T) {
+	var pairs []Pair
+	for n := 1; n <= 10000; n *= 2 {
+		pairs = append(pairs, Pair{n, float64(n) * 1.1})
+	}
+	bins := RSEBinned(pairs, 4)
+	for i := 1; i < bins[i-1].Lo; i++ {
+		_ = i
+	}
+	prev := 0
+	for _, b := range bins {
+		if b.Lo < prev {
+			t.Fatal("bins not ascending")
+		}
+		prev = b.Lo
+		if b.MeanCard < float64(b.Lo)-1 || (b.Hi > 0 && b.MeanCard > float64(b.Hi)+1) {
+			t.Fatalf("mean card %v outside [%d,%d]", b.MeanCard, b.Lo, b.Hi)
+		}
+	}
+}
+
+func TestRSEBinnedDefaultBins(t *testing.T) {
+	bins := RSEBinned([]Pair{{5, 5}}, 0)
+	if len(bins) != 1 {
+		t.Fatal("default binsPerDecade path broken")
+	}
+}
+
+func TestAvgRelativeError(t *testing.T) {
+	pairs := []Pair{{10, 12}, {100, 90}, {0, 5}}
+	// |2|/10 = 0.2; |10|/100 = 0.1; zero-card skipped. Mean = 0.15.
+	if got := AvgRelativeError(pairs); math.Abs(got-0.15) > 1e-12 {
+		t.Fatalf("ARE = %v", got)
+	}
+	if AvgRelativeError(nil) != 0 {
+		t.Fatal("empty ARE should be 0")
+	}
+}
+
+func TestDetectionCounts(t *testing.T) {
+	d := DetectionCounts{TruePositives: 8, FalseNegatives: 2, FalsePositives: 5, TotalUsers: 1000}
+	if math.Abs(d.FNR()-0.2) > 1e-12 {
+		t.Fatalf("FNR = %v", d.FNR())
+	}
+	if math.Abs(d.FPR()-0.005) > 1e-12 {
+		t.Fatalf("FPR = %v", d.FPR())
+	}
+	empty := DetectionCounts{}
+	if empty.FNR() != 0 || empty.FPR() != 0 {
+		t.Fatal("empty counts must give 0 ratios")
+	}
+}
+
+func TestTableWriting(t *testing.T) {
+	tb := NewTable("Title", "a", "bbbb", "c")
+	tb.AddRow("x", 1.5, "long-cell")
+	tb.AddRow("yyyy", 0.00001, 3)
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "1.00e-05") {
+		t.Fatalf("small float not in scientific notation:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,1", "has \"quote\"")
+	tb.AddRow(2, 3.5)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,1\",\"has \"\"quote\"\"\"\n2,3.5\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.5",
+		250.123: "250.1",
+		1e-8:    "1.00e-08",
+		3e9:     "3.00e+09",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if FormatFloat(math.NaN()) != "NaN" || FormatFloat(math.Inf(1)) != "Inf" {
+		t.Fatal("special values mishandled")
+	}
+}

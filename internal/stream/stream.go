@@ -1,0 +1,245 @@
+// Package stream defines the graph-stream model of the paper (§II): a
+// sequence of user-item edges e(1), e(2), ... in which the same edge may
+// occur multiple times. It provides in-memory and file-backed streams, a
+// compact binary codec for replaying datasets, and deterministic stream
+// transforms (shuffling, duplicate injection) used by the workload
+// generators.
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/hashing"
+)
+
+// Edge is one user-item pair e = (s, d). In a bipartite stream User and Item
+// live in separate ID spaces; for a regular graph stream both are node IDs.
+type Edge struct {
+	User uint64
+	Item uint64
+}
+
+// Stream is a forward-only edge iterator. Next returns io.EOF after the last
+// edge. Implementations need not be safe for concurrent use.
+type Stream interface {
+	Next() (Edge, error)
+}
+
+// Slice is an in-memory stream over a slice of edges.
+type Slice struct {
+	edges []Edge
+	pos   int
+}
+
+// NewSlice returns a stream over edges (not copied).
+func NewSlice(edges []Edge) *Slice { return &Slice{edges: edges} }
+
+// Next implements Stream.
+func (s *Slice) Next() (Edge, error) {
+	if s.pos >= len(s.edges) {
+		return Edge{}, io.EOF
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// Reset rewinds the stream to the first edge.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Len returns the total number of edges.
+func (s *Slice) Len() int { return len(s.edges) }
+
+// Collect drains a stream into a slice.
+func Collect(s Stream) ([]Edge, error) {
+	var out []Edge
+	for {
+		e, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// ForEach applies fn to every edge of s.
+func ForEach(s Stream, fn func(Edge)) error {
+	for {
+		e, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fn(e)
+	}
+}
+
+// Shuffle permutes edges in place with a deterministic seeded PRNG. Arrival
+// order is the paper's time axis, so shuffling models users interleaving.
+func Shuffle(edges []Edge, seed uint64) {
+	rng := hashing.NewRNG(seed)
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+}
+
+// InjectDuplicates returns a new edge slice in which each input edge is
+// followed by Poisson(rate) extra copies, modelling the paper's observation
+// that "an edge in Γ may appear more than once". The result preserves input
+// order (shuffle afterwards to interleave).
+func InjectDuplicates(edges []Edge, rate float64, seed uint64) []Edge {
+	if rate <= 0 {
+		out := make([]Edge, len(edges))
+		copy(out, edges)
+		return out
+	}
+	rng := hashing.NewRNG(seed)
+	out := make([]Edge, 0, int(float64(len(edges))*(1+rate))+16)
+	for _, e := range edges {
+		out = append(out, e)
+		for k := rng.Poisson(rate); k > 0; k-- {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ---- binary codec ----
+//
+// Format: magic "EDG1", then varint edge count, then per edge two uvarints
+// (user, item). Compact and fast enough to replay tens of millions of edges.
+
+const codecMagic = "EDG1"
+
+// Write serializes edges to w.
+func Write(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(edges)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		n = binary.PutUvarint(buf[:], e.User)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(buf[:], e.Item)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Reader streams edges from a serialized stream without loading them all.
+type Reader struct {
+	br        *bufio.Reader
+	remaining uint64
+}
+
+// NewReader validates the header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("stream: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("stream: bad magic %q", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading count: %w", err)
+	}
+	return &Reader{br: br, remaining: count}, nil
+}
+
+// Len returns the number of edges not yet read.
+func (r *Reader) Len() int { return int(r.remaining) }
+
+// Next implements Stream.
+func (r *Reader) Next() (Edge, error) {
+	if r.remaining == 0 {
+		return Edge{}, io.EOF
+	}
+	u, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Edge{}, fmt.Errorf("stream: truncated edge: %w", err)
+	}
+	it, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return Edge{}, fmt.Errorf("stream: truncated edge: %w", err)
+	}
+	r.remaining--
+	return Edge{User: u, Item: it}, nil
+}
+
+// ---- text codec ----
+
+// WriteText writes one "user item" pair per line — the interchange format of
+// cmd/spreaderwatch, chosen so real datasets (e.g. SNAP edge lists) can be
+// piped in directly.
+func WriteText(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.User, e.Item); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TextReader streams whitespace-separated "user item" lines. Blank lines and
+// lines starting with '#' are skipped (SNAP datasets carry such comments).
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewTextReader returns a streaming text reader over r.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	return &TextReader{sc: sc}
+}
+
+// Next implements Stream.
+func (t *TextReader) Next() (Edge, error) {
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return Edge{}, fmt.Errorf("stream: line %d: want 2 fields, have %d", t.line, len(fields))
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return Edge{}, fmt.Errorf("stream: line %d: bad user: %w", t.line, err)
+		}
+		it, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return Edge{}, fmt.Errorf("stream: line %d: bad item: %w", t.line, err)
+		}
+		return Edge{User: u, Item: it}, nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return Edge{}, err
+	}
+	return Edge{}, io.EOF
+}

@@ -1,0 +1,297 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hashing"
+)
+
+func edges(n int) []Edge {
+	out := make([]Edge, n)
+	for i := range out {
+		out[i] = Edge{User: uint64(i % 17), Item: uint64(i)}
+	}
+	return out
+}
+
+func TestSliceStream(t *testing.T) {
+	es := edges(5)
+	s := NewSlice(es)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("collected %d edges", len(got))
+	}
+	for i := range got {
+		if got[i] != es[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+	if _, err := s.Next(); !errors.Is(err, io.EOF) {
+		t.Fatal("exhausted stream must return EOF")
+	}
+	s.Reset()
+	if e, err := s.Next(); err != nil || e != es[0] {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	count := 0
+	if err := ForEach(NewSlice(edges(10)), func(Edge) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("visited %d edges", count)
+	}
+}
+
+func TestShuffleDeterministicAndPermutes(t *testing.T) {
+	a := edges(100)
+	b := edges(100)
+	Shuffle(a, 42)
+	Shuffle(b, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must shuffle identically")
+		}
+	}
+	c := edges(100)
+	Shuffle(c, 43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical shuffle")
+	}
+	// Multiset preserved.
+	seen := make(map[Edge]int)
+	for _, e := range a {
+		seen[e]++
+	}
+	for _, e := range edges(100) {
+		seen[e]--
+		if seen[e] < 0 {
+			t.Fatal("shuffle changed the multiset")
+		}
+	}
+}
+
+func TestInjectDuplicatesRate(t *testing.T) {
+	in := edges(20000)
+	out := InjectDuplicates(in, 0.15, 7)
+	extra := float64(len(out)-len(in)) / float64(len(in))
+	if extra < 0.12 || extra > 0.18 {
+		t.Fatalf("duplicate rate = %.3f, want ~0.15", extra)
+	}
+	// Every output edge must exist in the input (duplicates only).
+	inSet := make(map[Edge]bool, len(in))
+	for _, e := range in {
+		inSet[e] = true
+	}
+	for _, e := range out {
+		if !inSet[e] {
+			t.Fatal("injector invented an edge")
+		}
+	}
+}
+
+func TestInjectDuplicatesZeroRate(t *testing.T) {
+	in := edges(10)
+	out := InjectDuplicates(in, 0, 1)
+	if len(out) != len(in) {
+		t.Fatalf("rate 0 changed length: %d", len(out))
+	}
+	out[0].User = 999
+	if in[0].User == 999 {
+		t.Fatal("rate-0 path must copy, not alias")
+	}
+}
+
+func TestInjectDuplicatesDeterministic(t *testing.T) {
+	in := edges(1000)
+	a := InjectDuplicates(in, 0.3, 5)
+	b := InjectDuplicates(in, 0.3, 5)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different streams")
+		}
+	}
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 1000} {
+		in := edges(n)
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() != n {
+			t.Fatalf("reader Len = %d, want %d", r.Len(), n)
+		}
+		got, err := Collect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("decoded %d edges, want %d", len(got), n)
+		}
+		for i := range got {
+			if got[i] != in[i] {
+				t.Fatalf("edge %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestBinaryCodecLargeIDs(t *testing.T) {
+	in := []Edge{{User: 1<<64 - 1, Item: 1<<63 + 12345}}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(r)
+	if err != nil || len(got) != 1 || got[0] != in[0] {
+		t.Fatalf("large ID round trip failed: %v %v", got, err)
+	}
+}
+
+func TestBinaryCodecRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("JUNKJUNK"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("ED"))); err == nil {
+		t.Fatal("short magic accepted")
+	}
+	// Truncated payload: valid header claiming 5 edges, no data.
+	var buf bytes.Buffer
+	buf.WriteString("EDG1")
+	buf.WriteByte(5)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated edge accepted")
+	}
+}
+
+func TestBinaryCodecQuick(t *testing.T) {
+	f := func(users, items []uint64) bool {
+		n := len(users)
+		if len(items) < n {
+			n = len(items)
+		}
+		in := make([]Edge, n)
+		for i := 0; i < n; i++ {
+			in[i] = Edge{User: users[i], Item: items[i]}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := Collect(r)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextCodecRoundTrip(t *testing.T) {
+	in := edges(50)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewTextReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("decoded %d edges", len(got))
+	}
+	for i := range got {
+		if got[i] != in[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestTextReaderSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# SNAP-style header\n\n1 2\n  \n# comment\n3 4\n"
+	got, err := Collect(NewTextReader(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Edge{{1, 2}, {3, 4}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTextReaderErrors(t *testing.T) {
+	if _, err := NewTextReader(strings.NewReader("onlyonefield\n")).Next(); err == nil {
+		t.Fatal("single field accepted")
+	}
+	if _, err := NewTextReader(strings.NewReader("a b\n")).Next(); err == nil {
+		t.Fatal("non-numeric user accepted")
+	}
+	if _, err := NewTextReader(strings.NewReader("1 b\n")).Next(); err == nil {
+		t.Fatal("non-numeric item accepted")
+	}
+}
+
+func TestTextReaderTabSeparated(t *testing.T) {
+	got, err := Collect(NewTextReader(strings.NewReader("7\t9\n")))
+	if err != nil || len(got) != 1 || got[0] != (Edge{7, 9}) {
+		t.Fatalf("tab-separated parse failed: %v %v", got, err)
+	}
+}
+
+func TestShuffleEmptyAndSingle(t *testing.T) {
+	Shuffle(nil, 1)
+	one := []Edge{{1, 2}}
+	Shuffle(one, 1)
+	if one[0] != (Edge{1, 2}) {
+		t.Fatal("single-element shuffle changed the element")
+	}
+}
+
+var _ = hashing.NewRNG // keep import if tests above change

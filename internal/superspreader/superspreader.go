@@ -1,0 +1,100 @@
+// Package superspreader implements the case study of §V-F: detecting super
+// spreaders — users whose cardinality reaches Δ·n(t), where n(t) is the sum
+// of all user cardinalities at time t and 0 < Δ < 1 a relative threshold —
+// on the fly from a cardinality estimator's anytime estimates.
+//
+// Two components are provided:
+//
+//   - Detector: the online detection rule a production system would run.
+//     It uses the estimator's own estimates for both the per-user
+//     cardinalities and the total, so it needs no oracle.
+//
+//   - Evaluate: the offline scoring used by Fig. 6 and Table II. Following
+//     the paper's setup, the threshold Δ·n(t) is computed from the exact
+//     total (both the truth set and every method are thresholded against
+//     the same Δ·n(t)), isolating per-user estimation error — otherwise a
+//     method could look better merely by misestimating the total.
+package superspreader
+
+import (
+	"sort"
+
+	"repro/internal/exact"
+	"repro/internal/metrics"
+)
+
+// Estimator is the minimal estimator view the detector needs: per-user
+// anytime estimates, an anytime estimate of the total distinct-pair count,
+// and iteration over users with nonzero estimates.
+type Estimator interface {
+	Estimate(user uint64) float64
+	TotalDistinct() float64
+	Users(fn func(user uint64, estimate float64))
+}
+
+// Detector flags users whose estimated cardinality reaches Delta times the
+// estimated total.
+type Detector struct {
+	Est   Estimator
+	Delta float64
+}
+
+// NewDetector returns a Detector. It panics unless 0 < delta < 1.
+func NewDetector(est Estimator, delta float64) *Detector {
+	if delta <= 0 || delta >= 1 {
+		panic("superspreader: delta must be in (0,1)")
+	}
+	return &Detector{Est: est, Delta: delta}
+}
+
+// Threshold returns the current absolute threshold Δ·n̂(t).
+func (d *Detector) Threshold() float64 { return d.Delta * d.Est.TotalDistinct() }
+
+// Detect returns the users currently flagged as super spreaders, sorted by
+// descending estimate.
+func (d *Detector) Detect() []Spreader {
+	thr := d.Threshold()
+	var out []Spreader
+	d.Est.Users(func(u uint64, e float64) {
+		if e >= thr {
+			out = append(out, Spreader{User: u, Estimate: e})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].User < out[j].User
+	})
+	return out
+}
+
+// Spreader is one flagged user.
+type Spreader struct {
+	User     uint64
+	Estimate float64
+}
+
+// Evaluate scores estimates against ground truth at the current instant.
+// The absolute threshold is Δ·n(t) with n(t) the exact total; a user is
+// truly a spreader if its exact cardinality reaches the threshold and is
+// detected if estimate(user) reaches the same threshold. TotalUsers is the
+// number of occurred users (the FPR denominator of §V-F).
+func Evaluate(estimate func(user uint64) float64, truth *exact.Tracker, delta float64) metrics.DetectionCounts {
+	thr := delta * float64(truth.TotalCardinality())
+	var c metrics.DetectionCounts
+	truth.Users(func(u uint64, card int) {
+		c.TotalUsers++
+		isSpreader := float64(card) >= thr
+		detected := estimate(u) >= thr
+		switch {
+		case isSpreader && detected:
+			c.TruePositives++
+		case isSpreader && !detected:
+			c.FalseNegatives++
+		case !isSpreader && detected:
+			c.FalsePositives++
+		}
+	})
+	return c
+}

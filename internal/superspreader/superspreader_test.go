@@ -1,0 +1,169 @@
+package superspreader
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/hashing"
+)
+
+// fakeEstimator is a deterministic Estimator for unit tests.
+type fakeEstimator struct {
+	est   map[uint64]float64
+	total float64
+}
+
+func (f *fakeEstimator) Estimate(u uint64) float64 { return f.est[u] }
+func (f *fakeEstimator) TotalDistinct() float64    { return f.total }
+func (f *fakeEstimator) Users(fn func(uint64, float64)) {
+	for u, e := range f.est {
+		fn(u, e)
+	}
+}
+
+func TestNewDetectorPanics(t *testing.T) {
+	for _, d := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("delta %v accepted", d)
+				}
+			}()
+			NewDetector(&fakeEstimator{}, d)
+		}()
+	}
+}
+
+func TestDetectorThresholdAndDetect(t *testing.T) {
+	fe := &fakeEstimator{
+		est:   map[uint64]float64{1: 100, 2: 49, 3: 50, 4: 200},
+		total: 1000,
+	}
+	d := NewDetector(fe, 0.05)
+	if d.Threshold() != 50 {
+		t.Fatalf("threshold = %v", d.Threshold())
+	}
+	got := d.Detect()
+	if len(got) != 3 {
+		t.Fatalf("detected %d users: %+v", len(got), got)
+	}
+	// Sorted by descending estimate: 4 (200), 1 (100), 3 (50).
+	if got[0].User != 4 || got[1].User != 1 || got[2].User != 3 {
+		t.Fatalf("order wrong: %+v", got)
+	}
+}
+
+func TestDetectTieBreaksByUser(t *testing.T) {
+	fe := &fakeEstimator{est: map[uint64]float64{9: 60, 2: 60}, total: 1000}
+	got := NewDetector(fe, 0.05).Detect()
+	if len(got) != 2 || got[0].User != 2 || got[1].User != 9 {
+		t.Fatalf("tie-break wrong: %+v", got)
+	}
+}
+
+func TestEvaluatePerfectEstimator(t *testing.T) {
+	truth := exact.NewTracker()
+	for i := 0; i < 100; i++ {
+		truth.Observe(1, uint64(i)) // card 100
+	}
+	truth.Observe(2, 1) // card 1
+	truth.Observe(3, 1)
+	// delta*total = 0.5*102 = 51: only user 1 is a spreader.
+	counts := Evaluate(func(u uint64) float64 {
+		return float64(truth.Cardinality(u))
+	}, truth, 0.5)
+	if counts.TruePositives != 1 || counts.FalseNegatives != 0 || counts.FalsePositives != 0 {
+		t.Fatalf("counts = %+v", counts)
+	}
+	if counts.TotalUsers != 3 {
+		t.Fatalf("total users = %d", counts.TotalUsers)
+	}
+	if counts.FNR() != 0 || counts.FPR() != 0 {
+		t.Fatal("perfect estimator must have zero error ratios")
+	}
+}
+
+func TestEvaluateMissesAndFalseAlarms(t *testing.T) {
+	truth := exact.NewTracker()
+	for i := 0; i < 100; i++ {
+		truth.Observe(1, uint64(i))
+		truth.Observe(2, uint64(i+1000))
+	}
+	truth.Observe(3, 1)
+	// threshold = 0.25 * 201 ≈ 50.25: users 1 and 2 are spreaders.
+	est := func(u uint64) float64 {
+		switch u {
+		case 1:
+			return 100 // detected
+		case 2:
+			return 10 // missed -> FN
+		default:
+			return 99 // false alarm -> FP
+		}
+	}
+	counts := Evaluate(est, truth, 0.25)
+	if counts.TruePositives != 1 || counts.FalseNegatives != 1 || counts.FalsePositives != 1 {
+		t.Fatalf("counts = %+v", counts)
+	}
+	if math.Abs(counts.FNR()-0.5) > 1e-12 {
+		t.Fatalf("FNR = %v", counts.FNR())
+	}
+	if math.Abs(counts.FPR()-1.0/3) > 1e-12 {
+		t.Fatalf("FPR = %v", counts.FPR())
+	}
+}
+
+func TestEndToEndWithFreeRS(t *testing.T) {
+	// Integration: FreeRS-backed detection on a synthetic stream catches the
+	// heavy user with no false alarms among 500 light users.
+	f := core.NewFreeRS(1<<16, 1)
+	truth := exact.NewTracker()
+	rng := hashing.NewRNG(7)
+	for i := 0; i < 15000; i++ {
+		u := uint64(rng.Intn(500))
+		d := rng.Uint64() % 300
+		f.Observe(u, d)
+		truth.Observe(u, d)
+		f.Observe(999, uint64(i))
+		truth.Observe(999, uint64(i))
+	}
+	const delta = 0.05
+	counts := Evaluate(f.Estimate, truth, delta)
+	if counts.FNR() != 0 {
+		t.Fatalf("missed the heavy user: %+v", counts)
+	}
+	if counts.FPR() > 0.01 {
+		t.Fatalf("FPR = %v too high", counts.FPR())
+	}
+	// The online detector (no oracle) must agree here.
+	det := NewDetector(f, delta)
+	found := false
+	for _, s := range det.Detect() {
+		if s.User == 999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("online detector missed the heavy user")
+	}
+}
+
+func TestDetectorOnlineThresholdTracksStream(t *testing.T) {
+	f := core.NewFreeBS(1<<16, 2)
+	det := NewDetector(f, 0.1)
+	if det.Threshold() != 0 {
+		t.Fatalf("empty threshold = %v", det.Threshold())
+	}
+	for i := 0; i < 1000; i++ {
+		f.Observe(uint64(i%10), uint64(i))
+	}
+	thrEarly := det.Threshold()
+	for i := 0; i < 10000; i++ {
+		f.Observe(uint64(i%10), uint64(i)+5000)
+	}
+	if det.Threshold() <= thrEarly {
+		t.Fatal("threshold must grow with the stream")
+	}
+}

@@ -1,0 +1,149 @@
+// Package vhll implements Virtual HyperLogLog (Xiao, Chen, Chen & Ling,
+// SIGMETRICS 2015), the register-sharing baseline of §III-B2 of the paper.
+//
+// vHLL embeds a virtual m-register HLL sketch for every user into one shared
+// array of M registers: user s's sketch is (R[f_1(s)], ..., R[f_m(s)]).
+// The estimator removes the expected noise contributed by other users:
+//
+//	n̂_s = M/(M-m) · ( α_m·m² / Σ_i 2^-R[f_i(s)]  -  m·α_M·M / Σ_j 2^-R[j] )
+//
+// with the first (per-user) term replaced by linear counting -m·ln(Û_s/m)
+// when it falls below 2.5m, exactly as in the paper. The global harmonic sum
+// Σ_j 2^-R[j] is maintained incrementally (exact integer arithmetic, see
+// internal/regarray), so only the per-user term costs O(m) per estimate.
+package vhll
+
+import (
+	"math"
+
+	"repro/internal/hashing"
+	"repro/internal/hll"
+	"repro/internal/regarray"
+)
+
+// Width is the register width used by the paper for vHLL (w = 5 bits).
+const Width = 5
+
+// VHLL is a shared-register-array estimator for all users.
+type VHLL struct {
+	regs       *regarray.Array
+	fam        *hashing.IndexFamily
+	itemSeed1  uint64
+	itemSeed2  uint64
+	m          int
+	smallRange bool
+
+	scratch []int
+}
+
+// Option configures a VHLL.
+type Option func(*VHLL)
+
+// WithoutSmallRange disables the linear-counting replacement of the per-user
+// term. This exists as an ablation: it shows why the paper's small-range
+// rule matters for the (majority) users with small cardinalities.
+func WithoutSmallRange() Option { return func(v *VHLL) { v.smallRange = false } }
+
+// New returns a vHLL with mRegs shared 5-bit registers and virtual sketches
+// of m registers per user. It panics if m <= 0, mRegs <= m is violated.
+func New(mRegs, m int, seed uint64, opts ...Option) *VHLL {
+	if m <= 0 || mRegs <= 0 || m >= mRegs {
+		panic("vhll: need 0 < m < M")
+	}
+	v := &VHLL{
+		regs:       regarray.New(mRegs, Width),
+		fam:        hashing.NewIndexFamily(seed, m, mRegs),
+		itemSeed1:  hashing.Mix64(seed ^ 0x8ebc6af09c88c6e3),
+		itemSeed2:  hashing.Mix64(seed ^ 0x589965cc75374cc3),
+		m:          m,
+		smallRange: true,
+	}
+	for _, o := range opts {
+		o(v)
+	}
+	return v
+}
+
+// M returns the shared array size in registers.
+func (v *VHLL) M() int { return v.regs.Size() }
+
+// VirtualSize returns m, the virtual sketch size per user.
+func (v *VHLL) VirtualSize() int { return v.m }
+
+// MemoryBits returns the fixed memory footprint in bits.
+func (v *VHLL) MemoryBits() int64 { return int64(v.regs.Size()) * Width }
+
+// Observe records edge (user, item): the item selects position h(d) in the
+// user's virtual sketch and rank ρ(d); the shared register takes the max.
+// O(1) per edge.
+func (v *VHLL) Observe(user, item uint64) {
+	j := hashing.UniformIndex(hashing.HashU64(item, v.itemSeed1), v.m)
+	rank := hashing.Rho(hashing.HashU64(item, v.itemSeed2), v.regs.MaxValue())
+	v.regs.UpdateMax(v.fam.Index(user, j), rank)
+}
+
+// Estimate returns the noise-corrected cardinality estimate of user,
+// clamped to be non-negative. Cost is O(m) (the per-user term); the global
+// term is O(1) thanks to the maintained harmonic sum.
+func (v *VHLL) Estimate(user uint64) float64 {
+	v.scratch = v.fam.Indices(user, v.scratch[:0])
+	sum := 0.0
+	zeros := 0
+	for _, idx := range v.scratch {
+		r := v.regs.Get(idx)
+		if r == 0 {
+			zeros++
+		}
+		sum += math.Exp2(-float64(r))
+	}
+	m := float64(v.m)
+	bigM := float64(v.regs.Size())
+
+	first := hll.Alpha(v.m) * m * m / sum
+	if v.smallRange && first < 2.5*m && zeros > 0 {
+		first = -m * math.Log(float64(zeros)/m)
+	}
+	// The paper writes the noise term as m·α_M·M/Σ_j 2^-R[j], i.e. (m/M)
+	// times the *raw* global HLL estimate. The raw estimate is heavily
+	// biased upward when the shared array is lightly loaded (it tends to
+	// 0.72·M as the array empties), which would overcorrect every user to
+	// zero early in the stream. We therefore apply HLL's standard
+	// small-range correction to the global estimate as well — in the loaded
+	// regime (raw >= 2.5M) this is exactly the paper's formula.
+	second := m / bigM * v.TotalEstimate()
+	est := bigM / (bigM - m) * (first - second)
+	if est < 0 {
+		return 0
+	}
+	return est
+}
+
+// GlobalHarmonicSum exposes Σ_j 2^-R[j] (maintained, O(1)).
+func (v *VHLL) GlobalHarmonicSum() float64 { return v.regs.HarmonicSum() }
+
+// TotalEstimate returns the standard HLL estimate of the total number of
+// distinct pairs n computed over the whole shared array — the quantity the
+// noise-correction term is built from.
+func (v *VHLL) TotalEstimate() float64 {
+	bigM := float64(v.regs.Size())
+	raw := hll.Alpha(v.regs.Size()) * bigM * bigM / v.regs.HarmonicSum()
+	if raw < 2.5*bigM {
+		if z := v.regs.ZeroCount(); z > 0 {
+			return bigM * math.Log(bigM/float64(z))
+		}
+	}
+	return raw
+}
+
+// Variance returns the paper's approximate variance of the vHLL estimator
+// for a user with true cardinality ns when n distinct pairs total have been
+// recorded into M shared registers with virtual size m (§III-B2).
+func Variance(ns, n float64, m, M int) float64 {
+	mf, Mf := float64(m), float64(M)
+	frac := Mf / (Mf - mf)
+	noise := (n - ns) * mf / Mf
+	term1 := 1.04 * 1.04 / mf * (ns + noise) * (ns + noise)
+	term2 := noise * (1 - mf/Mf)
+	term3 := (1.04 * n * mf) * (1.04 * n * mf) / (Mf * Mf * Mf)
+	return frac * frac * (term1 + term2 + term3)
+}

@@ -1,0 +1,233 @@
+package vhll
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1, 0) },
+		func() { New(100, 0, 0) },
+		func() { New(100, 100, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	v := New(1<<16, 128, 1)
+	if v.M() != 1<<16 || v.VirtualSize() != 128 {
+		t.Fatal("accessors wrong")
+	}
+	if v.MemoryBits() != int64(1<<16)*Width {
+		t.Fatalf("memory = %d", v.MemoryBits())
+	}
+	if math.Abs(v.GlobalHarmonicSum()-float64(1<<16)) > 1e-9 {
+		t.Fatalf("fresh harmonic sum = %v", v.GlobalHarmonicSum())
+	}
+}
+
+func TestEmptyUserEstimatesNearZero(t *testing.T) {
+	v := New(1<<16, 128, 2)
+	if got := v.Estimate(42); got != 0 {
+		t.Fatalf("empty estimate = %v", got)
+	}
+}
+
+func TestSingleUserNoNoise(t *testing.T) {
+	v := New(1<<18, 1024, 3)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v.Observe(7, uint64(i))
+	}
+	got := v.Estimate(7)
+	// RSE ~ 1.04/sqrt(1024) ~ 3.3%; allow 6 sigma.
+	if math.Abs(got-n) > 6*0.033*n {
+		t.Fatalf("estimate %v for n=%d", got, n)
+	}
+}
+
+func TestSmallCardinalityUsesLinearCounting(t *testing.T) {
+	v := New(1<<18, 1024, 4)
+	const n = 40
+	for i := 0; i < n; i++ {
+		v.Observe(7, uint64(i))
+	}
+	got := v.Estimate(7)
+	if math.Abs(got-n) > 15 {
+		t.Fatalf("small-range estimate %v, want ~%d", got, n)
+	}
+}
+
+func TestSmallRangeAblation(t *testing.T) {
+	// Without the linear-counting replacement, small cardinalities are
+	// estimated by the raw HLL term, which is biased upward at n << m.
+	seedStream := func(v *VHLL) {
+		for i := 0; i < 40; i++ {
+			v.Observe(7, uint64(i))
+		}
+	}
+	withLC := New(1<<16, 1024, 5)
+	withoutLC := New(1<<16, 1024, 5, WithoutSmallRange())
+	seedStream(withLC)
+	seedStream(withoutLC)
+	errWith := math.Abs(withLC.Estimate(7) - 40)
+	errWithout := math.Abs(withoutLC.Estimate(7) - 40)
+	if errWith >= errWithout {
+		t.Fatalf("linear counting did not help: with=%v without=%v", errWith, errWithout)
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	v := New(1<<14, 256, 6)
+	for i := 0; i < 100; i++ {
+		v.Observe(1, uint64(i))
+	}
+	before := v.Estimate(1)
+	for i := 0; i < 100; i++ {
+		v.Observe(1, uint64(i))
+	}
+	if v.Estimate(1) != before {
+		t.Fatal("duplicates changed the estimate")
+	}
+}
+
+func TestNoiseCorrection(t *testing.T) {
+	// A modest user among heavy background: the global term must pull the
+	// estimate back toward truth.
+	v := New(1<<17, 512, 7)
+	rng := hashing.NewRNG(9)
+	for u := uint64(100); u < 600; u++ {
+		for i := 0; i < 300; i++ {
+			v.Observe(u, rng.Uint64())
+		}
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v.Observe(7, uint64(i))
+	}
+	got := v.Estimate(7)
+	if math.Abs(got-n) > 0.5*n {
+		t.Fatalf("corrected estimate %v for n=%d", got, n)
+	}
+}
+
+func TestEstimateClampedNonNegative(t *testing.T) {
+	v := New(1<<14, 512, 8)
+	rng := hashing.NewRNG(11)
+	for u := uint64(0); u < 200; u++ {
+		for i := 0; i < 100; i++ {
+			v.Observe(u, rng.Uint64())
+		}
+	}
+	for u := uint64(1000); u < 1200; u++ {
+		if got := v.Estimate(u); got < 0 {
+			t.Fatalf("negative estimate %v", got)
+		}
+	}
+}
+
+func TestLargeRangeBeyondCSELimit(t *testing.T) {
+	// vHLL's selling point vs CSE: it can estimate far beyond m·ln m.
+	v := New(1<<18, 1024, 12)
+	const n = 500000 // >> 1024·ln(1024) ≈ 7100
+	for i := 0; i < n; i++ {
+		v.Observe(7, uint64(i))
+	}
+	got := v.Estimate(7)
+	if math.Abs(got-n) > 0.25*n {
+		t.Fatalf("large-range estimate %v for n=%d", got, n)
+	}
+}
+
+func TestTotalEstimate(t *testing.T) {
+	// Keep per-user cardinalities well below m: when n_u approaches m,
+	// virtual-slot collisions make vHLL's global view systematically
+	// undercount total distinct pairs (a structural property of register
+	// sharing, not a bug — distinct items sharing a virtual slot look like
+	// one element to the shared array).
+	v := New(1<<16, 512, 13)
+	total := 0
+	for u := uint64(0); u < 2500; u++ {
+		for i := 0; i < 20; i++ {
+			v.Observe(u, uint64(i)+u<<32)
+			total++
+		}
+	}
+	got := v.TotalEstimate()
+	if math.Abs(got-float64(total)) > 0.1*float64(total) {
+		t.Fatalf("total estimate %v, want ~%d", got, total)
+	}
+}
+
+func TestTotalEstimateSmallRange(t *testing.T) {
+	v := New(1<<16, 512, 14)
+	for i := 0; i < 100; i++ {
+		v.Observe(1, uint64(i))
+	}
+	got := v.TotalEstimate()
+	if math.Abs(got-100) > 30 {
+		t.Fatalf("small total estimate %v, want ~100", got)
+	}
+}
+
+func TestVarianceFormulaShape(t *testing.T) {
+	// More background traffic (larger n) must increase variance; so must a
+	// larger m/M ratio (more noise per virtual register).
+	v1 := Variance(100, 10000, 512, 1<<17)
+	v2 := Variance(100, 100000, 512, 1<<17)
+	if v2 <= v1 {
+		t.Fatalf("variance must grow with n: %v vs %v", v1, v2)
+	}
+	v3 := Variance(100, 10000, 512, 1<<14)
+	if v3 <= v1 {
+		t.Fatalf("variance must grow as M shrinks: %v vs %v", v1, v3)
+	}
+}
+
+func TestGlobalHarmonicSumFalls(t *testing.T) {
+	v := New(4096, 64, 15)
+	before := v.GlobalHarmonicSum()
+	for i := 0; i < 1000; i++ {
+		v.Observe(uint64(i), uint64(i))
+	}
+	if v.GlobalHarmonicSum() >= before {
+		t.Fatal("harmonic sum did not fall")
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	v := New(1<<20, 1024, 1)
+	rng := hashing.NewRNG(1)
+	users := make([]uint64, 4096)
+	items := make([]uint64, 4096)
+	for i := range users {
+		users[i] = uint64(rng.Intn(10000))
+		items[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Observe(users[i&4095], items[i&4095])
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	v := New(1<<20, 1024, 1)
+	for i := 0; i < 100000; i++ {
+		v.Observe(uint64(i%100), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Estimate(uint64(i % 100))
+	}
+}

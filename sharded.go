@@ -1,0 +1,109 @@
+package streamcard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hashing"
+)
+
+// Sharded makes any Estimator safe for concurrent use and scalable across
+// cores — the deployment shape the paper's conclusion points at (SDN
+// routers and line-rate monitors process packets on many threads).
+//
+// Users are partitioned by hash across N independent shards, each its own
+// estimator behind its own mutex: all edges of a user land in the same
+// shard, so per-user estimates are exactly what a single estimator fed that
+// user's sub-stream would produce, and shards never contend unless two
+// threads hit the same shard simultaneously. TotalDistinct sums the shards
+// (the sub-streams partition the pair space, so the sum is exact in
+// expectation).
+//
+// The memory budget given to the constructor is split evenly across shards.
+type Sharded struct {
+	shards []shard
+	seed   uint64
+	name   string
+}
+
+type shard struct {
+	mu  sync.Mutex
+	est Estimator
+}
+
+// NewSharded returns a sharded wrapper with n shards; build(i) must return
+// a fresh estimator for shard i (use distinct seeds per shard for hash
+// independence). It panics if n <= 0 or build returns nil.
+func NewSharded(n int, build func(shard int) Estimator) *Sharded {
+	if n <= 0 {
+		panic("streamcard: NewSharded requires n > 0")
+	}
+	if build == nil {
+		panic("streamcard: NewSharded requires a build function")
+	}
+	s := &Sharded{
+		shards: make([]shard, n),
+		seed:   hashing.Mix64(uint64(n) ^ 0x3779c0ffee),
+	}
+	for i := range s.shards {
+		est := build(i)
+		if est == nil {
+			panic("streamcard: build returned nil estimator")
+		}
+		s.shards[i].est = est
+	}
+	s.name = fmt.Sprintf("Sharded(%s,%d)", s.shards[0].est.Name(), n)
+	return s
+}
+
+func (s *Sharded) shardFor(user uint64) *shard {
+	return &s.shards[hashing.UniformIndex(hashing.HashU64(user, s.seed), len(s.shards))]
+}
+
+// Observe implements Estimator; safe for concurrent use.
+func (s *Sharded) Observe(user, item uint64) {
+	sh := s.shardFor(user)
+	sh.mu.Lock()
+	sh.est.Observe(user, item)
+	sh.mu.Unlock()
+}
+
+// Estimate implements Estimator; safe for concurrent use.
+func (s *Sharded) Estimate(user uint64) float64 {
+	sh := s.shardFor(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.est.Estimate(user)
+}
+
+// TotalDistinct implements Estimator (sum across shards).
+func (s *Sharded) TotalDistinct() float64 {
+	total := 0.0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.est.TotalDistinct()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// MemoryBits implements Estimator (sum across shards).
+func (s *Sharded) MemoryBits() int64 {
+	var m int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		m += sh.est.MemoryBits()
+		sh.mu.Unlock()
+	}
+	return m
+}
+
+// Name implements Estimator.
+func (s *Sharded) Name() string { return s.name }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+var _ Estimator = (*Sharded)(nil)

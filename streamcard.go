@@ -1,0 +1,330 @@
+// Package streamcard estimates per-user cardinalities over graph streams —
+// the number of distinct items each user connects to, available at any
+// moment while edges keep arriving.
+//
+// It is a from-scratch Go implementation of "Utilizing Dynamic Properties of
+// Sharing Bits and Registers to Estimate User Cardinalities over Time"
+// (Wang, Jia, Zhang, Tao, Guan, Towsley — ICDE 2019). The paper's two
+// algorithms are the headline API:
+//
+//   - FreeBS — parameter-free bit sharing. One shared bit array; O(1) per
+//     edge; unbiased anytime estimates; range up to M·ln M.
+//   - FreeRS — parameter-free register sharing. One shared register array;
+//     O(1) per edge; unbiased anytime estimates; range up to ~2^32.
+//
+// The baselines the paper compares against are included as full
+// implementations under the same interface: CSE and vHLL (shared-array
+// virtual sketches) and per-user LPC and HyperLogLog++ sketches.
+//
+// # Quick start
+//
+//	est := streamcard.NewFreeRS(1 << 20) // one million bits of sketch memory
+//	for _, e := range edges {
+//	    est.Observe(e.User, e.Item)
+//	}
+//	fmt.Println(est.Estimate(someUser), est.TotalDistinct())
+//
+// Estimates are available after every single Observe — there is no
+// end-of-stream finalization step.
+//
+// String identifiers can be hashed into the uint64 key space with Key.
+package streamcard
+
+import (
+	"repro/internal/core"
+	"repro/internal/cse"
+	"repro/internal/hashing"
+	"repro/internal/hll"
+	"repro/internal/lpc"
+	"repro/internal/superspreader"
+	"repro/internal/vhll"
+)
+
+// Estimator is the common interface of all six methods: feed user-item
+// edges, query any user's cardinality estimate at any time.
+type Estimator interface {
+	// Observe processes one edge (user, item). Duplicate edges are handled
+	// by construction: re-observing a pair never inflates estimates.
+	Observe(user, item uint64)
+	// Estimate returns the current cardinality estimate for user; 0 for
+	// users that have not been observed.
+	Estimate(user uint64) float64
+	// TotalDistinct estimates the total number of distinct (user, item)
+	// pairs observed so far.
+	TotalDistinct() float64
+	// MemoryBits reports the sketch memory in use, in bits (per-user
+	// bookkeeping such as estimate counters excluded).
+	MemoryBits() int64
+	// Name returns the method's name as the paper spells it.
+	Name() string
+}
+
+// AnytimeEstimator is implemented by FreeBS and FreeRS, which additionally
+// maintain every user's running estimate and can therefore enumerate users
+// in O(users) with no per-user query cost.
+type AnytimeEstimator interface {
+	Estimator
+	// Users calls fn for every user with a nonzero estimate.
+	Users(fn func(user uint64, estimate float64))
+	// NumUsers returns the number of users with nonzero estimates.
+	NumUsers() int
+}
+
+// Key hashes an arbitrary string identifier (an IP address, a URL, a user
+// handle) into the uint64 key space used by Observe.
+func Key(s string) uint64 { return hashing.Hash64([]byte(s), 0x5eed) }
+
+// Option configures an estimator constructor.
+type Option func(*options)
+
+type options struct {
+	seed uint64
+}
+
+// WithSeed sets the hash seed (default 1). Estimators with equal seeds are
+// deterministic replicas; independent runs should use distinct seeds.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+func buildOptions(opts []Option) options {
+	o := options{seed: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// ---- FreeBS ----
+
+// FreeBS wraps core.FreeBS behind the Estimator interface.
+type FreeBS struct{ inner *core.FreeBS }
+
+// NewFreeBS returns a FreeBS estimator with memoryBits bits of shared sketch
+// memory — the method's only parameter.
+func NewFreeBS(memoryBits int, opts ...Option) *FreeBS {
+	o := buildOptions(opts)
+	return &FreeBS{inner: core.NewFreeBS(memoryBits, o.seed)}
+}
+
+// Observe implements Estimator.
+func (f *FreeBS) Observe(user, item uint64) { f.inner.Observe(user, item) }
+
+// Estimate implements Estimator.
+func (f *FreeBS) Estimate(user uint64) float64 { return f.inner.Estimate(user) }
+
+// TotalDistinct implements Estimator using the low-variance global
+// linear-counting view of the shared array.
+func (f *FreeBS) TotalDistinct() float64 { return f.inner.TotalDistinctLPC() }
+
+// MemoryBits implements Estimator.
+func (f *FreeBS) MemoryBits() int64 { return f.inner.MemoryBits() }
+
+// Name implements Estimator.
+func (f *FreeBS) Name() string { return "FreeBS" }
+
+// Users implements AnytimeEstimator.
+func (f *FreeBS) Users(fn func(uint64, float64)) { f.inner.Users(fn) }
+
+// NumUsers implements AnytimeEstimator.
+func (f *FreeBS) NumUsers() int { return f.inner.NumUsers() }
+
+// Saturated reports whether the shared array has no zero bits left; past
+// this point new pairs can no longer be counted (the M·ln M range limit).
+func (f *FreeBS) Saturated() bool { return f.inner.Saturated() }
+
+// ---- FreeRS ----
+
+// FreeRS wraps core.FreeRS behind the Estimator interface.
+type FreeRS struct{ inner *core.FreeRS }
+
+// NewFreeRS returns a FreeRS estimator with memoryBits bits of shared sketch
+// memory, organized as memoryBits/5 five-bit registers (the paper's layout).
+func NewFreeRS(memoryBits int, opts ...Option) *FreeRS {
+	o := buildOptions(opts)
+	regs := memoryBits / core.DefaultRegisterWidth
+	if regs < 1 {
+		regs = 1
+	}
+	return &FreeRS{inner: core.NewFreeRS(regs, o.seed)}
+}
+
+// Observe implements Estimator.
+func (f *FreeRS) Observe(user, item uint64) { f.inner.Observe(user, item) }
+
+// Estimate implements Estimator.
+func (f *FreeRS) Estimate(user uint64) float64 { return f.inner.Estimate(user) }
+
+// TotalDistinct implements Estimator using the global HLL view.
+func (f *FreeRS) TotalDistinct() float64 { return f.inner.TotalDistinctHLL() }
+
+// MemoryBits implements Estimator.
+func (f *FreeRS) MemoryBits() int64 { return f.inner.MemoryBits() }
+
+// Name implements Estimator.
+func (f *FreeRS) Name() string { return "FreeRS" }
+
+// Users implements AnytimeEstimator.
+func (f *FreeRS) Users(fn func(uint64, float64)) { f.inner.Users(fn) }
+
+// NumUsers implements AnytimeEstimator.
+func (f *FreeRS) NumUsers() int { return f.inner.NumUsers() }
+
+// ---- CSE ----
+
+// CSE wraps the bit-sharing baseline (Yoon et al.) behind Estimator.
+type CSE struct{ inner *cse.CSE }
+
+// NewCSE returns a CSE estimator: memoryBits shared bits, virtual sketches
+// of virtualM bits per user. Estimates cost O(virtualM).
+func NewCSE(memoryBits, virtualM int, opts ...Option) *CSE {
+	o := buildOptions(opts)
+	return &CSE{inner: cse.New(memoryBits, virtualM, o.seed)}
+}
+
+// Observe implements Estimator.
+func (c *CSE) Observe(user, item uint64) { c.inner.Observe(user, item) }
+
+// Estimate implements Estimator.
+func (c *CSE) Estimate(user uint64) float64 { return c.inner.Estimate(user) }
+
+// TotalDistinct implements Estimator.
+func (c *CSE) TotalDistinct() float64 { return c.inner.TotalEstimate() }
+
+// MemoryBits implements Estimator.
+func (c *CSE) MemoryBits() int64 { return c.inner.MemoryBits() }
+
+// Name implements Estimator.
+func (c *CSE) Name() string { return "CSE" }
+
+// ---- vHLL ----
+
+// VHLL wraps the register-sharing baseline (Xiao et al.) behind Estimator.
+type VHLL struct{ inner *vhll.VHLL }
+
+// NewVHLL returns a vHLL estimator: memoryBits/5 shared five-bit registers,
+// virtual sketches of virtualM registers per user. Estimates cost
+// O(virtualM).
+func NewVHLL(memoryBits, virtualM int, opts ...Option) *VHLL {
+	o := buildOptions(opts)
+	regs := memoryBits / vhll.Width
+	if regs < 2 {
+		regs = 2
+	}
+	return &VHLL{inner: vhll.New(regs, virtualM, o.seed)}
+}
+
+// Observe implements Estimator.
+func (v *VHLL) Observe(user, item uint64) { v.inner.Observe(user, item) }
+
+// Estimate implements Estimator.
+func (v *VHLL) Estimate(user uint64) float64 { return v.inner.Estimate(user) }
+
+// TotalDistinct implements Estimator.
+func (v *VHLL) TotalDistinct() float64 { return v.inner.TotalEstimate() }
+
+// MemoryBits implements Estimator.
+func (v *VHLL) MemoryBits() int64 { return v.inner.MemoryBits() }
+
+// Name implements Estimator.
+func (v *VHLL) Name() string { return "vHLL" }
+
+// ---- per-user LPC ----
+
+// PerUserLPC wraps the per-user linear-counting baseline behind Estimator.
+type PerUserLPC struct{ inner *lpc.PerUser }
+
+// NewPerUserLPC returns an estimator that lazily allocates an independent
+// bitsPerUser-bit LPC sketch for every observed user.
+func NewPerUserLPC(bitsPerUser int, opts ...Option) *PerUserLPC {
+	o := buildOptions(opts)
+	return &PerUserLPC{inner: lpc.NewPerUser(bitsPerUser, o.seed)}
+}
+
+// Observe implements Estimator.
+func (p *PerUserLPC) Observe(user, item uint64) { p.inner.Observe(user, item) }
+
+// Estimate implements Estimator.
+func (p *PerUserLPC) Estimate(user uint64) float64 { return p.inner.Estimate(user) }
+
+// TotalDistinct implements Estimator (sum of per-user estimates, O(users)).
+func (p *PerUserLPC) TotalDistinct() float64 {
+	total := 0.0
+	p.inner.Users(func(u uint64) { total += p.inner.Estimate(u) })
+	return total
+}
+
+// MemoryBits implements Estimator (grows with the number of users).
+func (p *PerUserLPC) MemoryBits() int64 { return p.inner.MemoryBits() }
+
+// Name implements Estimator.
+func (p *PerUserLPC) Name() string { return "LPC" }
+
+// ---- per-user HLL++ ----
+
+// PerUserHLLPP wraps the per-user HyperLogLog++ baseline behind Estimator.
+type PerUserHLLPP struct{ inner *hll.PerUser }
+
+// NewPerUserHLLPP returns an estimator that lazily allocates an independent
+// HLL++ sketch of registersPerUser six-bit registers for every observed
+// user (sparse-exact below the memory-parity threshold).
+func NewPerUserHLLPP(registersPerUser int, opts ...Option) *PerUserHLLPP {
+	o := buildOptions(opts)
+	return &PerUserHLLPP{inner: hll.NewPerUser(registersPerUser, o.seed)}
+}
+
+// Observe implements Estimator.
+func (p *PerUserHLLPP) Observe(user, item uint64) { p.inner.Observe(user, item) }
+
+// Estimate implements Estimator.
+func (p *PerUserHLLPP) Estimate(user uint64) float64 { return p.inner.Estimate(user) }
+
+// TotalDistinct implements Estimator (sum of per-user estimates, O(users)).
+func (p *PerUserHLLPP) TotalDistinct() float64 {
+	total := 0.0
+	p.inner.Users(func(u uint64) { total += p.inner.Estimate(u) })
+	return total
+}
+
+// MemoryBits implements Estimator.
+func (p *PerUserHLLPP) MemoryBits() int64 { return p.inner.MemoryBits() }
+
+// Name implements Estimator.
+func (p *PerUserHLLPP) Name() string { return "HLL++" }
+
+// ---- super-spreader detection ----
+
+// Spreader is one detected super spreader.
+type Spreader = superspreader.Spreader
+
+// SpreaderDetector flags users whose estimated cardinality reaches delta
+// times the estimated total — the paper's §V-F case study, runnable on the
+// fly against any AnytimeEstimator.
+type SpreaderDetector struct{ inner *superspreader.Detector }
+
+// NewSpreaderDetector returns a detector over est with relative threshold
+// delta in (0, 1).
+func NewSpreaderDetector(est AnytimeEstimator, delta float64) *SpreaderDetector {
+	return &SpreaderDetector{inner: superspreader.NewDetector(adaptor{est}, delta)}
+}
+
+// Threshold returns the current absolute threshold delta·TotalDistinct().
+func (d *SpreaderDetector) Threshold() float64 { return d.inner.Threshold() }
+
+// Detect returns the currently flagged users, sorted by descending estimate.
+func (d *SpreaderDetector) Detect() []Spreader { return d.inner.Detect() }
+
+// adaptor narrows AnytimeEstimator to the superspreader.Estimator interface.
+type adaptor struct{ e AnytimeEstimator }
+
+func (a adaptor) Estimate(u uint64) float64      { return a.e.Estimate(u) }
+func (a adaptor) TotalDistinct() float64         { return a.e.TotalDistinct() }
+func (a adaptor) Users(fn func(uint64, float64)) { a.e.Users(fn) }
+
+// Interface conformance checks.
+var (
+	_ AnytimeEstimator = (*FreeBS)(nil)
+	_ AnytimeEstimator = (*FreeRS)(nil)
+	_ Estimator        = (*CSE)(nil)
+	_ Estimator        = (*VHLL)(nil)
+	_ Estimator        = (*PerUserLPC)(nil)
+	_ Estimator        = (*PerUserHLLPP)(nil)
+)

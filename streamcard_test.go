@@ -1,0 +1,194 @@
+package streamcard
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+// allEstimators builds one of each method at a uniform memory budget.
+func allEstimators(tb testing.TB) []Estimator {
+	tb.Helper()
+	const M = 1 << 20
+	return []Estimator{
+		NewFreeBS(M),
+		NewFreeRS(M),
+		NewCSE(M, 512),
+		NewVHLL(M, 512),
+		NewPerUserLPC(1024),
+		NewPerUserHLLPP(128),
+	}
+}
+
+func TestAllEstimatorsBasicAccuracy(t *testing.T) {
+	for _, est := range allEstimators(t) {
+		const n = 2000
+		for i := 0; i < n; i++ {
+			est.Observe(1, uint64(i))
+			est.Observe(2, uint64(i%7)) // small user, lots of duplicates
+		}
+		e1 := est.Estimate(1)
+		if math.Abs(e1-n) > 0.35*n {
+			t.Fatalf("%s: estimate %v for n=%d", est.Name(), e1, n)
+		}
+		e2 := est.Estimate(2)
+		if e2 < 0 || e2 > 60 {
+			t.Fatalf("%s: estimate %v for n=7", est.Name(), e2)
+		}
+		// Unseen users: exactly 0 for per-user sketches and FreeBS/FreeRS
+		// (no bit/register ever credited); the virtual-sketch methods CSE
+		// and vHLL may report small positive noise because an unseen user's
+		// virtual sketch still samples shared (polluted) cells.
+		unseen := est.Estimate(999)
+		switch est.Name() {
+		case "CSE", "vHLL":
+			if unseen < 0 || unseen > 100 {
+				t.Fatalf("%s: unseen user estimate %v outside noise range", est.Name(), unseen)
+			}
+		default:
+			if unseen != 0 {
+				t.Fatalf("%s: unseen user estimate %v, want exactly 0", est.Name(), unseen)
+			}
+		}
+		if est.MemoryBits() <= 0 {
+			t.Fatalf("%s: memory accounting broken", est.Name())
+		}
+	}
+}
+
+func TestTotalDistinctAllMethods(t *testing.T) {
+	for _, est := range allEstimators(t) {
+		for u := uint64(0); u < 50; u++ {
+			for i := 0; i < 100; i++ {
+				est.Observe(u, uint64(i)+u*1000)
+			}
+		}
+		got := est.TotalDistinct()
+		if math.Abs(got-5000) > 0.3*5000 {
+			t.Fatalf("%s: total %v, want ~5000", est.Name(), got)
+		}
+	}
+}
+
+func TestNamesMatchPaper(t *testing.T) {
+	want := []string{"FreeBS", "FreeRS", "CSE", "vHLL", "LPC", "HLL++"}
+	for i, est := range allEstimators(t) {
+		if est.Name() != want[i] {
+			t.Fatalf("estimator %d name %q, want %q", i, est.Name(), want[i])
+		}
+	}
+}
+
+func TestKeyStringHashing(t *testing.T) {
+	if Key("10.0.0.1") == Key("10.0.0.2") {
+		t.Fatal("distinct strings must hash differently")
+	}
+	if Key("example.com") != Key("example.com") {
+		t.Fatal("Key must be deterministic")
+	}
+	est := NewFreeBS(1 << 16)
+	for i := 0; i < 100; i++ {
+		est.Observe(Key("host-a"), Key("url-"+string(rune('a'+i%26))))
+	}
+	if est.Estimate(Key("host-a")) < 10 {
+		t.Fatal("string-keyed observation failed")
+	}
+}
+
+func TestWithSeedReplicasAndIndependence(t *testing.T) {
+	a := NewFreeRS(1<<16, WithSeed(5))
+	b := NewFreeRS(1<<16, WithSeed(5))
+	c := NewFreeRS(1<<16, WithSeed(6))
+	for i := 0; i < 3000; i++ {
+		a.Observe(1, uint64(i))
+		b.Observe(1, uint64(i))
+		c.Observe(1, uint64(i))
+	}
+	if a.Estimate(1) != b.Estimate(1) {
+		t.Fatal("equal seeds must be exact replicas")
+	}
+	if a.Estimate(1) == c.Estimate(1) {
+		t.Fatal("different seeds should differ (w.h.p.)")
+	}
+}
+
+func TestAnytimeUsersIteration(t *testing.T) {
+	for _, est := range []AnytimeEstimator{NewFreeBS(1 << 16), NewFreeRS(1 << 16)} {
+		for u := uint64(0); u < 10; u++ {
+			est.Observe(u, 1)
+			est.Observe(u, 2)
+		}
+		if est.NumUsers() != 10 {
+			t.Fatalf("%s: NumUsers = %d", est.Name(), est.NumUsers())
+		}
+		sum := 0.0
+		est.Users(func(_ uint64, e float64) { sum += e })
+		if math.Abs(sum-est.TotalDistinct()) > 0.25*sum {
+			t.Fatalf("%s: user sum %v vs total %v", est.Name(), sum, est.TotalDistinct())
+		}
+	}
+}
+
+func TestAnytimeEstimatesEvolve(t *testing.T) {
+	// The anytime property: estimates must be queryable and sane mid-stream,
+	// not only at the end.
+	est := NewFreeRS(1 << 18)
+	for i := 0; i < 10000; i++ {
+		est.Observe(7, uint64(i))
+		if i == 99 || i == 999 || i == 9999 {
+			got := est.Estimate(7)
+			want := float64(i + 1)
+			if math.Abs(got-want) > 0.2*want+3 {
+				t.Fatalf("at t=%d: estimate %v, want ~%v", i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestSpreaderDetectorEndToEnd(t *testing.T) {
+	est := NewFreeRS(1 << 18)
+	rng := hashing.NewRNG(3)
+	for i := 0; i < 30000; i++ {
+		est.Observe(uint64(rng.Intn(300)), rng.Uint64()%500)
+		est.Observe(7777, uint64(i))
+	}
+	det := NewSpreaderDetector(est, 0.05)
+	if det.Threshold() <= 0 {
+		t.Fatal("threshold not positive")
+	}
+	found := det.Detect()
+	if len(found) == 0 || found[0].User != 7777 {
+		t.Fatalf("heavy user not top detection: %+v", found)
+	}
+}
+
+func TestFreeBSSaturatedAccessor(t *testing.T) {
+	f := NewFreeBS(64)
+	if f.Saturated() {
+		t.Fatal("fresh array saturated")
+	}
+	for i := 0; i < 5000; i++ {
+		f.Observe(1, uint64(i))
+	}
+	if !f.Saturated() {
+		t.Fatal("tiny array should saturate")
+	}
+}
+
+func TestDuplicateInsensitivityAllMethods(t *testing.T) {
+	for _, est := range allEstimators(t) {
+		for i := 0; i < 500; i++ {
+			est.Observe(3, uint64(i))
+		}
+		before := est.Estimate(3)
+		for rep := 0; rep < 3; rep++ {
+			for i := 0; i < 500; i++ {
+				est.Observe(3, uint64(i))
+			}
+		}
+		if est.Estimate(3) != before {
+			t.Fatalf("%s: duplicates changed the estimate", est.Name())
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package streamcard
+
+import "sort"
+
+// TopK returns the k users with the largest current estimates, descending
+// (ties broken by user ID for determinism). It runs in O(users · log k) over
+// an AnytimeEstimator's maintained estimates — the "who are my heaviest
+// sources right now" query network monitors issue between edges.
+func TopK(est AnytimeEstimator, k int) []Spreader {
+	if k <= 0 {
+		return nil
+	}
+	// A bounded min-heap over (estimate, user).
+	heap := make([]Spreader, 0, k+1)
+	less := func(a, b Spreader) bool {
+		if a.Estimate != b.Estimate {
+			return a.Estimate < b.Estimate
+		}
+		return a.User > b.User // larger IDs evict first on ties
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && less(heap[l], heap[smallest]) {
+				smallest = l
+			}
+			if r < len(heap) && less(heap[r], heap[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+	est.Users(func(u uint64, e float64) {
+		s := Spreader{User: u, Estimate: e}
+		if len(heap) < k {
+			heap = append(heap, s)
+			siftUp(len(heap) - 1)
+			return
+		}
+		if less(heap[0], s) {
+			heap[0] = s
+			siftDown()
+		}
+	})
+	if len(heap) == 0 {
+		return nil
+	}
+	sort.Slice(heap, func(i, j int) bool {
+		if heap[i].Estimate != heap[j].Estimate {
+			return heap[i].Estimate > heap[j].Estimate
+		}
+		return heap[i].User < heap[j].User
+	})
+	return heap
+}

@@ -1,0 +1,82 @@
+package streamcard
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+func TestTopKExactOrdering(t *testing.T) {
+	est := NewFreeRS(1 << 20)
+	// Users 1..20 with cardinality 100*u each: clear separation.
+	for u := uint64(1); u <= 20; u++ {
+		for i := 0; i < int(u)*100; i++ {
+			est.Observe(u, uint64(i)|u<<40)
+		}
+	}
+	top := TopK(est, 5)
+	if len(top) != 5 {
+		t.Fatalf("len = %d", len(top))
+	}
+	want := []uint64{20, 19, 18, 17, 16}
+	for i, s := range top {
+		if s.User != want[i] {
+			t.Fatalf("rank %d: user %d, want %d (estimates: %+v)", i, s.User, want[i], top)
+		}
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Estimate > top[i-1].Estimate {
+			t.Fatal("not descending")
+		}
+	}
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	est := NewFreeBS(1 << 20)
+	rng := hashing.NewRNG(9)
+	for i := 0; i < 30000; i++ {
+		est.Observe(uint64(rng.Intn(500)), rng.Uint64())
+	}
+	var all []Spreader
+	est.Users(func(u uint64, e float64) { all = append(all, Spreader{User: u, Estimate: e}) })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Estimate != all[j].Estimate {
+			return all[i].Estimate > all[j].Estimate
+		}
+		return all[i].User < all[j].User
+	})
+	for _, k := range []int{1, 7, 50, 499, 500, 600} {
+		got := TopK(est, k)
+		wantLen := k
+		if wantLen > len(all) {
+			wantLen = len(all)
+		}
+		if len(got) != wantLen {
+			t.Fatalf("k=%d: len %d, want %d", k, len(got), wantLen)
+		}
+		for i := range got {
+			if got[i] != all[i] {
+				t.Fatalf("k=%d rank %d: got %+v want %+v", k, i, got[i], all[i])
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	est := NewFreeRS(1 << 16)
+	if got := TopK(est, 5); got != nil {
+		t.Fatalf("empty estimator: %v", got)
+	}
+	if got := TopK(est, 0); got != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	if got := TopK(est, -1); got != nil {
+		t.Fatal("negative k must return nil")
+	}
+	est.Observe(1, 1)
+	got := TopK(est, 10)
+	if len(got) != 1 || got[0].User != 1 {
+		t.Fatalf("singleton: %+v", got)
+	}
+}

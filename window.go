@@ -1,0 +1,95 @@
+package streamcard
+
+import "fmt"
+
+// Windowed adapts any Estimator to approximate cardinalities over the recent
+// past instead of the whole stream — the practical need behind the paper's
+// future-work note on monitoring anomalies continuously (a scanner from last
+// week should not keep a host flagged today).
+//
+// It uses epoch rotation, the standard windowing scheme for sketches that do
+// not support deletion: two generations of the underlying estimator are
+// kept, every edge feeds the current generation, and Rotate() (called every
+// epoch, e.g. by a timer) discards the older generation and starts a fresh
+// one. Queries sum the two live generations, so an estimate covers between
+// one and two epochs of history.
+//
+// Semantics: a pair observed in both live generations is counted in both, so
+// Estimate is an upper approximation of the distinct count over the window
+// (at most 2× for a pathological stream that repeats every pair each epoch;
+// in monitoring practice the overlap is the steady traffic one usually wants
+// weighted anyway). Within one generation duplicates are still free.
+type Windowed struct {
+	build    func() Estimator
+	current  Estimator
+	previous Estimator // nil during the first epoch
+	epoch    int
+}
+
+// NewWindowed returns a windowed wrapper; build must return a fresh
+// estimator (it is called on construction and at every rotation). Example:
+//
+//	w := streamcard.NewWindowed(func() streamcard.Estimator {
+//	    return streamcard.NewFreeRS(1 << 22)
+//	})
+func NewWindowed(build func() Estimator) *Windowed {
+	if build == nil {
+		panic("streamcard: NewWindowed requires a build function")
+	}
+	w := &Windowed{build: build}
+	w.current = build()
+	if w.current == nil {
+		panic("streamcard: build returned nil estimator")
+	}
+	return w
+}
+
+// Observe implements Estimator (feeds the current generation).
+func (w *Windowed) Observe(user, item uint64) { w.current.Observe(user, item) }
+
+// Estimate implements Estimator: the sum over live generations.
+func (w *Windowed) Estimate(user uint64) float64 {
+	e := w.current.Estimate(user)
+	if w.previous != nil {
+		e += w.previous.Estimate(user)
+	}
+	return e
+}
+
+// TotalDistinct implements Estimator (same windowed semantics).
+func (w *Windowed) TotalDistinct() float64 {
+	t := w.current.TotalDistinct()
+	if w.previous != nil {
+		t += w.previous.TotalDistinct()
+	}
+	return t
+}
+
+// MemoryBits implements Estimator (both live generations).
+func (w *Windowed) MemoryBits() int64 {
+	m := w.current.MemoryBits()
+	if w.previous != nil {
+		m += w.previous.MemoryBits()
+	}
+	return m
+}
+
+// Name implements Estimator.
+func (w *Windowed) Name() string { return fmt.Sprintf("Windowed(%s)", w.current.Name()) }
+
+// Rotate closes the current epoch: the oldest generation is discarded, the
+// current one becomes read-only history, and a fresh estimator starts
+// receiving edges. Call it once per epoch length.
+func (w *Windowed) Rotate() {
+	w.previous = w.current
+	w.current = w.build()
+	if w.current == nil {
+		panic("streamcard: build returned nil estimator")
+	}
+	w.epoch++
+}
+
+// Epoch returns how many rotations have happened.
+func (w *Windowed) Epoch() int { return w.epoch }
+
+var _ Estimator = (*Windowed)(nil)

@@ -1,0 +1,122 @@
+package streamcard
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWindowedFirstEpochMatchesPlain(t *testing.T) {
+	w := NewWindowed(func() Estimator { return NewFreeRS(1<<18, WithSeed(3)) })
+	plain := NewFreeRS(1<<18, WithSeed(3))
+	for i := 0; i < 5000; i++ {
+		w.Observe(1, uint64(i))
+		plain.Observe(1, uint64(i))
+	}
+	if w.Estimate(1) != plain.Estimate(1) {
+		t.Fatal("first epoch must match an unwrapped estimator exactly")
+	}
+	if w.Epoch() != 0 {
+		t.Fatalf("epoch = %d", w.Epoch())
+	}
+}
+
+func TestWindowedRotationForgetsOldEpochs(t *testing.T) {
+	w := NewWindowed(func() Estimator { return NewFreeRS(1 << 18) })
+	// Epoch 0: user 1 is a heavy hitter.
+	for i := 0; i < 10000; i++ {
+		w.Observe(1, uint64(i))
+	}
+	heavy := w.Estimate(1)
+	if heavy < 8000 {
+		t.Fatalf("epoch-0 estimate %v", heavy)
+	}
+	// One rotation: epoch-0 data still visible (previous generation).
+	w.Rotate()
+	if got := w.Estimate(1); math.Abs(got-heavy) > 1e-9 {
+		t.Fatalf("after one rotation estimate %v, want still %v", got, heavy)
+	}
+	// Second rotation: epoch-0 data fully aged out.
+	w.Rotate()
+	if got := w.Estimate(1); got != 0 {
+		t.Fatalf("after two rotations estimate %v, want 0", got)
+	}
+	if w.Epoch() != 2 {
+		t.Fatalf("epoch = %d", w.Epoch())
+	}
+}
+
+func TestWindowedSpansTwoGenerations(t *testing.T) {
+	w := NewWindowed(func() Estimator { return NewFreeRS(1 << 18) })
+	for i := 0; i < 1000; i++ {
+		w.Observe(1, uint64(i))
+	}
+	w.Rotate()
+	for i := 1000; i < 2000; i++ { // disjoint items in the new epoch
+		w.Observe(1, uint64(i))
+	}
+	got := w.Estimate(1)
+	if math.Abs(got-2000) > 150 {
+		t.Fatalf("window estimate %v, want ~2000", got)
+	}
+	total := w.TotalDistinct()
+	if math.Abs(total-2000) > 250 {
+		t.Fatalf("window total %v, want ~2000", total)
+	}
+}
+
+func TestWindowedOverlapUpperBound(t *testing.T) {
+	// The same pairs fed in both generations are double counted — the
+	// documented upper-approximation semantics.
+	w := NewWindowed(func() Estimator { return NewFreeRS(1 << 18) })
+	for i := 0; i < 1000; i++ {
+		w.Observe(1, uint64(i))
+	}
+	w.Rotate()
+	for i := 0; i < 1000; i++ {
+		w.Observe(1, uint64(i))
+	}
+	got := w.Estimate(1)
+	if got < 1500 || got > 2500 {
+		t.Fatalf("overlap estimate %v, want ~2000 (duplicated across epochs)", got)
+	}
+}
+
+func TestWindowedMemoryAndName(t *testing.T) {
+	w := NewWindowed(func() Estimator { return NewFreeBS(4096) })
+	if w.MemoryBits() != 4096 {
+		t.Fatalf("one generation memory = %d", w.MemoryBits())
+	}
+	w.Rotate()
+	if w.MemoryBits() != 8192 {
+		t.Fatalf("two generation memory = %d", w.MemoryBits())
+	}
+	if !strings.Contains(w.Name(), "FreeBS") {
+		t.Fatalf("name = %q", w.Name())
+	}
+}
+
+func TestWindowedPanics(t *testing.T) {
+	mustPanic(t, func() { NewWindowed(nil) })
+	mustPanic(t, func() { NewWindowed(func() Estimator { return nil }) })
+	w := NewWindowed(func() Estimator { return NewFreeBS(64) })
+	calls := 0
+	w.build = func() Estimator {
+		calls++
+		if calls > 0 {
+			return nil
+		}
+		return NewFreeBS(64)
+	}
+	mustPanic(t, w.Rotate)
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
