@@ -1,0 +1,115 @@
+package streamcard
+
+// Batched ingestion is a fast path, not a semantic fork: for every estimator
+// in the library, feeding a stream through ObserveBatch (in assorted chunk
+// sizes) must leave estimates bit-identical to feeding the same stream edge
+// by edge. The assertion is exact float equality — any divergence in hash
+// hoisting, run detection, or shard grouping shows up immediately.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+// burstStream generates n edges in per-user bursts with duplicates, the
+// arrival shape the batch path amortizes over. Deterministic in seed.
+func burstStream(n int, seed uint64) []Edge {
+	rng := hashing.NewRNG(seed)
+	edges := make([]Edge, 0, n)
+	for len(edges) < n {
+		u := uint64(rng.Intn(400) + 1)
+		run := rng.Intn(16) + 1
+		for r := 0; r < run && len(edges) < n; r++ {
+			item := rng.Uint64()
+			if rng.Float64() < 0.15 {
+				item = uint64(rng.Intn(64)) // repeats exercise duplicate handling
+			}
+			edges = append(edges, Edge{User: u, Item: item})
+		}
+	}
+	return edges
+}
+
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	builders := map[string]func() Estimator{
+		"FreeBS": func() Estimator { return NewFreeBS(1<<14, WithSeed(5)) },
+		"FreeRS": func() Estimator { return NewFreeRS(1<<14, WithSeed(5)) },
+		"CSE":    func() Estimator { return NewCSE(1<<14, 128, WithSeed(5)) },
+		"vHLL":   func() Estimator { return NewVHLL(1<<14, 128, WithSeed(5)) },
+		"LPC":    func() Estimator { return NewPerUserLPC(256, WithSeed(5)) },
+		"HLL++":  func() Estimator { return NewPerUserHLLPP(32, WithSeed(5)) },
+		"Sharded": func() Estimator {
+			return NewSharded(4, func(i int) Estimator {
+				return NewFreeRS(1<<12, WithSeed(uint64(i)+1))
+			})
+		},
+		"Windowed": func() Estimator {
+			return NewWindowed(func() Estimator { return NewFreeBS(1<<14, WithSeed(5)) })
+		},
+	}
+	edges := burstStream(12000, 21)
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			seq := build()
+			bat := build()
+			for _, e := range edges {
+				seq.Observe(e.User, e.Item)
+			}
+			for i, chunks := 0, []int{1, 7, 300, 64, 1023}; i < len(edges); {
+				c := chunks[i%len(chunks)]
+				if i+c > len(edges) {
+					c = len(edges) - i
+				}
+				bat.ObserveBatch(edges[i : i+c])
+				i += c
+			}
+			seen := map[uint64]struct{}{}
+			for _, e := range edges {
+				if _, ok := seen[e.User]; ok {
+					continue
+				}
+				seen[e.User] = struct{}{}
+				if got, want := bat.Estimate(e.User), seq.Estimate(e.User); got != want {
+					t.Fatalf("%s user %d: batch %v != sequential %v (must be bit-identical)",
+						name, e.User, got, want)
+				}
+			}
+			got, want := bat.TotalDistinct(), seq.TotalDistinct()
+			if name == "LPC" || name == "HLL++" {
+				// These sum a map of per-user estimates, so the reading
+				// depends on Go's randomized iteration order; the states
+				// are identical (checked per user above) but the sum can
+				// differ in the last bits between two instances.
+				if math.Abs(got-want) > 1e-9*math.Abs(want) {
+					t.Fatalf("%s TotalDistinct: batch %v != sequential %v", name, got, want)
+				}
+			} else if got != want {
+				t.Fatalf("%s TotalDistinct: batch %v != sequential %v", name, got, want)
+			}
+		})
+	}
+}
+
+// TestObserveBatchUnsortedInput pins that batching does not require (or
+// silently assume) user-grouped input: a fully interleaved stream — worst
+// case for run detection, every run length 1 — still matches exactly.
+func TestObserveBatchUnsortedInput(t *testing.T) {
+	rng := hashing.NewRNG(3)
+	edges := make([]Edge, 8000)
+	for i := range edges {
+		edges[i] = Edge{User: uint64(rng.Intn(3000)), Item: rng.Uint64()}
+	}
+	seq := NewFreeRS(1 << 12)
+	bat := NewFreeRS(1 << 12)
+	for _, e := range edges {
+		seq.Observe(e.User, e.Item)
+	}
+	bat.ObserveBatch(edges)
+	seq.Users(func(u uint64, e float64) {
+		if bat.Estimate(u) != e {
+			t.Fatalf("user %d: %v != %v", u, bat.Estimate(u), e)
+		}
+	})
+}

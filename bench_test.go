@@ -9,6 +9,7 @@ package streamcard
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -311,6 +312,177 @@ func BenchmarkExactTrackerBaseline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tr.Observe(users[i&8191], items[i&8191])
 	}
+}
+
+// ---- batched ingestion benches ----
+
+// benchBurstEdges builds a power-of-two-sized bursty stream: users emit runs
+// of 1..24 consecutive edges (the arrival shape of real traces, and what the
+// batch fast path amortizes over), drawn from a large user space.
+func benchBurstEdges(n int, seed uint64) []Edge {
+	rng := hashing.NewRNG(seed)
+	edges := make([]Edge, 0, n)
+	for len(edges) < n {
+		u := uint64(rng.Intn(100000) + 1)
+		run := rng.Intn(24) + 1
+		for r := 0; r < run && len(edges) < n; r++ {
+			edges = append(edges, Edge{User: u, Item: rng.Uint64()})
+		}
+	}
+	return edges
+}
+
+// BenchmarkObserveBatch compares per-edge Observe against ObserveBatch for
+// the headline methods on the same bursty workload. Both sub-benches are
+// measured per edge, so ns/op is directly comparable: the batch win comes
+// from hoisting the user half of the pair hash and the estimate-map access
+// out of each run.
+func BenchmarkObserveBatch(b *testing.B) {
+	edges := benchBurstEdges(1<<16, 1)
+	mask := len(edges) - 1
+	builders := []struct {
+		name string
+		mk   func() Estimator
+	}{
+		{"FreeBS", func() Estimator { return NewFreeBS(1 << 22) }},
+		{"FreeRS", func() Estimator { return NewFreeRS(1 << 22) }},
+	}
+	for _, bl := range builders {
+		b.Run(bl.name+"/observe", func(b *testing.B) {
+			est := bl.mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := edges[i&mask]
+				est.Observe(e.User, e.Item)
+			}
+		})
+		b.Run(bl.name+"/batch1k", func(b *testing.B) {
+			est := bl.mk()
+			const chunk = 1024
+			b.ResetTimer()
+			for i := 0; i < b.N; i += chunk {
+				off := i & mask
+				c := edges[off : off+chunk]
+				if rem := b.N - i; rem < chunk {
+					c = c[:rem]
+				}
+				est.ObserveBatch(c)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedBatch quantifies the tentpole claim on the concurrency
+// layer: grouping a batch by shard and taking each shard's mutex once per
+// batch must beat the per-edge Observe loop (lock per edge) on the same
+// workload — sequentially and under contention from GOMAXPROCS goroutines.
+// All variants are measured per edge.
+func BenchmarkShardedBatch(b *testing.B) {
+	edges := benchBurstEdges(1<<16, 2)
+	mask := len(edges) - 1
+	const chunk = 1024
+	builders := []struct {
+		name string
+		mk   func() *Sharded
+	}{
+		{"FreeBS", func() *Sharded {
+			return NewSharded(8, func(i int) Estimator {
+				return NewFreeBS(1<<19, WithSeed(uint64(i)+1))
+			})
+		}},
+		{"FreeRS", func() *Sharded {
+			return NewSharded(8, func(i int) Estimator {
+				return NewFreeRS(1<<19, WithSeed(uint64(i)+1))
+			})
+		}},
+	}
+	for _, bl := range builders {
+		b.Run(bl.name+"/observe", func(b *testing.B) {
+			s := bl.mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := edges[i&mask]
+				s.Observe(e.User, e.Item)
+			}
+		})
+		b.Run(bl.name+"/batch1k", func(b *testing.B) {
+			s := bl.mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += chunk {
+				off := i & mask
+				c := edges[off : off+chunk]
+				if rem := b.N - i; rem < chunk {
+					c = c[:rem]
+				}
+				s.ObserveBatch(c)
+			}
+		})
+		b.Run(bl.name+"/parallel-observe", func(b *testing.B) {
+			s := bl.mk()
+			var next uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				off := int(atomic.AddUint64(&next, 9176)) & mask
+				for pb.Next() {
+					e := edges[off]
+					s.Observe(e.User, e.Item)
+					off = (off + 1) & mask
+				}
+			})
+		})
+		b.Run(bl.name+"/parallel-batch1k", func(b *testing.B) {
+			s := bl.mk()
+			var next uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				off := int(atomic.AddUint64(&next, uint64(11*chunk))) & mask
+				pending := 0
+				for pb.Next() {
+					pending++
+					if pending == chunk {
+						s.ObserveBatch(edges[off : off+chunk])
+						pending = 0
+						off = (off + chunk) & mask
+					}
+				}
+				if pending > 0 {
+					s.ObserveBatch(edges[off : off+pending])
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkMerge measures combining two loaded sketches — the aggregation
+// step a coordinator runs per reporting interval, not per edge.
+func BenchmarkMerge(b *testing.B) {
+	edges := benchBurstEdges(1<<16, 3)
+	b.Run("FreeBS", func(b *testing.B) {
+		a := NewFreeBS(1 << 20)
+		o := NewFreeBS(1 << 20)
+		a.ObserveBatch(edges[:1<<15])
+		o.ObserveBatch(edges[1<<15:])
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := a.Clone()
+			if err := c.Merge(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FreeRS", func(b *testing.B) {
+		a := NewFreeRS(1 << 20)
+		o := NewFreeRS(1 << 20)
+		a.ObserveBatch(edges[:1<<15])
+		o.ObserveBatch(edges[1<<15:])
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := a.Clone()
+			if err := c.Merge(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFacadeObserve measures the public API's per-edge overhead for

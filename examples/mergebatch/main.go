@@ -1,0 +1,65 @@
+// Command mergebatch demonstrates the two scale-out primitives: batched
+// ingestion (ObserveBatch through the concurrency-safe Sharded layer) and
+// sketch merging (independent per-node FreeRS sketches combined into one
+// union reading, the multi-node aggregation pattern).
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	streamcard "repro"
+)
+
+func main() {
+	// --- Batched ingestion through the sharded layer ---
+	s := streamcard.NewSharded(8, func(i int) streamcard.Estimator {
+		return streamcard.NewFreeRS(1<<20, streamcard.WithSeed(uint64(i)+1))
+	})
+	batch := make([]streamcard.Edge, 0, 4096)
+	for u := uint64(1); u <= 32; u++ {
+		for d := 0; d < 128; d++ { // bursty: each user's edges arrive together
+			batch = append(batch, streamcard.Edge{User: u, Item: uint64(d)})
+			if len(batch) == cap(batch) {
+				s.ObserveBatch(batch)
+				batch = batch[:0]
+			}
+		}
+	}
+	s.ObserveBatch(batch) // tail
+	fmt.Printf("sharded:  user 7 ≈ %.0f (true 128), total ≈ %.0f (true %d)\n",
+		s.Estimate(7), s.TotalDistinct(), 32*128)
+
+	// --- Merging independent per-node sketches ---
+	// Two monitoring points watch overlapping traffic; same memory and seed
+	// make their sketches mergeable.
+	nodeA := streamcard.NewFreeRS(1<<20, streamcard.WithSeed(42))
+	nodeB := streamcard.NewFreeRS(1<<20, streamcard.WithSeed(42))
+	edgesA := make([]streamcard.Edge, 0, 3000)
+	edgesB := make([]streamcard.Edge, 0, 3000)
+	for d := uint64(0); d < 3000; d++ {
+		if d < 2000 {
+			edgesA = append(edgesA, streamcard.Edge{User: 99, Item: d}) // items 0..1999
+		}
+		if d >= 1000 {
+			edgesB = append(edgesB, streamcard.Edge{User: 99, Item: d}) // items 1000..2999
+		}
+	}
+	nodeA.ObserveBatch(edgesA)
+	nodeB.ObserveBatch(edgesB)
+
+	combined := nodeA.Clone() // non-destructive: nodeA keeps serving
+	if err := combined.Merge(nodeB); err != nil {
+		panic(err)
+	}
+	fmt.Printf("merge:    A ≈ %.0f (true 2000), B ≈ %.0f (true 2000), A∪B ≈ %.0f (true 3000)\n",
+		nodeA.Estimate(99), nodeB.Estimate(99), combined.Estimate(99))
+	fmt.Printf("          union total ≈ %.0f — overlap deduplicated, not 4000\n",
+		combined.TotalDistinct())
+
+	// Sketches built with different parameters refuse to merge.
+	foreign := streamcard.NewFreeRS(1<<20, streamcard.WithSeed(7))
+	if err := combined.Merge(foreign); errors.Is(err, streamcard.ErrIncompatible) {
+		fmt.Printf("merge:    mismatched seed rejected: %v\n", err)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+// Edge is the user-item pair type shared by all batch ingestion paths. It is
+// an alias of stream.Edge so workload generators, the stream codec, and the
+// sketches exchange slices without conversion or copying.
+type Edge = stream.Edge
+
+// ObserveBatch processes edges exactly as a sequence of Observe calls would —
+// per-user estimates, totals, and the shared array end bit-identical — while
+// amortizing per-edge overhead over runs of consecutive edges that share a
+// user (the shape bursty network traces have):
+//
+//   - the user half of the pair hash is computed once per run, not per edge
+//     (hashing.HashPairPrefix);
+//   - the user's running estimate is loaded from the map once per run,
+//     updated in a register, and stored once per run.
+//
+// The within-batch edge order is preserved, which matters: each flip's credit
+// M/m0 depends on the zero count at that moment.
+func (f *FreeBS) ObserveBatch(edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	f.edges += uint64(len(edges))
+	size := f.bits.Size()
+	stream.ForEachRun(edges, func(user uint64, run []Edge) {
+		prefix := hashing.HashPairPrefix(user)
+		e := f.est[user]
+		credited := false
+		for _, ed := range run {
+			idx := hashing.UniformIndex(hashing.HashPairFinish(prefix, ed.Item, f.seed), size)
+			m0 := f.bits.ZeroCount()
+			if !f.bits.Set(idx) {
+				continue
+			}
+			q := m0
+			if f.postUpdateQ {
+				q = m0 - 1
+				if q <= 0 {
+					q = 1
+				}
+			}
+			inc := float64(size) / float64(q)
+			e += inc
+			f.total += inc
+			credited = true
+		}
+		if credited {
+			f.est[user] = e
+		}
+	})
+}
+
+// ObserveBatch processes edges exactly as a sequence of Observe calls would;
+// see FreeBS.ObserveBatch for the hoisting scheme. The single user-hash
+// prefix feeds both the index hash and the rank hash (they differ only in
+// the seed folded in by HashPairFinish).
+func (f *FreeRS) ObserveBatch(edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	f.edges += uint64(len(edges))
+	size := f.regs.Size()
+	maxVal := f.regs.MaxValue()
+	stream.ForEachRun(edges, func(user uint64, run []Edge) {
+		prefix := hashing.HashPairPrefix(user)
+		e := f.est[user]
+		credited := false
+		for _, ed := range run {
+			idx := hashing.UniformIndex(hashing.HashPairFinish(prefix, ed.Item, f.seedIdx), size)
+			rank := hashing.Rho(hashing.HashPairFinish(prefix, ed.Item, f.seedRank), maxVal)
+			q := f.regs.ChangeProbability()
+			if _, changed := f.regs.UpdateMax(idx, rank); !changed {
+				continue
+			}
+			if f.postUpdateQ {
+				q = f.regs.ChangeProbability()
+			}
+			inc := 1 / q
+			e += inc
+			f.total += inc
+			credited = true
+		}
+		if credited {
+			f.est[user] = e
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+)
+
+// burstEdges generates n edges in user bursts (runs of 1..maxRun edges per
+// user, duplicates included), the traffic shape the batch fast path hoists
+// over. Deterministic in seed.
+func burstEdges(n, users, maxRun int, seed uint64) []Edge {
+	rng := hashing.NewRNG(seed)
+	edges := make([]Edge, 0, n)
+	for len(edges) < n {
+		u := uint64(rng.Intn(users) + 1)
+		run := rng.Intn(maxRun) + 1
+		for r := 0; r < run && len(edges) < n; r++ {
+			item := rng.Uint64()
+			if rng.Float64() < 0.2 { // duplicates exercise the no-flip path
+				item = uint64(rng.Intn(50))
+			}
+			edges = append(edges, Edge{User: u, Item: item})
+		}
+	}
+	return edges
+}
+
+// feedChunks feeds edges through ObserveBatch in uneven chunks so run
+// boundaries fall on chunk boundaries too.
+func feedChunks(observeBatch func([]Edge), edges []Edge) {
+	sizes := []int{1, 37, 5, 256, 3}
+	for i, k := 0, 0; i < len(edges); k++ {
+		c := sizes[k%len(sizes)]
+		if i+c > len(edges) {
+			c = len(edges) - i
+		}
+		observeBatch(edges[i : i+c])
+		i += c
+	}
+}
+
+// TestFreeBSObserveBatchBitIdentical: batched ingestion must leave FreeBS in
+// exactly the state per-edge ingestion produces — same bits, same zero count,
+// same per-user floats, same totals — for both update-order variants.
+func TestFreeBSObserveBatchBitIdentical(t *testing.T) {
+	for _, postQ := range []bool{false, true} {
+		var opts []FreeBSOption
+		if postQ {
+			opts = append(opts, WithPostUpdateQ())
+		}
+		seq := NewFreeBS(1<<12, 9, opts...)
+		bat := NewFreeBS(1<<12, 9, opts...)
+		edges := burstEdges(20000, 300, 24, 77)
+		for _, e := range edges {
+			seq.Observe(e.User, e.Item)
+		}
+		feedChunks(bat.ObserveBatch, edges)
+		assertFreeBSEqual(t, seq, bat)
+	}
+}
+
+func assertFreeBSEqual(t *testing.T, seq, bat *FreeBS) {
+	t.Helper()
+	if seq.edges != bat.edges {
+		t.Fatalf("edges: seq %d, batch %d", seq.edges, bat.edges)
+	}
+	if seq.total != bat.total {
+		t.Fatalf("total: seq %v, batch %v (must be bit-identical)", seq.total, bat.total)
+	}
+	if len(seq.est) != len(bat.est) {
+		t.Fatalf("user counts: seq %d, batch %d", len(seq.est), len(bat.est))
+	}
+	for u, e := range seq.est {
+		if be, ok := bat.est[u]; !ok || be != e {
+			t.Fatalf("user %d: seq %v, batch %v", u, e, bat.est[u])
+		}
+	}
+	sa, err := seq.bits.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := bat.bits.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sa) != string(ba) {
+		t.Fatal("bit arrays differ")
+	}
+}
+
+// TestFreeRSObserveBatchBitIdentical: the register-sharing analogue.
+func TestFreeRSObserveBatchBitIdentical(t *testing.T) {
+	for _, postQ := range []bool{false, true} {
+		var opts []FreeRSOption
+		if postQ {
+			opts = append(opts, WithPostUpdateQRS())
+		}
+		seq := NewFreeRS(1<<10, 11, opts...)
+		bat := NewFreeRS(1<<10, 11, opts...)
+		edges := burstEdges(20000, 300, 24, 78)
+		for _, e := range edges {
+			seq.Observe(e.User, e.Item)
+		}
+		feedChunks(bat.ObserveBatch, edges)
+
+		if seq.edges != bat.edges {
+			t.Fatalf("edges: seq %d, batch %d", seq.edges, bat.edges)
+		}
+		if seq.total != bat.total {
+			t.Fatalf("total: seq %v, batch %v (must be bit-identical)", seq.total, bat.total)
+		}
+		if len(seq.est) != len(bat.est) {
+			t.Fatalf("user counts: seq %d, batch %d", len(seq.est), len(bat.est))
+		}
+		for u, e := range seq.est {
+			if be, ok := bat.est[u]; !ok || be != e {
+				t.Fatalf("user %d: seq %v, batch %v", u, e, bat.est[u])
+			}
+		}
+		sa, err := seq.regs.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := bat.regs.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sa) != string(ba) {
+			t.Fatal("register arrays differ")
+		}
+		if err := bat.regs.Audit(); err != nil {
+			t.Fatalf("batch path corrupted maintained statistics: %v", err)
+		}
+	}
+}
+
+// TestObserveBatchEmptyAndSingle covers the trivial batch shapes.
+func TestObserveBatchEmptyAndSingle(t *testing.T) {
+	f := NewFreeBS(256, 1)
+	f.ObserveBatch(nil)
+	f.ObserveBatch([]Edge{})
+	if f.EdgesProcessed() != 0 || f.NumUsers() != 0 {
+		t.Fatal("empty batch mutated state")
+	}
+	f.ObserveBatch([]Edge{{User: 5, Item: 6}})
+	g := NewFreeBS(256, 1)
+	g.Observe(5, 6)
+	if f.Estimate(5) != g.Estimate(5) || f.EdgesProcessed() != g.EdgesProcessed() {
+		t.Fatal("single-edge batch differs from Observe")
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzUnmarshalBinary hardens the checkpoint decoder against hostile or
+// damaged payloads: for arbitrary input bytes, UnmarshalBinary must either
+// succeed on a payload that round-trips cleanly, or return an error and
+// leave the receiver's state untouched — never panic, never half-restore.
+//
+// The corpus is seeded with genuine MarshalBinary outputs of both sketch
+// types (so the fuzzer starts from the valid format and mutates from there)
+// plus truncations, corruptions, and version/magic flips of them.
+func FuzzUnmarshalBinary(f *testing.F) {
+	fb := NewFreeBS(256, 7)
+	fr := NewFreeRS(64, 7)
+	for _, e := range burstEdges(300, 20, 8, 3) {
+		fb.Observe(e.User, e.Item)
+		fr.Observe(e.User, e.Item)
+	}
+	bsPayload, err := fb.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	rsPayload, err := fr.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range [][]byte{bsPayload, rsPayload} {
+		f.Add(p)                          // pristine
+		f.Add(p[:len(p)/2])               // truncated mid-payload
+		f.Add(p[:4])                      // header only
+		f.Add(append([]byte{}, p[4:]...)) // magic stripped
+		flipped := append([]byte{}, p...)
+		flipped[3] ^= 0x01 // version byte of the magic: "FBS1" -> "FBS0" etc.
+		f.Add(flipped)
+		corrupt := append([]byte{}, p...)
+		corrupt[len(corrupt)/2] ^= 0xff
+		f.Add(corrupt)
+		// Length-field attacks: blow up the array-length word.
+		huge := append([]byte{}, p...)
+		for i := 0; i < 8 && 25+i < len(huge); i++ {
+			huge[25+i] = 0xff
+		}
+		f.Add(huge)
+	}
+	// A payload whose estimate count varint is enormous (overflow bait for
+	// the count*16 size check).
+	bait := append([]byte{}, bsPayload...)
+	f.Add(append(bait[:len(bait)-17], 0x90, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01))
+	f.Add([]byte{})
+	f.Add([]byte("FBS1"))
+	f.Add([]byte("FRS1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkFreeBSUnmarshal(t, data)
+		checkFreeRSUnmarshal(t, data)
+	})
+}
+
+// checkFreeBSUnmarshal decodes data into a pre-populated FreeBS and verifies
+// the error-vs-state contract.
+func checkFreeBSUnmarshal(t *testing.T, data []byte) {
+	t.Helper()
+	f := NewFreeBS(128, 3)
+	f.Observe(11, 22)
+	f.Observe(11, 23)
+	prevM := f.M()
+	prevEdges := f.EdgesProcessed()
+	prevTotal := f.TotalDistinct()
+	prevEst := f.Estimate(11)
+
+	if err := f.UnmarshalBinary(data); err != nil {
+		// Failed decode must leave the receiver exactly as it was.
+		if f.M() != prevM || f.EdgesProcessed() != prevEdges ||
+			f.TotalDistinct() != prevTotal || f.Estimate(11) != prevEst {
+			t.Fatalf("FreeBS: failed UnmarshalBinary mutated state (err %v)", err)
+		}
+		return
+	}
+	// Accepted payloads must re-marshal and decode to the same semantics.
+	verifyFreeBSRoundTrip(t, f)
+}
+
+func verifyFreeBSRoundTrip(t *testing.T, f *FreeBS) {
+	t.Helper()
+	if err := f.bits.Audit(); err != nil {
+		t.Fatalf("FreeBS: accepted payload with inconsistent zero count: %v", err)
+	}
+	out, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatalf("FreeBS: re-marshal of accepted state failed: %v", err)
+	}
+	g := NewFreeBS(64, 1)
+	if err := g.UnmarshalBinary(out); err != nil {
+		t.Fatalf("FreeBS: round trip of accepted state rejected: %v", err)
+	}
+	if g.M() != f.M() || g.EdgesProcessed() != f.EdgesProcessed() || g.NumUsers() != f.NumUsers() {
+		t.Fatal("FreeBS: round trip changed dimensions")
+	}
+	if !floatEqualOrBothNaN(g.TotalDistinct(), f.TotalDistinct()) {
+		t.Fatalf("FreeBS: round trip changed total %v -> %v", f.TotalDistinct(), g.TotalDistinct())
+	}
+	f.Users(func(u uint64, e float64) {
+		if !floatEqualOrBothNaN(g.Estimate(u), e) {
+			t.Fatalf("FreeBS: round trip changed estimate of %d: %v -> %v", u, e, g.Estimate(u))
+		}
+	})
+	arrF, _ := f.bits.MarshalBinary()
+	arrG, _ := g.bits.MarshalBinary()
+	if !bytes.Equal(arrF, arrG) {
+		t.Fatal("FreeBS: round trip changed the bit array")
+	}
+}
+
+// checkFreeRSUnmarshal is the register-sharing analogue.
+func checkFreeRSUnmarshal(t *testing.T, data []byte) {
+	t.Helper()
+	f := NewFreeRS(32, 3)
+	f.Observe(11, 22)
+	f.Observe(11, 23)
+	prevM := f.M()
+	prevEdges := f.EdgesProcessed()
+	prevTotal := f.TotalDistinct()
+	prevEst := f.Estimate(11)
+
+	if err := f.UnmarshalBinary(data); err != nil {
+		if f.M() != prevM || f.EdgesProcessed() != prevEdges ||
+			f.TotalDistinct() != prevTotal || f.Estimate(11) != prevEst {
+			t.Fatalf("FreeRS: failed UnmarshalBinary mutated state (err %v)", err)
+		}
+		return
+	}
+	if err := f.regs.Audit(); err != nil {
+		t.Fatalf("FreeRS: accepted payload with inconsistent statistics: %v", err)
+	}
+	out, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatalf("FreeRS: re-marshal of accepted state failed: %v", err)
+	}
+	g := NewFreeRS(16, 1)
+	if err := g.UnmarshalBinary(out); err != nil {
+		t.Fatalf("FreeRS: round trip of accepted state rejected: %v", err)
+	}
+	if g.M() != f.M() || g.Width() != f.Width() || g.EdgesProcessed() != f.EdgesProcessed() {
+		t.Fatal("FreeRS: round trip changed dimensions")
+	}
+	if !floatEqualOrBothNaN(g.TotalDistinct(), f.TotalDistinct()) {
+		t.Fatalf("FreeRS: round trip changed total %v -> %v", f.TotalDistinct(), g.TotalDistinct())
+	}
+	arrF, _ := f.regs.MarshalBinary()
+	arrG, _ := g.regs.MarshalBinary()
+	if !bytes.Equal(arrF, arrG) {
+		t.Fatal("FreeRS: round trip changed the register array")
+	}
+}
+
+// floatEqualOrBothNaN compares floats bit-meaningfully: fuzzed payloads may
+// legitimately carry NaN credits, and NaN != NaN would fail a faithful round
+// trip.
+func floatEqualOrBothNaN(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// The merge property: for random streams A and B, Merge(sketch(A), sketch(B))
+// must equal sketch(A then B) — a single sketch fed both streams — exactly
+// where exactness is possible at all:
+//
+//   - the shared array (the sketch proper) must match BIT FOR BIT, serialized
+//     and compared, because Set/UpdateMax make array state a pure function of
+//     the distinct-pair set;
+//   - every array-derived statistic (zero counts, LPC/HLL totals, change
+//     probability) must therefore be float-identical;
+//   - the edge counter must match;
+//   - the trajectory-dependent per-user credits are reconciled, not replayed
+//     (the union sketch credited B's flips against a fuller array), so the
+//     totals must agree to reconciliation accuracy: ~1e-12 relative for
+//     FreeBS, whose re-crediting is exact in the update rule's own terms,
+//     and estimator-level accuracy for FreeRS.
+//
+// Swept across memory sizes and seeds per the hardening checklist.
+
+func randStreams(seed uint64, nA, nB, users int) (a, b []Edge) {
+	a = burstEdges(nA, users, 16, seed*2+1)
+	b = burstEdges(nB, users, 16, seed*2+2)
+	return a, b
+}
+
+func TestMergePropertyFreeBS(t *testing.T) {
+	for _, m := range []int{64, 1 << 9, 1 << 13} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			nA := 40 * int(seed)
+			nB := 30*int(seed) + 25
+			if m >= 1<<13 {
+				nA, nB = nA*40, nB*40
+			}
+			a, b := randStreams(seed, nA, nB, 60)
+
+			fa := NewFreeBS(m, seed)
+			fa.ObserveBatch(a)
+			fb := NewFreeBS(m, seed)
+			fb.ObserveBatch(b)
+			union := NewFreeBS(m, seed)
+			for _, e := range a {
+				union.Observe(e.User, e.Item)
+			}
+			for _, e := range b {
+				union.Observe(e.User, e.Item)
+			}
+
+			if err := fa.Merge(fb); err != nil {
+				t.Fatalf("M=%d seed=%d: %v", m, seed, err)
+			}
+
+			gotArr, _ := fa.bits.MarshalBinary()
+			wantArr, _ := union.bits.MarshalBinary()
+			if !bytes.Equal(gotArr, wantArr) {
+				t.Fatalf("M=%d seed=%d: merged bit array not bit-identical to union sketch", m, seed)
+			}
+			if fa.edges != union.edges {
+				t.Fatalf("M=%d seed=%d: edges %d vs %d", m, seed, fa.edges, union.edges)
+			}
+			if fa.TotalDistinctLPC() != union.TotalDistinctLPC() {
+				t.Fatalf("M=%d seed=%d: LPC totals differ on identical arrays", m, seed)
+			}
+			if fa.ChangeProbability() != union.ChangeProbability() {
+				t.Fatalf("M=%d seed=%d: change probabilities differ", m, seed)
+			}
+			// FreeBS re-crediting is exact in the update rule's own terms:
+			// the merged HT total must equal the union sketch's up to float
+			// summation order.
+			if rel := math.Abs(fa.TotalDistinct()-union.TotalDistinct()) /
+				math.Max(union.TotalDistinct(), 1); rel > 1e-9 {
+				t.Fatalf("M=%d seed=%d: HT totals diverge: merged %v union %v (rel %v)",
+					m, seed, fa.TotalDistinct(), union.TotalDistinct(), rel)
+			}
+			// Per-user credits are reconciled proportionally, not replayed;
+			// they must stay non-negative, finite, and sum to the total.
+			sum := 0.0
+			fa.Users(func(_ uint64, e float64) {
+				if e < 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+					t.Fatalf("M=%d seed=%d: bad reconciled estimate %v", m, seed, e)
+				}
+				sum += e
+			})
+			if rel := math.Abs(sum-fa.total) / math.Max(fa.total, 1); rel > 1e-9 {
+				t.Fatalf("M=%d seed=%d: Σ estimates %v != total %v", m, seed, sum, fa.total)
+			}
+		}
+	}
+}
+
+func TestMergePropertyFreeRS(t *testing.T) {
+	for _, m := range []int{32, 1 << 8, 1 << 12} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			nA := 60*int(seed) + 40
+			nB := 45*int(seed) + 30
+			if m >= 1<<12 {
+				nA, nB = nA*30, nB*30
+			}
+			a, b := randStreams(seed+100, nA, nB, 60)
+
+			fa := NewFreeRS(m, seed)
+			fa.ObserveBatch(a)
+			fb := NewFreeRS(m, seed)
+			fb.ObserveBatch(b)
+			union := NewFreeRS(m, seed)
+			for _, e := range a {
+				union.Observe(e.User, e.Item)
+			}
+			for _, e := range b {
+				union.Observe(e.User, e.Item)
+			}
+
+			if err := fa.Merge(fb); err != nil {
+				t.Fatalf("M=%d seed=%d: %v", m, seed, err)
+			}
+
+			gotArr, _ := fa.regs.MarshalBinary()
+			wantArr, _ := union.regs.MarshalBinary()
+			if !bytes.Equal(gotArr, wantArr) {
+				t.Fatalf("M=%d seed=%d: merged register array not bit-identical to union sketch", m, seed)
+			}
+			if fa.edges != union.edges {
+				t.Fatalf("M=%d seed=%d: edges %d vs %d", m, seed, fa.edges, union.edges)
+			}
+			if fa.TotalDistinctHLL() != union.TotalDistinctHLL() {
+				t.Fatalf("M=%d seed=%d: HLL totals differ on identical arrays", m, seed)
+			}
+			if err := fa.regs.Audit(); err != nil {
+				t.Fatalf("M=%d seed=%d: merge corrupted maintained statistics: %v", m, seed, err)
+			}
+			// The HT totals agree to estimator accuracy (the re-crediting
+			// scale is itself HLL-estimated; RSE ~ 1.04/√M per term).
+			tol := 6 * 1.04 / math.Sqrt(float64(m))
+			if rel := math.Abs(fa.TotalDistinct()-union.TotalDistinct()) /
+				math.Max(union.TotalDistinct(), 1); rel > tol {
+				t.Fatalf("M=%d seed=%d: HT totals diverge: merged %v union %v (rel %v > %v)",
+					m, seed, fa.TotalDistinct(), union.TotalDistinct(), rel, tol)
+			}
+			sum := 0.0
+			fa.Users(func(_ uint64, e float64) {
+				if e < 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+					t.Fatalf("M=%d seed=%d: bad reconciled estimate %v", m, seed, e)
+				}
+				sum += e
+			})
+			if rel := math.Abs(sum-fa.total) / math.Max(fa.total, 1); rel > 1e-9 {
+				t.Fatalf("M=%d seed=%d: Σ estimates %v != total %v", m, seed, sum, fa.total)
+			}
+		}
+	}
+}
+
+// TestMergeDisjointOverlapExtremes pins the two boundary behaviours: fully
+// disjoint streams merge to the sum of information, and merging a sketch
+// with a copy of an identical stream adds nothing (the array is unchanged,
+// so no credit is re-issued).
+func TestMergeDisjointOverlapExtremes(t *testing.T) {
+	const m = 1 << 12
+	a, _ := randStreams(7, 3000, 0, 40)
+
+	// Identical-stream merge: array unchanged ⇒ zero additional credit.
+	fa := NewFreeBS(m, 3)
+	fa.ObserveBatch(a)
+	fb := NewFreeBS(m, 3)
+	fb.ObserveBatch(a)
+	before := fa.TotalDistinct()
+	if err := fa.Merge(fb); err != nil {
+		t.Fatal(err)
+	}
+	if fa.TotalDistinct() != before {
+		t.Fatalf("identical-stream merge changed total: %v -> %v", before, fa.TotalDistinct())
+	}
+
+	ra := NewFreeRS(m/5, 3)
+	ra.ObserveBatch(a)
+	rb := NewFreeRS(m/5, 3)
+	rb.ObserveBatch(a)
+	beforeRS := ra.TotalDistinct()
+	if err := ra.Merge(rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.TotalDistinct() != beforeRS {
+		t.Fatalf("identical-stream FreeRS merge changed total: %v -> %v", beforeRS, ra.TotalDistinct())
+	}
+
+	// Zero-scale merges must not plant zero-valued entries in the estimate
+	// map: the est contract is "users with a nonzero estimate", and phantom
+	// users would inflate NumUsers, Users enumeration, and serialized size.
+	// A saturated receiver guarantees the union adds no bits (scale 0).
+	cov := NewFreeBS(64, 3)
+	for d := uint64(0); d < 5000; d++ {
+		cov.Observe(1, d)
+	}
+	if !cov.Saturated() {
+		t.Fatal("receiver not saturated; phantom-user scenario not reached")
+	}
+	beforeUsers := cov.NumUsers()
+	sub := NewFreeBS(64, 3)
+	sub.Observe(424242, 1) // a user cov never saw; its bit is already set in cov
+	if err := cov.Merge(sub); err != nil {
+		t.Fatal(err)
+	}
+	if cov.NumUsers() != beforeUsers {
+		t.Fatalf("zero-scale merge changed NumUsers %d -> %d", beforeUsers, cov.NumUsers())
+	}
+	cov.Users(func(u uint64, e float64) {
+		if e == 0 {
+			t.Fatalf("zero-scale merge planted zero-estimate user %d", u)
+		}
+	})
+
+	// Merging into an empty sketch with no overlap reproduces the source's
+	// estimates exactly (scale is 1 when nothing precedes the re-credit).
+	empty := NewFreeBS(m, 3)
+	src := NewFreeBS(m, 3)
+	src.ObserveBatch(a)
+	if err := empty.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	// Totals agree up to summation order (the merge accumulates per user in
+	// map order, the source accumulated per flip in stream order).
+	if rel := math.Abs(empty.TotalDistinct()-src.TotalDistinct()) /
+		src.TotalDistinct(); rel > 1e-12 {
+		t.Fatalf("merge into empty: total %v != source %v", empty.TotalDistinct(), src.TotalDistinct())
+	}
+	src.Users(func(u uint64, e float64) {
+		if got := empty.Estimate(u); got != e {
+			t.Fatalf("merge into empty: user %d estimate %v != %v", u, got, e)
+		}
+	})
+}
+
+// TestMergeIncompatible: every parameter mismatch, nil, and self-merge must
+// be rejected with ErrIncompatible and leave the receiver untouched.
+func TestMergeIncompatible(t *testing.T) {
+	f := NewFreeBS(256, 1)
+	f.Observe(1, 2)
+	wantTotal := f.TotalDistinct()
+	cases := []*FreeBS{
+		nil,
+		f,
+		NewFreeBS(512, 1),
+		NewFreeBS(256, 2),
+		NewFreeBS(256, 1, WithPostUpdateQ()),
+	}
+	for i, other := range cases {
+		if err := f.Merge(other); !errors.Is(err, ErrIncompatible) {
+			t.Fatalf("FreeBS case %d: want ErrIncompatible, got %v", i, err)
+		}
+		if f.TotalDistinct() != wantTotal {
+			t.Fatalf("FreeBS case %d: failed merge mutated receiver", i)
+		}
+	}
+
+	r := NewFreeRS(64, 1)
+	r.Observe(1, 2)
+	wantTotalRS := r.TotalDistinct()
+	casesRS := []*FreeRS{
+		nil,
+		r,
+		NewFreeRS(128, 1),
+		NewFreeRS(64, 2),
+		NewFreeRS(64, 1, WithPostUpdateQRS()),
+		NewFreeRS(64, 1, WithRegisterWidth(4)),
+	}
+	for i, other := range casesRS {
+		if err := r.Merge(other); !errors.Is(err, ErrIncompatible) {
+			t.Fatalf("FreeRS case %d: want ErrIncompatible, got %v", i, err)
+		}
+		if r.TotalDistinct() != wantTotalRS {
+			t.Fatalf("FreeRS case %d: failed merge mutated receiver", i)
+		}
+	}
+}
+
+// TestClone: clones are deep — divergent writes stay private — and
+// marshal-equivalent at the moment of cloning.
+func TestClone(t *testing.T) {
+	f := NewFreeBS(512, 5)
+	f.ObserveBatch(burstEdges(500, 20, 8, 1))
+	c := f.Clone()
+	if c.TotalDistinct() != f.TotalDistinct() || c.EdgesProcessed() != f.EdgesProcessed() {
+		t.Fatal("FreeBS clone differs")
+	}
+	c.Observe(999, 1)
+	if f.Estimate(999) != 0 {
+		t.Fatal("FreeBS clone shares state with original")
+	}
+
+	r := NewFreeRS(128, 5)
+	r.ObserveBatch(burstEdges(500, 20, 8, 2))
+	rc := r.Clone()
+	if rc.TotalDistinct() != r.TotalDistinct() {
+		t.Fatal("FreeRS clone differs")
+	}
+	rc.Observe(999, 1)
+	if r.Estimate(999) != 0 {
+		t.Fatal("FreeRS clone shares state with original")
+	}
+	if err := rc.regs.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHarmonicCredit pins the credit function against its definition and the
+// telescoping identity H(0,a) + H(a,b) = H(0,b).
+func TestHarmonicCredit(t *testing.T) {
+	const m = 100
+	direct := 0.0
+	for k := 1; k <= 30; k++ {
+		direct += float64(m) / float64(m-k+1)
+	}
+	if got := harmonicCredit(m, 0, 30); math.Abs(got-direct) > 1e-12 {
+		t.Fatalf("harmonicCredit(100,0,30) = %v, want %v", got, direct)
+	}
+	if got := harmonicCredit(m, 10, 10); got != 0 {
+		t.Fatalf("empty range credit = %v, want 0", got)
+	}
+	lhs := harmonicCredit(m, 0, 12) + harmonicCredit(m, 12, 40)
+	rhs := harmonicCredit(m, 0, 40)
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Fatalf("telescoping broken: %v vs %v", lhs, rhs)
+	}
+	// Saturation endpoint: the M-th flip is credited against one zero.
+	last := harmonicCredit(m, m-1, m)
+	if last != float64(m) {
+		t.Fatalf("final flip credit = %v, want %v", last, float64(m))
+	}
+}

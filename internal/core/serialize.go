@@ -171,8 +171,10 @@ func readEstimates(data []byte) (map[uint64]float64, error) {
 		return nil, errors.New("core: bad estimate count")
 	}
 	data = data[n:]
-	if uint64(len(data)) != count*16 {
-		return nil, fmt.Errorf("core: estimate payload %d bytes, want %d", len(data), count*16)
+	// Divide rather than multiply: count is attacker-controlled and count*16
+	// can wrap around to a value that matches a short payload's length.
+	if count != uint64(len(data))/16 || len(data)%16 != 0 {
+		return nil, fmt.Errorf("core: estimate payload %d bytes, want %d entries", len(data), count)
 	}
 	est := make(map[uint64]float64, count)
 	for i := uint64(0); i < count; i++ {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bitarray"
 	"repro/internal/hashing"
+	"repro/internal/stream"
 )
 
 // CSE is a shared-bit-array estimator for all users.
@@ -57,6 +58,19 @@ func (c *CSE) MemoryBits() int64 { return int64(c.bits.Size()) }
 func (c *CSE) Observe(user, item uint64) {
 	j := hashing.UniformIndex(hashing.HashU64(item, c.itemSeed), c.m)
 	c.bits.Set(c.fam.Index(user, j))
+}
+
+// ObserveBatch records a slice of edges, equivalent to calling Observe on
+// each in order. The double-hashing basis of the user's virtual sketch is
+// computed once per run of consecutive same-user edges instead of per edge.
+func (c *CSE) ObserveBatch(edges []stream.Edge) {
+	stream.ForEachRun(edges, func(user uint64, run []stream.Edge) {
+		h1, h2 := c.fam.Basis(user)
+		for _, e := range run {
+			p := hashing.UniformIndex(hashing.HashU64(e.Item, c.itemSeed), c.m)
+			c.bits.Set(c.fam.IndexAt(h1, h2, p))
+		}
+	})
 }
 
 // GlobalZeroFraction returns U/M, the fraction of zero bits in the shared

@@ -54,6 +54,19 @@ func (f *IndexFamily) bases(s uint64) (uint64, uint64) {
 	return h1, h2
 }
 
+// Basis returns the double-hashing base pair (h1, h2) for user s, from which
+// IndexAt evaluates any family member without re-hashing the user. Batch
+// ingestion hoists the basis out of the per-edge loop for runs of edges that
+// share one user: IndexAt(Basis(s), i) == Index(s, i) for all i.
+func (f *IndexFamily) Basis(s uint64) (h1, h2 uint64) { return f.bases(s) }
+
+// IndexAt returns f_i(s) computed from a basis previously obtained via
+// Basis(s). i must be in [0, m); unlike Index it is not range-checked, as the
+// batch hot paths only pass indices produced by UniformIndex over [0, m).
+func (f *IndexFamily) IndexAt(h1, h2 uint64, i int) int {
+	return int((h1 + uint64(i)*h2) % uint64(f.space))
+}
+
 // Index returns f_i(s) for i in [0, m).
 func (f *IndexFamily) Index(s uint64, i int) int {
 	if i < 0 || i >= f.m {

@@ -50,6 +50,24 @@ func HashPair(a, b, seed uint64) uint64 {
 	return Mix64(h ^ seed)
 }
 
+// HashPairPrefix computes the user-dependent, seed-independent first round of
+// HashPair. Batch ingestion hoists it out of the per-edge loop when a run of
+// edges shares one user, saving one Mix64 per edge:
+//
+//	HashPairFinish(HashPairPrefix(a), b, seed) == HashPair(a, b, seed)
+//
+// for all a, b, seed — the equality is enforced by tests.
+func HashPairPrefix(a uint64) uint64 {
+	return Mix64(a ^ 0x9e3779b97f4a7c15)
+}
+
+// HashPairFinish completes a pair hash from a prefix produced by
+// HashPairPrefix. See HashPairPrefix for the identity it satisfies.
+func HashPairFinish(prefix, b, seed uint64) uint64 {
+	h := Mix64(prefix ^ b ^ 0xbf58476d1ce4e5b9)
+	return Mix64(h ^ seed)
+}
+
 // Hash64 hashes an arbitrary byte string under a seed using the 64-bit half
 // of a from-scratch Murmur3-x64-128 implementation.
 func Hash64(data []byte, seed uint64) uint64 {

@@ -1,0 +1,41 @@
+package hashing
+
+import "testing"
+
+// TestHashPairPrefixIdentity enforces the contract batch ingestion relies on:
+// splitting HashPair into a user-only prefix and a per-item finish must
+// reproduce HashPair bit for bit for arbitrary users, items, and seeds.
+func TestHashPairPrefixIdentity(t *testing.T) {
+	rng := NewRNG(42)
+	for i := 0; i < 100000; i++ {
+		a, b, seed := rng.Uint64(), rng.Uint64(), rng.Uint64()
+		want := HashPair(a, b, seed)
+		got := HashPairFinish(HashPairPrefix(a), b, seed)
+		if got != want {
+			t.Fatalf("HashPairFinish(HashPairPrefix(%#x), %#x, %#x) = %#x, HashPair = %#x",
+				a, b, seed, got, want)
+		}
+	}
+	// Degenerate inputs.
+	for _, v := range []uint64{0, 1, ^uint64(0)} {
+		if HashPairFinish(HashPairPrefix(v), v, v) != HashPair(v, v, v) {
+			t.Fatalf("prefix identity broken at %#x", v)
+		}
+	}
+}
+
+// TestIndexFamilyBasisIdentity enforces the analogous contract for the
+// double-hashing family: IndexAt over a hoisted basis must agree with Index.
+func TestIndexFamilyBasisIdentity(t *testing.T) {
+	fam := NewIndexFamily(7, 64, 1<<20)
+	rng := NewRNG(43)
+	for i := 0; i < 2000; i++ {
+		s := rng.Uint64()
+		h1, h2 := fam.Basis(s)
+		for j := 0; j < fam.M(); j++ {
+			if fam.IndexAt(h1, h2, j) != fam.Index(s, j) {
+				t.Fatalf("IndexAt(Basis(%#x), %d) != Index(%#x, %d)", s, j, s, j)
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/hashing"
 	"repro/internal/regarray"
+	"repro/internal/stream"
 )
 
 // Alpha returns the bias-correction constant α_m of §III-A2: tabulated for
@@ -238,6 +239,22 @@ func (p *PerUser) Observe(user, item uint64) {
 		p.sketches[user] = sk
 	}
 	sk.Add(item)
+}
+
+// ObserveBatch records a slice of edges, equivalent to calling Observe on
+// each in order. The user's sketch is looked up (and, on first arrival,
+// allocated) once per run of consecutive same-user edges instead of per edge.
+func (p *PerUser) ObserveBatch(edges []stream.Edge) {
+	stream.ForEachRun(edges, func(user uint64, run []stream.Edge) {
+		sk := p.sketches[user]
+		if sk == nil {
+			sk = NewPlusPlus(p.m, hashing.HashU64(user, p.seed))
+			p.sketches[user] = sk
+		}
+		for _, e := range run {
+			sk.Add(e.Item)
+		}
+	})
 }
 
 // Estimate returns the cardinality estimate for user (0 if never seen).

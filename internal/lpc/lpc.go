@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bitarray"
 	"repro/internal/hashing"
+	"repro/internal/stream"
 )
 
 // Sketch is a single LPC sketch: m bits and an item hash.
@@ -127,6 +128,22 @@ func (p *PerUser) Observe(user, item uint64) {
 		p.sketches[user] = sk
 	}
 	sk.Add(item)
+}
+
+// ObserveBatch records a slice of edges, equivalent to calling Observe on
+// each in order. The user's sketch is looked up (and, on first arrival,
+// allocated) once per run of consecutive same-user edges instead of per edge.
+func (p *PerUser) ObserveBatch(edges []stream.Edge) {
+	stream.ForEachRun(edges, func(user uint64, run []stream.Edge) {
+		sk := p.sketches[user]
+		if sk == nil {
+			sk = New(p.m, hashing.HashU64(user, p.seed))
+			p.sketches[user] = sk
+		}
+		for _, e := range run {
+			sk.Add(e.Item)
+		}
+	})
 }
 
 // Estimate returns the cardinality estimate for user (0 if never seen).

@@ -25,6 +25,22 @@ type Edge struct {
 	Item uint64
 }
 
+// ForEachRun calls fn once per maximal run of consecutive edges sharing a
+// user, passing the run as a subslice of edges (not a copy). It is the run
+// segmentation every batched ingestion path hoists per-user work over; the
+// per-run call overhead is negligible next to per-edge hashing.
+func ForEachRun(edges []Edge, fn func(user uint64, run []Edge)) {
+	for i, n := 0, len(edges); i < n; {
+		user := edges[i].User
+		j := i + 1
+		for j < n && edges[j].User == user {
+			j++
+		}
+		fn(user, edges[i:j])
+		i = j
+	}
+}
+
 // Stream is a forward-only edge iterator. Next returns io.EOF after the last
 // edge. Implementations need not be safe for concurrent use.
 type Stream interface {

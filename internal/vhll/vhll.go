@@ -19,6 +19,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/hll"
 	"repro/internal/regarray"
+	"repro/internal/stream"
 )
 
 // Width is the register width used by the paper for vHLL (w = 5 bits).
@@ -80,6 +81,21 @@ func (v *VHLL) Observe(user, item uint64) {
 	j := hashing.UniformIndex(hashing.HashU64(item, v.itemSeed1), v.m)
 	rank := hashing.Rho(hashing.HashU64(item, v.itemSeed2), v.regs.MaxValue())
 	v.regs.UpdateMax(v.fam.Index(user, j), rank)
+}
+
+// ObserveBatch records a slice of edges, equivalent to calling Observe on
+// each in order. The double-hashing basis of the user's virtual sketch is
+// computed once per run of consecutive same-user edges instead of per edge.
+func (v *VHLL) ObserveBatch(edges []stream.Edge) {
+	maxVal := v.regs.MaxValue()
+	stream.ForEachRun(edges, func(user uint64, run []stream.Edge) {
+		h1, h2 := v.fam.Basis(user)
+		for _, e := range run {
+			p := hashing.UniformIndex(hashing.HashU64(e.Item, v.itemSeed1), v.m)
+			rank := hashing.Rho(hashing.HashU64(e.Item, v.itemSeed2), maxVal)
+			v.regs.UpdateMax(v.fam.IndexAt(h1, h2, p), rank)
+		}
+	})
 }
 
 // Estimate returns the noise-corrected cardinality estimate of user,

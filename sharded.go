@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/hashing"
+	"repro/internal/stream"
 )
 
 // Sharded makes any Estimator safe for concurrent use and scalable across
@@ -21,9 +22,25 @@ import (
 //
 // The memory budget given to the constructor is split evenly across shards.
 type Sharded struct {
-	shards []shard
-	seed   uint64
-	name   string
+	shards  []shard
+	seed    uint64
+	name    string
+	scratch sync.Pool // *batchScratch, reused across ObserveBatch calls
+}
+
+// batchScratch holds the per-call buffers of ObserveBatch so concurrent
+// batches neither allocate per call nor share state.
+type batchScratch struct {
+	runs    []runSpan
+	grouped []Edge
+	offsets []int
+}
+
+// runSpan is one maximal run of consecutive same-user edges in a batch; the
+// whole run routes to one shard, so the shard hash is computed once per run.
+type runSpan struct {
+	run   []Edge
+	shard int
 }
 
 type shard struct {
@@ -45,6 +62,7 @@ func NewSharded(n int, build func(shard int) Estimator) *Sharded {
 		shards: make([]shard, n),
 		seed:   hashing.Mix64(uint64(n) ^ 0x3779c0ffee),
 	}
+	s.scratch.New = func() any { return &batchScratch{offsets: make([]int, n+1)} }
 	for i := range s.shards {
 		est := build(i)
 		if est == nil {
@@ -57,7 +75,15 @@ func NewSharded(n int, build func(shard int) Estimator) *Sharded {
 }
 
 func (s *Sharded) shardFor(user uint64) *shard {
-	return &s.shards[hashing.UniformIndex(hashing.HashU64(user, s.seed), len(s.shards))]
+	return &s.shards[s.ShardIndex(user)]
+}
+
+// ShardIndex returns the shard user's edges are routed to. Exported so
+// multi-node deployments can pre-partition traffic the same way (feeding a
+// shard-pure batch from one thread keeps that shard's sub-stream ordered and
+// its estimates deterministic).
+func (s *Sharded) ShardIndex(user uint64) int {
+	return hashing.UniformIndex(hashing.HashU64(user, s.seed), len(s.shards))
 }
 
 // Observe implements Estimator; safe for concurrent use.
@@ -66,6 +92,70 @@ func (s *Sharded) Observe(user, item uint64) {
 	sh.mu.Lock()
 	sh.est.Observe(user, item)
 	sh.mu.Unlock()
+}
+
+// ObserveBatch implements Estimator; safe for concurrent use. The batch is
+// grouped by shard with a stable counting sort over runs of consecutive
+// same-user edges — a run routes to one shard, so the shard hash is computed
+// once per run and edges move with memmove-speed copies — and every touched
+// shard's mutex is taken once per batch instead of once per edge, so the
+// lock cost and the inner estimator's per-run hoisting amortize over the
+// whole batch. Within each shard the batch's edge order is preserved, which
+// keeps Sharded.ObserveBatch bit-identical to the per-edge Observe loop.
+func (s *Sharded) ObserveBatch(edges []Edge) {
+	n := len(edges)
+	if n == 0 {
+		return
+	}
+	if len(s.shards) == 1 {
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		sh.est.ObserveBatch(edges)
+		sh.mu.Unlock()
+		return
+	}
+	sc := s.scratch.Get().(*batchScratch)
+	runs := sc.runs[:0]
+	offsets := sc.offsets
+	for i := range offsets {
+		offsets[i] = 0
+	}
+	stream.ForEachRun(edges, func(u uint64, run []Edge) {
+		t := s.ShardIndex(u)
+		runs = append(runs, runSpan{run: run, shard: t})
+		offsets[t+1] += len(run)
+	})
+	// Prefix sums turn per-shard counts (offsets[t+1]) into start offsets
+	// (offsets[t]); the scatter then advances them to end offsets.
+	for t := 1; t < len(offsets); t++ {
+		offsets[t] += offsets[t-1]
+	}
+	if cap(sc.grouped) < n {
+		sc.grouped = make([]Edge, n)
+	}
+	grouped := sc.grouped[:n]
+	for _, r := range runs {
+		off := offsets[r.shard]
+		copy(grouped[off:], r.run)
+		offsets[r.shard] = off + len(r.run)
+	}
+	start := 0
+	for t := range s.shards {
+		end := offsets[t]
+		if end > start {
+			sh := &s.shards[t]
+			sh.mu.Lock()
+			sh.est.ObserveBatch(grouped[start:end])
+			sh.mu.Unlock()
+		}
+		start = end
+	}
+	// Zero the spans before pooling: their run subslices point into the
+	// caller's edge slice, and stale entries past the next batch's run count
+	// would keep that whole array reachable from the pool.
+	clear(runs)
+	sc.runs = runs
+	s.scratch.Put(sc)
 }
 
 // Estimate implements Estimator; safe for concurrent use.
@@ -98,6 +188,69 @@ func (s *Sharded) MemoryBits() int64 {
 		sh.mu.Unlock()
 	}
 	return m
+}
+
+// TotalDistinctMerged combines the shard sketches with Merge and returns the
+// combined sketch's total — the array-derived, low-variance reading of the
+// union, the way per-shard sketches are merged for a database-wide
+// cardinality instead of summing independent estimates. It requires every
+// shard to wrap the same mergeable type (FreeBS or FreeRS) built with
+// identical parameters, including the seed: build shards with a shared seed
+// to use it (user-partitioning keeps per-user estimates exact either way).
+// With the customary distinct per-shard seeds it reports ErrIncompatible —
+// fall back to TotalDistinct, which sums shard totals and needs no
+// compatibility. Safe for concurrent use; shards are snapshotted one at a
+// time, so edges racing in mid-call land in either reading, as with
+// TotalDistinct.
+func (s *Sharded) TotalDistinctMerged() (float64, error) {
+	switch s.shards[0].est.(type) {
+	case *FreeBS:
+		return mergeShards(s, func(e Estimator) (*FreeBS, bool) { f, ok := e.(*FreeBS); return f, ok })
+	case *FreeRS:
+		return mergeShards(s, func(e Estimator) (*FreeRS, bool) { f, ok := e.(*FreeRS); return f, ok })
+	default:
+		return 0, fmt.Errorf("streamcard: %s shards are not mergeable: %w",
+			s.shards[0].est.Name(), ErrIncompatible)
+	}
+}
+
+// mergeable is the self-referential merge surface both FreeBS and FreeRS
+// expose; mergeShards is generic over it so the clone-then-fold aggregation
+// is written once.
+type mergeable[T any] interface {
+	Merge(T) error
+	Clone() T
+	TotalDistinct() float64
+}
+
+// mergeShards clones shard 0's estimator and folds every other shard in,
+// holding at most one shard lock at a time. cast narrows the interface-typed
+// shard estimator to the concrete mergeable type (failing when shards mix
+// types, which NewSharded's single build function cannot produce but the
+// aggregation refuses to assume).
+func mergeShards[T mergeable[T]](s *Sharded, cast func(Estimator) (T, bool)) (float64, error) {
+	var combined T
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		est, ok := cast(sh.est)
+		var err error
+		if ok {
+			if i == 0 {
+				combined = est.Clone()
+			} else {
+				err = combined.Merge(est)
+			}
+		}
+		sh.mu.Unlock()
+		if !ok {
+			return 0, fmt.Errorf("streamcard: shard %d is not %T: %w", i, combined, ErrIncompatible)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return combined.TotalDistinct(), nil
 }
 
 // Name implements Estimator.

@@ -31,14 +31,28 @@
 package streamcard
 
 import (
+	"errors"
+
 	"repro/internal/core"
 	"repro/internal/cse"
 	"repro/internal/hashing"
 	"repro/internal/hll"
 	"repro/internal/lpc"
+	"repro/internal/stream"
 	"repro/internal/superspreader"
 	"repro/internal/vhll"
 )
+
+// Edge is one user-item pair. It aliases the internal stream type, so edge
+// slices produced by the stream codec and workload generators feed
+// ObserveBatch without conversion.
+type Edge = stream.Edge
+
+// ErrIncompatible is reported (wrapped) by Merge and TotalDistinctMerged when
+// sketches were not built with identical parameters (size, seed, options) —
+// such sketches place the same pair at different cells, so their union is
+// meaningless.
+var ErrIncompatible = core.ErrIncompatible
 
 // Estimator is the common interface of all six methods: feed user-item
 // edges, query any user's cardinality estimate at any time.
@@ -46,6 +60,14 @@ type Estimator interface {
 	// Observe processes one edge (user, item). Duplicate edges are handled
 	// by construction: re-observing a pair never inflates estimates.
 	Observe(user, item uint64)
+	// ObserveBatch processes a slice of edges with exactly the semantics of
+	// calling Observe on each in order — estimates afterwards are
+	// bit-identical — while amortizing per-edge overhead (pair-hash
+	// prefixes, estimate-map access, shard locks) over runs of consecutive
+	// edges that share a user. Feed bursty traffic in arrival order to
+	// benefit; pre-grouping by user is unnecessary and would change
+	// nothing but the amortization.
+	ObserveBatch(edges []Edge)
 	// Estimate returns the current cardinality estimate for user; 0 for
 	// users that have not been observed.
 	Estimate(user uint64) float64
@@ -108,6 +130,25 @@ func NewFreeBS(memoryBits int, opts ...Option) *FreeBS {
 // Observe implements Estimator.
 func (f *FreeBS) Observe(user, item uint64) { f.inner.Observe(user, item) }
 
+// ObserveBatch implements Estimator.
+func (f *FreeBS) ObserveBatch(edges []Edge) { f.inner.ObserveBatch(edges) }
+
+// Merge folds other into f so that f summarizes the union of both input
+// streams; other is unchanged. Both sketches must have been built with the
+// same memory size and seed (ErrIncompatible otherwise). The shared bit
+// array unions exactly — bit-identical to a single sketch fed both streams,
+// so TotalDistinct is exact after a merge — and per-user running estimates
+// are reconciled through the paper's update rule (see internal/core).
+func (f *FreeBS) Merge(other *FreeBS) error {
+	if other == nil {
+		return errors.New("streamcard: FreeBS.Merge(nil)")
+	}
+	return f.inner.Merge(other.inner)
+}
+
+// Clone returns an independent deep copy of f.
+func (f *FreeBS) Clone() *FreeBS { return &FreeBS{inner: f.inner.Clone()} }
+
 // Estimate implements Estimator.
 func (f *FreeBS) Estimate(user uint64) float64 { return f.inner.Estimate(user) }
 
@@ -150,6 +191,26 @@ func NewFreeRS(memoryBits int, opts ...Option) *FreeRS {
 // Observe implements Estimator.
 func (f *FreeRS) Observe(user, item uint64) { f.inner.Observe(user, item) }
 
+// ObserveBatch implements Estimator.
+func (f *FreeRS) ObserveBatch(edges []Edge) { f.inner.ObserveBatch(edges) }
+
+// Merge folds other into f so that f summarizes the union of both input
+// streams; other is unchanged. Both sketches must have been built with the
+// same memory size and seed (ErrIncompatible otherwise). The shared register
+// array takes the register-wise max — bit-identical to a single sketch fed
+// both streams, so TotalDistinct is exact after a merge — and per-user
+// running estimates are reconciled via the array-derived totals (see
+// internal/core).
+func (f *FreeRS) Merge(other *FreeRS) error {
+	if other == nil {
+		return errors.New("streamcard: FreeRS.Merge(nil)")
+	}
+	return f.inner.Merge(other.inner)
+}
+
+// Clone returns an independent deep copy of f.
+func (f *FreeRS) Clone() *FreeRS { return &FreeRS{inner: f.inner.Clone()} }
+
 // Estimate implements Estimator.
 func (f *FreeRS) Estimate(user uint64) float64 { return f.inner.Estimate(user) }
 
@@ -183,6 +244,9 @@ func NewCSE(memoryBits, virtualM int, opts ...Option) *CSE {
 // Observe implements Estimator.
 func (c *CSE) Observe(user, item uint64) { c.inner.Observe(user, item) }
 
+// ObserveBatch implements Estimator.
+func (c *CSE) ObserveBatch(edges []Edge) { c.inner.ObserveBatch(edges) }
+
 // Estimate implements Estimator.
 func (c *CSE) Estimate(user uint64) float64 { return c.inner.Estimate(user) }
 
@@ -215,6 +279,9 @@ func NewVHLL(memoryBits, virtualM int, opts ...Option) *VHLL {
 // Observe implements Estimator.
 func (v *VHLL) Observe(user, item uint64) { v.inner.Observe(user, item) }
 
+// ObserveBatch implements Estimator.
+func (v *VHLL) ObserveBatch(edges []Edge) { v.inner.ObserveBatch(edges) }
+
 // Estimate implements Estimator.
 func (v *VHLL) Estimate(user uint64) float64 { return v.inner.Estimate(user) }
 
@@ -241,6 +308,9 @@ func NewPerUserLPC(bitsPerUser int, opts ...Option) *PerUserLPC {
 
 // Observe implements Estimator.
 func (p *PerUserLPC) Observe(user, item uint64) { p.inner.Observe(user, item) }
+
+// ObserveBatch implements Estimator.
+func (p *PerUserLPC) ObserveBatch(edges []Edge) { p.inner.ObserveBatch(edges) }
 
 // Estimate implements Estimator.
 func (p *PerUserLPC) Estimate(user uint64) float64 { return p.inner.Estimate(user) }
@@ -273,6 +343,9 @@ func NewPerUserHLLPP(registersPerUser int, opts ...Option) *PerUserHLLPP {
 
 // Observe implements Estimator.
 func (p *PerUserHLLPP) Observe(user, item uint64) { p.inner.Observe(user, item) }
+
+// ObserveBatch implements Estimator.
+func (p *PerUserHLLPP) ObserveBatch(edges []Edge) { p.inner.ObserveBatch(edges) }
 
 // Estimate implements Estimator.
 func (p *PerUserHLLPP) Estimate(user uint64) float64 { return p.inner.Estimate(user) }

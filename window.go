@@ -47,6 +47,11 @@ func NewWindowed(build func() Estimator) *Windowed {
 // Observe implements Estimator (feeds the current generation).
 func (w *Windowed) Observe(user, item uint64) { w.current.Observe(user, item) }
 
+// ObserveBatch implements Estimator (feeds the current generation). A batch
+// is attributed to the epoch current when the call starts; callers that
+// rotate on a timer should rotate between batches, not during them.
+func (w *Windowed) ObserveBatch(edges []Edge) { w.current.ObserveBatch(edges) }
+
 // Estimate implements Estimator: the sum over live generations.
 func (w *Windowed) Estimate(user uint64) float64 {
 	e := w.current.Estimate(user)
