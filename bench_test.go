@@ -453,6 +453,66 @@ func BenchmarkShardedBatch(b *testing.B) {
 	}
 }
 
+// ---- windowed benches ----
+
+// BenchmarkWindowedObserve compares the windowed ingest path against the
+// bare estimator on the same bursty workload, per edge and per 1k-edge
+// batch, at k ∈ {2, 4} with edge-driven rotation. cmd/windowbench emits the
+// same comparison as BENCH_window.json for CI's perf trajectory.
+func BenchmarkWindowedObserve(b *testing.B) {
+	edges := benchBurstEdges(1<<16, 4)
+	mask := len(edges) - 1
+	builders := []struct {
+		name string
+		mk   func() Estimator
+	}{
+		{"plain", func() Estimator { return NewFreeRS(1 << 22) }},
+		{"k2", func() Estimator {
+			return NewWindowed(func() Estimator { return NewFreeRS(1 << 22) },
+				WithGenerations(2), WithRotateEveryEdges(1<<20))
+		}},
+		{"k4", func() Estimator {
+			return NewWindowed(func() Estimator { return NewFreeRS(1 << 22) },
+				WithGenerations(4), WithRotateEveryEdges(1<<18))
+		}},
+	}
+	for _, bl := range builders {
+		b.Run(bl.name+"/observe", func(b *testing.B) {
+			est := bl.mk()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := edges[i&mask]
+				est.Observe(e.User, e.Item)
+			}
+		})
+		b.Run(bl.name+"/batch1k", func(b *testing.B) {
+			est := bl.mk()
+			const chunk = 1024
+			b.ResetTimer()
+			for i := 0; i < b.N; i += chunk {
+				off := i & mask
+				c := edges[off : off+chunk]
+				if rem := b.N - i; rem < chunk {
+					c = c[:rem]
+				}
+				est.ObserveBatch(c)
+			}
+		})
+	}
+}
+
+// BenchmarkWindowedRotate measures one epoch boundary on a loaded window:
+// allocate a fresh generation, age the ring, retire the oldest.
+func BenchmarkWindowedRotate(b *testing.B) {
+	edges := benchBurstEdges(1<<15, 5)
+	w := NewWindowed(func() Estimator { return NewFreeRS(1 << 20) }, WithGenerations(4))
+	w.ObserveBatch(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Rotate()
+	}
+}
+
 // BenchmarkMerge measures combining two loaded sketches — the aggregation
 // step a coordinator runs per reporting interval, not per edge.
 func BenchmarkMerge(b *testing.B) {

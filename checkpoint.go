@@ -4,7 +4,10 @@ package streamcard
 // persist its complete state (shared array + every user's running estimate +
 // incremental bookkeeping) and resume after a restart in bit-identical
 // lockstep with an uninterrupted instance. The underlying format is
-// versioned and validated; see internal/core.
+// versioned and validated; see internal/core. Windowed adds its own envelope
+// on top (all live generations plus epoch bookkeeping; see window.go).
+
+import "repro/internal/core"
 
 // MarshalBinary serializes the complete FreeBS state.
 func (f *FreeBS) MarshalBinary() ([]byte, error) { return f.inner.MarshalBinary() }
@@ -12,12 +15,23 @@ func (f *FreeBS) MarshalBinary() ([]byte, error) { return f.inner.MarshalBinary(
 // UnmarshalBinary restores state produced by MarshalBinary. The receiver's
 // previous state (if any) is replaced only on success.
 func (f *FreeBS) UnmarshalBinary(data []byte) error {
-	restored := NewFreeBS(64) // placeholder; fully overwritten below
-	if err := restored.inner.UnmarshalBinary(data); err != nil {
+	inner, err := core.RestoreFreeBS(data)
+	if err != nil {
 		return err
 	}
-	f.inner = restored.inner
+	f.inner = inner
 	return nil
+}
+
+// RestoreFreeBS reconstructs a FreeBS directly from a MarshalBinary payload
+// — the restore path for fresh processes, with no placeholder sketch to
+// size and immediately overwrite.
+func RestoreFreeBS(data []byte) (*FreeBS, error) {
+	inner, err := core.RestoreFreeBS(data)
+	if err != nil {
+		return nil, err
+	}
+	return &FreeBS{inner: inner}, nil
 }
 
 // MarshalBinary serializes the complete FreeRS state.
@@ -26,10 +40,20 @@ func (f *FreeRS) MarshalBinary() ([]byte, error) { return f.inner.MarshalBinary(
 // UnmarshalBinary restores state produced by MarshalBinary. The receiver's
 // previous state (if any) is replaced only on success.
 func (f *FreeRS) UnmarshalBinary(data []byte) error {
-	restored := NewFreeRS(64)
-	if err := restored.inner.UnmarshalBinary(data); err != nil {
+	inner, err := core.RestoreFreeRS(data)
+	if err != nil {
 		return err
 	}
-	f.inner = restored.inner
+	f.inner = inner
 	return nil
+}
+
+// RestoreFreeRS reconstructs a FreeRS directly from a MarshalBinary payload;
+// see RestoreFreeBS.
+func RestoreFreeRS(data []byte) (*FreeRS, error) {
+	inner, err := core.RestoreFreeRS(data)
+	if err != nil {
+		return nil, err
+	}
+	return &FreeRS{inner: inner}, nil
 }

@@ -12,7 +12,14 @@
 //	# or pipe text "user item" lines:
 //	cat edges.txt | spreaderwatch -text -delta 0.001
 //
+//	# sliding window: only the last ~3-4 epochs of 500k edges count, and
+//	# each report adds the window's top-k heaviest users
+//	spreaderwatch -in sj.edges -epoch 500000 -gens 4 -top 5
+//
 // Every -every edges (and once at EOF) it prints the current detections.
+// With -epoch N the estimator is wrapped in a k-generation sliding window
+// (k = -gens) that rotates every N edges, so detections and the per-window
+// top-k reflect the recent past instead of the whole stream.
 package main
 
 import (
@@ -44,6 +51,8 @@ func run(args []string, out io.Writer) error {
 		every  = fs.Int("every", 100000, "report every N edges")
 		top    = fs.Int("top", 10, "print at most N spreaders per report")
 		seed   = fs.Uint64("seed", 1, "hash seed")
+		epoch  = fs.Int("epoch", 0, "sliding window: rotate every N edges (0 = whole stream)")
+		gens   = fs.Int("gens", 4, "sliding window: live generations k (window spans k-1..k epochs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,27 +78,50 @@ func run(args []string, out io.Writer) error {
 		edges = r
 	}
 
-	var est streamcard.AnytimeEstimator
+	var build func() streamcard.Estimator
 	switch *method {
 	case "freers":
-		est = streamcard.NewFreeRS(*mbits, streamcard.WithSeed(*seed))
+		build = func() streamcard.Estimator { return streamcard.NewFreeRS(*mbits, streamcard.WithSeed(*seed)) }
 	case "freebs":
-		est = streamcard.NewFreeBS(*mbits, streamcard.WithSeed(*seed))
+		build = func() streamcard.Estimator { return streamcard.NewFreeBS(*mbits, streamcard.WithSeed(*seed)) }
 	default:
 		return fmt.Errorf("unknown method %q", *method)
+	}
+	var est streamcard.AnytimeEstimator
+	var win *streamcard.Windowed
+	if *epoch > 0 {
+		if *gens < 2 {
+			return fmt.Errorf("-gens must be at least 2, got %d", *gens)
+		}
+		win = streamcard.NewWindowed(build,
+			streamcard.WithGenerations(*gens),
+			streamcard.WithRotateEveryEdges(uint64(*epoch)))
+		est = win
+	} else {
+		est = build().(streamcard.AnytimeEstimator)
 	}
 	det := streamcard.NewSpreaderDetector(est, *delta)
 
 	report := func(t int) {
 		found := det.Detect()
-		fmt.Fprintf(out, "t=%d users=%d total-distinct=%.0f threshold=%.1f spreaders=%d\n",
-			t, est.NumUsers(), est.TotalDistinct(), det.Threshold(), len(found))
+		if win != nil {
+			fmt.Fprintf(out, "t=%d epoch=%d users=%d total-distinct=%.0f threshold=%.1f spreaders=%d\n",
+				t, win.Epoch(), est.NumUsers(), est.TotalDistinct(), det.Threshold(), len(found))
+		} else {
+			fmt.Fprintf(out, "t=%d users=%d total-distinct=%.0f threshold=%.1f spreaders=%d\n",
+				t, est.NumUsers(), est.TotalDistinct(), det.Threshold(), len(found))
+		}
 		for i, s := range found {
 			if i >= *top {
 				fmt.Fprintf(out, "  ... and %d more\n", len(found)-*top)
 				break
 			}
 			fmt.Fprintf(out, "  user %-12d est %.0f\n", s.User, s.Estimate)
+		}
+		if win != nil {
+			for _, s := range streamcard.TopK(est, *top) {
+				fmt.Fprintf(out, "  window-top user %-12d est %.0f\n", s.User, s.Estimate)
+			}
 		}
 	}
 

@@ -96,3 +96,50 @@ func itoa(n int) string {
 	}
 	return string(b[i:])
 }
+
+// TestWatchWindowed exercises the sliding-window path: the stream's first
+// half is dominated by user 555, the second half by user 777; with an epoch
+// shorter than a half, the final windowed report must rank 777 on top and
+// have aged 555 out of the detections.
+func TestWatchWindowed(t *testing.T) {
+	var edges []stream.Edge
+	for i := 0; i < 4000; i++ {
+		edges = append(edges, stream.Edge{User: 555, Item: uint64(i)})
+		edges = append(edges, stream.Edge{User: uint64(i % 40), Item: uint64(i % 20)})
+	}
+	for i := 0; i < 4000; i++ {
+		edges = append(edges, stream.Edge{User: 777, Item: uint64(i) | 1<<40})
+		edges = append(edges, stream.Edge{User: uint64(i % 40), Item: uint64(i % 20)})
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.edges")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Write(f, edges); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	err = run([]string{"-in", path, "-epoch", "2000", "-gens", "3", "-delta", "0.2",
+		"-every", "0", "-top", "3", "-mbits", "1048576"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "epoch=") {
+		t.Fatalf("windowed report missing epoch counter:\n%s", s)
+	}
+	if !strings.Contains(s, "window-top user 777") {
+		t.Fatalf("recent heavy hitter missing from window top-k:\n%s", s)
+	}
+	if strings.Contains(s, "window-top user 555") {
+		t.Fatalf("aged-out heavy hitter still in window top-k:\n%s", s)
+	}
+
+	if err := run([]string{"-in", path, "-epoch", "100", "-gens", "1"}, &out); err == nil {
+		t.Fatal("gens=1 accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWindowBenchEmitsJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_window.json")
+	var out bytes.Buffer
+	if err := run([]string{"-edges", "20000", "-mbits", "65536", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, raw)
+	}
+	if res.Edges != 20000 || res.Generations != 4 {
+		t.Fatalf("config not recorded: %+v", res)
+	}
+	if res.PlainEdgesPerSec <= 0 || res.WindowEdgesPerSec <= 0 || res.NsPerRotation <= 0 {
+		t.Fatalf("non-positive measurements: %+v", res)
+	}
+}
+
+func TestWindowBenchStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-edges", "5000", "-mbits", "65536", "-out", "-"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out.String())
+	}
+}
+
+func TestWindowBenchRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-edges", "0"}, &out); err == nil {
+		t.Fatal("edges=0 accepted")
+	}
+	if err := run([]string{"-gens", "1"}, &out); err == nil {
+		t.Fatal("gens=1 accepted")
+	}
+}

@@ -39,8 +39,8 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	restored := streamcard.NewFreeRS(64) // sizing is overwritten by restore
-	if err := restored.UnmarshalBinary(raw); err != nil {
+	restored, err := streamcard.RestoreFreeRS(raw) // sizing comes from the payload
+	if err != nil {
 		panic(err)
 	}
 

@@ -91,7 +91,8 @@ func (f *FreeBS) Merge(other *FreeBS) error {
 	if kOther == 0 {
 		return nil
 	}
-	scale := harmonicCredit(f.bits.Size(), kF, kU) / harmonicCredit(f.bits.Size(), 0, kOther)
+	scale := harmonicCredit(f.bits.Size(), kF, kU, f.postUpdateQ) /
+		harmonicCredit(f.bits.Size(), 0, kOther, f.postUpdateQ)
 	if scale > 0 {
 		// A zero scale (full overlap: no new bits) must not touch the map at
 		// all — `f.est[u] += 0` would create zero-valued entries, and the
@@ -101,13 +102,24 @@ func (f *FreeBS) Merge(other *FreeBS) error {
 	return nil
 }
 
-// harmonicCredit returns Σ_{k=from+1}^{to} M/(M-k+1): the total credit the
-// paper's update rule issues for flips number from+1 through to of an M-bit
-// array (flip number k happens against m0 = M-k+1 remaining zeros).
-func harmonicCredit(m, from, to int) float64 {
+// harmonicCredit returns the total credit the update rule issues for flips
+// number from+1 through to of an M-bit array. Flip number k happens against
+// m0 = M-k+1 remaining zeros, so the default (Theorem-2) rule credits
+// M/(M-k+1); the WithPostUpdateQ ablation divides by the post-flip zero
+// count instead, crediting M/(M-k) with the same ≥1 clamp Observe applies —
+// the reconciliation must mirror whichever rule issued the credits being
+// rescaled, or merged totals drift off the union sketch's.
+func harmonicCredit(m, from, to int, postUpdate bool) float64 {
 	s := 0.0
 	for k := from + 1; k <= to; k++ {
-		s += float64(m) / float64(m-k+1)
+		q := m - k + 1
+		if postUpdate {
+			q--
+			if q <= 0 {
+				q = 1
+			}
+		}
+		s += float64(m) / float64(q)
 	}
 	return s
 }

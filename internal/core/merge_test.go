@@ -317,20 +317,55 @@ func TestHarmonicCredit(t *testing.T) {
 	for k := 1; k <= 30; k++ {
 		direct += float64(m) / float64(m-k+1)
 	}
-	if got := harmonicCredit(m, 0, 30); math.Abs(got-direct) > 1e-12 {
+	if got := harmonicCredit(m, 0, 30, false); math.Abs(got-direct) > 1e-12 {
 		t.Fatalf("harmonicCredit(100,0,30) = %v, want %v", got, direct)
 	}
-	if got := harmonicCredit(m, 10, 10); got != 0 {
+	if got := harmonicCredit(m, 10, 10, false); got != 0 {
 		t.Fatalf("empty range credit = %v, want 0", got)
 	}
-	lhs := harmonicCredit(m, 0, 12) + harmonicCredit(m, 12, 40)
-	rhs := harmonicCredit(m, 0, 40)
+	lhs := harmonicCredit(m, 0, 12, false) + harmonicCredit(m, 12, 40, false)
+	rhs := harmonicCredit(m, 0, 40, false)
 	if math.Abs(lhs-rhs) > 1e-9 {
 		t.Fatalf("telescoping broken: %v vs %v", lhs, rhs)
 	}
 	// Saturation endpoint: the M-th flip is credited against one zero.
-	last := harmonicCredit(m, m-1, m)
+	last := harmonicCredit(m, m-1, m, false)
 	if last != float64(m) {
 		t.Fatalf("final flip credit = %v, want %v", last, float64(m))
+	}
+	// Post-update rule: flip k divides by M-k, clamped to 1 at saturation.
+	if got := harmonicCredit(m, 0, 1, true); got != float64(m)/float64(m-1) {
+		t.Fatalf("post-update first flip credit = %v, want %v", got, float64(m)/float64(m-1))
+	}
+	if got := harmonicCredit(m, m-1, m, true); got != float64(m) {
+		t.Fatalf("post-update final flip credit = %v, want %v (clamped)", got, float64(m))
+	}
+}
+
+// TestMergeFreeBSPostUpdateQ pins the reconciliation formula for the
+// WithPostUpdateQ ablation: the merged total must match a union sketch built
+// with the same option exactly, because total credit is a function of the
+// flip count alone — under the post-update rule that is Σ M/(M-k), not the
+// default Σ M/(M-k+1).
+func TestMergeFreeBSPostUpdateQ(t *testing.T) {
+	const m = 64
+	a := NewFreeBS(m, 5, WithPostUpdateQ())
+	b := NewFreeBS(m, 5, WithPostUpdateQ())
+	union := NewFreeBS(m, 5, WithPostUpdateQ())
+	for _, e := range burstEdges(400, 30, 8, 1) {
+		a.Observe(e.User, e.Item)
+		union.Observe(e.User, e.Item)
+	}
+	for _, e := range burstEdges(400, 30, 8, 2) {
+		b.Observe(e.User, e.Item)
+		union.Observe(e.User, e.Item)
+	}
+	merged := a.Clone()
+	if err := merged.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got, want := merged.TotalDistinct(), union.TotalDistinct()
+	if rel := (got - want) / want; rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("post-update-q merged total %v vs union %v (rel %.2e)", got, want, rel)
 	}
 }

@@ -23,7 +23,35 @@ import (
 const (
 	freeBSMagic = "FBS1"
 	freeRSMagic = "FRS1"
+	windowMagic = "WIN1"
 )
+
+// maxWindowGenerations bounds the generation count a window checkpoint may
+// declare; anything larger is a corrupt or hostile payload, not a plausible
+// ring (a generation is a whole sketch — thousands of them would dwarf any
+// real deployment).
+const maxWindowGenerations = 1 << 16
+
+// RestoreFreeBS decodes a MarshalBinary payload directly into a fresh
+// FreeBS — the restore path for checkpoints, which unlike UnmarshalBinary on
+// an existing sketch never needs a placeholder sketch to overwrite.
+func RestoreFreeBS(data []byte) (*FreeBS, error) {
+	f := new(FreeBS)
+	if err := f.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// RestoreFreeRS decodes a MarshalBinary payload directly into a fresh
+// FreeRS; see RestoreFreeBS.
+func RestoreFreeRS(data []byte) (*FreeRS, error) {
+	f := new(FreeRS)
+	if err := f.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
 
 // MarshalBinary serializes the complete FreeBS state.
 func (f *FreeBS) MarshalBinary() ([]byte, error) {
@@ -140,6 +168,87 @@ func (f *FreeRS) UnmarshalBinary(data []byte) error {
 	f.postUpdateQ = postQ
 	f.width = width
 	return nil
+}
+
+// windowLive returns the live-generation count a k-generation ring holds at
+// the given epoch: epochs fill the ring one generation at a time until all k
+// slots are live. Overflow-safe for any epoch.
+func windowLive(k int, epoch uint64) uint64 {
+	if epoch < uint64(k)-1 {
+		return epoch + 1
+	}
+	return uint64(k)
+}
+
+// MarshalWindow wraps the live generations of a k-generation window — each
+// already serialized by its own MarshalBinary — together with the epoch
+// bookkeeping (epoch number, edges absorbed by the current epoch) into one
+// versioned payload. The live count is not stored: it is a function of k and
+// epoch (windowLive), so the decoder validates it for free.
+//
+// Format (little-endian): magic "WIN1", k as uint32, epoch as uint64, edges
+// as uint64, then each generation newest-first as a uvarint length prefix
+// plus its payload.
+func MarshalWindow(k int, epoch, edges uint64, gens [][]byte) ([]byte, error) {
+	if k < 2 || k > maxWindowGenerations {
+		return nil, fmt.Errorf("core: window generation count %d out of range [2, %d]", k, maxWindowGenerations)
+	}
+	if uint64(len(gens)) != windowLive(k, epoch) {
+		return nil, fmt.Errorf("core: %d live generations inconsistent with epoch %d of a %d-generation window",
+			len(gens), epoch, k)
+	}
+	size := len(windowMagic) + 4 + 8 + 8
+	for _, g := range gens {
+		size += binary.MaxVarintLen64 + len(g)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, windowMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(k))
+	out = binary.LittleEndian.AppendUint64(out, epoch)
+	out = binary.LittleEndian.AppendUint64(out, edges)
+	for _, g := range gens {
+		out = binary.AppendUvarint(out, uint64(len(g)))
+		out = append(out, g...)
+	}
+	return out, nil
+}
+
+// UnmarshalWindow validates and splits a MarshalWindow payload. The returned
+// generation payloads alias data (newest first); decoding each into a sketch
+// is the caller's job, since the envelope does not know the estimator type.
+func UnmarshalWindow(data []byte) (k int, epoch, edges uint64, gens [][]byte, err error) {
+	body, err := checkMagic(data, windowMagic)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if len(body) < 4+8+8 {
+		return 0, 0, 0, nil, errors.New("core: window payload truncated")
+	}
+	k = int(binary.LittleEndian.Uint32(body))
+	epoch = binary.LittleEndian.Uint64(body[4:])
+	edges = binary.LittleEndian.Uint64(body[12:])
+	body = body[20:]
+	if k < 2 || k > maxWindowGenerations {
+		return 0, 0, 0, nil, fmt.Errorf("core: window generation count %d out of range [2, %d]", k, maxWindowGenerations)
+	}
+	live := windowLive(k, epoch)
+	gens = make([][]byte, 0, live)
+	for i := uint64(0); i < live; i++ {
+		glen, n := binary.Uvarint(body)
+		if n <= 0 {
+			return 0, 0, 0, nil, fmt.Errorf("core: window generation %d: bad length prefix", i)
+		}
+		body = body[n:]
+		if glen > uint64(len(body)) {
+			return 0, 0, 0, nil, fmt.Errorf("core: window generation %d: length %d exceeds remaining %d bytes", i, glen, len(body))
+		}
+		gens = append(gens, body[:glen])
+		body = body[glen:]
+	}
+	if len(body) != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("core: window payload has %d trailing bytes", len(body))
+	}
+	return k, epoch, edges, gens, nil
 }
 
 func boolByte(b bool) byte {

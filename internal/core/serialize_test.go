@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/hashing"
@@ -133,5 +134,114 @@ func TestCrossTypeMagicRejected(t *testing.T) {
 	var fr FreeRS
 	if err := fr.UnmarshalBinary(bs); err == nil {
 		t.Fatal("FreeRS accepted FreeBS bytes")
+	}
+}
+
+func TestRestoreConstructors(t *testing.T) {
+	bs := NewFreeBS(2048, 5)
+	populateFreeBS(bs, 3000, 2)
+	data, err := bs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbs, err := RestoreFreeBS(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rbs.M() != bs.M() || rbs.TotalDistinct() != bs.TotalDistinct() || rbs.NumUsers() != bs.NumUsers() {
+		t.Fatal("RestoreFreeBS state differs")
+	}
+	if _, err := RestoreFreeBS(data[:8]); err == nil {
+		t.Fatal("RestoreFreeBS accepted a truncated payload")
+	}
+
+	rs := NewFreeRS(256, 5)
+	populateFreeRS(rs, 3000, 2)
+	data, err = rs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrs, err := RestoreFreeRS(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrs.M() != rs.M() || rrs.TotalDistinct() != rs.TotalDistinct() || rrs.NumUsers() != rs.NumUsers() {
+		t.Fatal("RestoreFreeRS state differs")
+	}
+	if _, err := RestoreFreeRS(nil); err == nil {
+		t.Fatal("RestoreFreeRS accepted nil")
+	}
+}
+
+func windowGenPayloads(t *testing.T, n int) [][]byte {
+	t.Helper()
+	gens := make([][]byte, n)
+	for i := range gens {
+		f := NewFreeRS(64, 9)
+		populateFreeRS(f, 200*(i+1), uint64(i)+1)
+		p, err := f.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens[i] = p
+	}
+	return gens
+}
+
+func TestWindowEnvelopeRoundTrip(t *testing.T) {
+	gens := windowGenPayloads(t, 3)
+	payload, err := MarshalWindow(4, 2, 1234, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, epoch, edges, got, err := UnmarshalWindow(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 || epoch != 2 || edges != 1234 || len(got) != 3 {
+		t.Fatalf("k=%d epoch=%d edges=%d live=%d", k, epoch, edges, len(got))
+	}
+	for i := range gens {
+		if !bytes.Equal(got[i], gens[i]) {
+			t.Fatalf("generation %d payload changed", i)
+		}
+	}
+	// Saturated ring: live == k.
+	full, err := MarshalWindow(2, 900, 0, windowGenPayloads(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, _, _, got, err = UnmarshalWindow(full); err != nil || k != 2 || len(got) != 2 {
+		t.Fatalf("saturated ring: k=%d live=%d err=%v", k, len(got), err)
+	}
+}
+
+func TestWindowEnvelopeRejects(t *testing.T) {
+	gens := windowGenPayloads(t, 2)
+	if _, err := MarshalWindow(1, 1, 0, gens); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := MarshalWindow(1<<20, 1, 0, gens); err == nil {
+		t.Fatal("absurd k accepted")
+	}
+	if _, err := MarshalWindow(4, 0, 0, gens); err == nil {
+		t.Fatal("2 live generations at epoch 0 accepted")
+	}
+	good, err := MarshalWindow(3, 1, 7, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string][]byte{
+		"nil":          nil,
+		"wrong magic":  append([]byte("XXXX"), good[4:]...),
+		"header only":  good[:10],
+		"truncated":    good[:len(good)-2],
+		"trailing":     append(append([]byte{}, good...), 0xab),
+		"huge gen len": append(append([]byte{}, good[:24]...), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+	}
+	for name, data := range bad {
+		if _, _, _, _, err := UnmarshalWindow(data); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
 	}
 }

@@ -1,0 +1,80 @@
+package exact
+
+import "repro/internal/stream"
+
+// WindowTracker maintains exact distinct counts over the last span edges of
+// the stream — the sliding-window ground truth the k-generation windowed
+// sketches are evaluated against. It keeps every in-window edge in a ring
+// buffer plus multiplicity maps, so memory is O(span); like Tracker, it is
+// the reference implementation, not a line-rate method.
+type WindowTracker struct {
+	span int
+	buf  []stream.Edge // ring buffer of the last min(n, span) edges
+	head int           // slot the next edge overwrites (= oldest edge when full)
+	n    int           // edges currently buffered
+
+	pairCount map[stream.Edge]int // in-window multiplicity of each pair
+	userCount map[uint64]int      // distinct in-window items per user
+	total     int                 // distinct in-window pairs
+}
+
+// NewWindowTracker returns a tracker over the trailing span edges; it panics
+// if span <= 0.
+func NewWindowTracker(span int) *WindowTracker {
+	if span <= 0 {
+		panic("exact: NewWindowTracker requires span > 0")
+	}
+	return &WindowTracker{
+		span:      span,
+		buf:       make([]stream.Edge, span),
+		pairCount: make(map[stream.Edge]int),
+		userCount: make(map[uint64]int),
+	}
+}
+
+// Observe slides edge (user, item) into the window, evicting the edge that
+// fell off the far end once the window is full.
+func (t *WindowTracker) Observe(user, item uint64) {
+	e := stream.Edge{User: user, Item: item}
+	if t.n == t.span {
+		old := t.buf[t.head]
+		if c := t.pairCount[old] - 1; c > 0 {
+			t.pairCount[old] = c
+		} else {
+			delete(t.pairCount, old)
+			t.total--
+			if uc := t.userCount[old.User] - 1; uc > 0 {
+				t.userCount[old.User] = uc
+			} else {
+				delete(t.userCount, old.User)
+			}
+		}
+	} else {
+		t.n++
+	}
+	t.buf[t.head] = e
+	t.head = (t.head + 1) % t.span
+	if c := t.pairCount[e]; c > 0 {
+		t.pairCount[e] = c + 1
+	} else {
+		t.pairCount[e] = 1
+		t.total++
+		t.userCount[user]++
+	}
+}
+
+// Span returns the configured window length in edges.
+func (t *WindowTracker) Span() int { return t.span }
+
+// Len returns how many edges are currently in the window (≤ Span).
+func (t *WindowTracker) Len() int { return t.n }
+
+// Cardinality returns the exact number of distinct items user connected to
+// within the window (0 if the user has no in-window edges).
+func (t *WindowTracker) Cardinality(user uint64) int { return t.userCount[user] }
+
+// TotalCardinality returns the exact number of distinct in-window pairs.
+func (t *WindowTracker) TotalCardinality() int { return t.total }
+
+// NumUsers returns the number of users with at least one in-window edge.
+func (t *WindowTracker) NumUsers() int { return len(t.userCount) }

@@ -1,0 +1,87 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/hashing"
+	"repro/internal/stream"
+)
+
+func TestWindowTrackerSlides(t *testing.T) {
+	w := NewWindowTracker(4)
+	w.Observe(1, 10)
+	w.Observe(1, 10) // duplicate inside the window
+	w.Observe(1, 11)
+	w.Observe(2, 10)
+	if w.Cardinality(1) != 2 || w.Cardinality(2) != 1 || w.TotalCardinality() != 3 || w.NumUsers() != 2 {
+		t.Fatalf("full window: card1=%d card2=%d total=%d users=%d",
+			w.Cardinality(1), w.Cardinality(2), w.TotalCardinality(), w.NumUsers())
+	}
+	// Slide: evicts the first (1,10); its duplicate keeps the pair alive.
+	w.Observe(3, 30)
+	if w.Cardinality(1) != 2 || w.TotalCardinality() != 4 {
+		t.Fatalf("after 1 slide: card1=%d total=%d", w.Cardinality(1), w.TotalCardinality())
+	}
+	// Slide again: evicts the second (1,10); now the pair is gone.
+	w.Observe(3, 31)
+	if w.Cardinality(1) != 1 || w.TotalCardinality() != 4 {
+		t.Fatalf("after 2 slides: card1=%d total=%d", w.Cardinality(1), w.TotalCardinality())
+	}
+	// Age user 1 out entirely.
+	w.Observe(3, 32)
+	w.Observe(3, 33)
+	if w.Cardinality(1) != 0 || w.NumUsers() != 1 {
+		t.Fatalf("aged out: card1=%d users=%d", w.Cardinality(1), w.NumUsers())
+	}
+	if w.Len() != 4 || w.Span() != 4 {
+		t.Fatalf("len=%d span=%d", w.Len(), w.Span())
+	}
+}
+
+// TestWindowTrackerMatchesNaive cross-checks the incremental maintenance
+// against a from-scratch recount of the buffered suffix on a random stream.
+func TestWindowTrackerMatchesNaive(t *testing.T) {
+	const span = 64
+	w := NewWindowTracker(span)
+	rng := hashing.NewRNG(7)
+	var all []stream.Edge
+	for i := 0; i < 1000; i++ {
+		e := stream.Edge{User: uint64(rng.Intn(10)), Item: uint64(rng.Intn(40))}
+		all = append(all, e)
+		w.Observe(e.User, e.Item)
+		if i%137 != 0 {
+			continue
+		}
+		start := len(all) - span
+		if start < 0 {
+			start = 0
+		}
+		users := map[uint64]map[uint64]struct{}{}
+		pairs := map[stream.Edge]struct{}{}
+		for _, s := range all[start:] {
+			if users[s.User] == nil {
+				users[s.User] = map[uint64]struct{}{}
+			}
+			users[s.User][s.Item] = struct{}{}
+			pairs[s] = struct{}{}
+		}
+		if w.TotalCardinality() != len(pairs) || w.NumUsers() != len(users) {
+			t.Fatalf("t=%d: total=%d want %d, users=%d want %d",
+				i, w.TotalCardinality(), len(pairs), w.NumUsers(), len(users))
+		}
+		for u, set := range users {
+			if w.Cardinality(u) != len(set) {
+				t.Fatalf("t=%d user %d: %d want %d", i, u, w.Cardinality(u), len(set))
+			}
+		}
+	}
+}
+
+func TestWindowTrackerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWindowTracker(0)
+}

@@ -1,0 +1,237 @@
+package window
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a pluggable time source. Production rings use time.Now; tests
+// substitute a fake so duration-driven epochs are deterministic.
+type Clock func() time.Time
+
+// Boundary decides when the current epoch ends. End is consulted under the
+// ring lock after every Feed and on every Tick; now is the ring's Clock,
+// passed as a function so edge-driven policies never pay for a time lookup
+// on the ingest hot path.
+type Boundary interface {
+	// End reports whether the epoch that started at start and has absorbed
+	// edges edges has ended.
+	End(edges uint64, start time.Time, now Clock) bool
+}
+
+// Manual never ends an epoch on its own: rotation happens only through an
+// explicit Rotate call. This is the default policy.
+type Manual struct{}
+
+// End implements Boundary.
+func (Manual) End(uint64, time.Time, Clock) bool { return false }
+
+// ByEdges ends an epoch once it has absorbed at least N edges — the policy
+// for streams where "recent" is most naturally measured in traffic volume.
+type ByEdges struct{ N uint64 }
+
+// End implements Boundary.
+func (b ByEdges) End(edges uint64, _ time.Time, _ Clock) bool {
+	return b.N > 0 && edges >= b.N
+}
+
+// ByDuration ends an epoch after D of time per the ring's Clock — the
+// wall-time policy of a deployed monitor ("cardinalities over the last five
+// minutes"). Pair it with a periodic Tick so epochs also end while no edges
+// arrive.
+type ByDuration struct{ D time.Duration }
+
+// End implements Boundary.
+func (b ByDuration) End(_ uint64, start time.Time, now Clock) bool {
+	return b.D > 0 && now().Sub(start) >= b.D
+}
+
+// Option configures a Ring.
+type Option func(*config)
+
+type config struct {
+	boundary Boundary
+	clock    Clock
+}
+
+// WithBoundary sets the epoch-boundary policy (default Manual).
+func WithBoundary(b Boundary) Option { return func(c *config) { c.boundary = b } }
+
+// WithClock sets the ring's time source (default time.Now).
+func WithClock(now Clock) Option { return func(c *config) { c.clock = now } }
+
+// Ring holds up to k live generations of E, newest first. All access runs
+// under one mutex, which is what makes rotation safe to interleave with
+// batched ingestion: a Feed call is attributed wholly to the epoch current
+// at its start, and a concurrent Rotate or Tick waits for it.
+type Ring[E any] struct {
+	mu       sync.Mutex
+	build    func() E
+	gens     []E // gens[0] is the current generation, gens[len-1] the oldest live
+	k        int
+	epoch    uint64 // rotations performed so far
+	edges    uint64 // edges attributed to the current epoch
+	start    time.Time
+	clock    Clock
+	boundary Boundary
+}
+
+// New returns a ring of k generations (k >= 2); build must return a fresh,
+// non-nil generation and is called once now and once per rotation. It panics
+// if k < 2 or build is nil or returns nil.
+func New[E any](k int, build func() E, opts ...Option) *Ring[E] {
+	if k < 2 {
+		panic(fmt.Sprintf("window: need at least 2 generations, got %d", k))
+	}
+	if build == nil {
+		panic("window: New requires a build function")
+	}
+	cfg := config{boundary: Manual{}, clock: time.Now}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r := &Ring[E]{
+		build:    build,
+		gens:     make([]E, 1, k),
+		k:        k,
+		clock:    cfg.clock,
+		boundary: cfg.boundary,
+	}
+	r.gens[0] = mustBuild(build)
+	r.start = r.clock()
+	return r
+}
+
+func mustBuild[E any](build func() E) E {
+	g := build()
+	if any(g) == nil {
+		panic("window: build returned nil generation")
+	}
+	return g
+}
+
+// K returns the configured generation count.
+func (r *Ring[E]) K() int { return r.k }
+
+// Epoch returns how many rotations have happened.
+func (r *Ring[E]) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// Live returns the number of live generations (1 before the first rotation,
+// growing to k).
+func (r *Ring[E]) Live() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.gens)
+}
+
+// EdgesInEpoch returns how many edges the current epoch has absorbed.
+func (r *Ring[E]) EdgesInEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.edges
+}
+
+// Feed runs fn on the current generation, attributes n more edges to the
+// current epoch, then consults the boundary and rotates at most once if the
+// epoch has ended. The entire call holds the ring lock, so a batch is never
+// torn across generations: its edges all land in the generation that was
+// current when Feed began, and any boundary it crosses takes effect only
+// after the batch is fully absorbed.
+func (r *Ring[E]) Feed(n uint64, fn func(current E)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.gens[0])
+	r.edges += n
+	if r.boundary.End(r.edges, r.start, r.clock) {
+		r.rotateLocked()
+	}
+}
+
+// View runs fn on the live generations, newest first, under the ring lock.
+// fn must not retain the slice or rotate/feed the ring (deadlock).
+func (r *Ring[E]) View(fn func(live []E)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.gens)
+}
+
+// Snapshot returns a copy of the live generation headers (newest first), the
+// current epoch, and the edges the current epoch has absorbed. The
+// generations themselves are shared, not cloned.
+func (r *Ring[E]) Snapshot() (gens []E, epoch, edges uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]E(nil), r.gens...), r.epoch, r.edges
+}
+
+// Rotate forces an epoch boundary: the oldest of k live generations is
+// discarded, every survivor ages one slot, and a fresh generation starts
+// receiving edges. It returns the new epoch number.
+func (r *Ring[E]) Rotate() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rotateLocked()
+	return r.epoch
+}
+
+// Tick consults the boundary without feeding any edges and reports whether
+// it rotated — the hook a timer goroutine calls so duration-driven epochs
+// also end during traffic lulls.
+func (r *Ring[E]) Tick() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.boundary.End(r.edges, r.start, r.clock) {
+		return false
+	}
+	r.rotateLocked()
+	return true
+}
+
+func (r *Ring[E]) rotateLocked() {
+	g := mustBuild(r.build)
+	if len(r.gens) < r.k {
+		var zero E
+		r.gens = append(r.gens, zero)
+	}
+	copy(r.gens[1:], r.gens)
+	r.gens[0] = g
+	r.epoch++
+	r.edges = 0
+	r.start = r.clock()
+}
+
+// Adopt replaces the ring's live generations (newest first), epoch, and
+// edges-in-epoch counter — the restore path of checkpointing, cloning, and
+// merging. It enforces the ring invariant live == min(epoch+1, k) and
+// rejects nil generations; on error the ring is unchanged. The epoch's start
+// time restarts at the clock's now: wall-time boundaries measure from the
+// restore, since the original start instant is not meaningful across a
+// process restart.
+func (r *Ring[E]) Adopt(gens []E, epoch, edges uint64) error {
+	want := uint64(r.k)
+	if epoch < uint64(r.k)-1 {
+		want = epoch + 1
+	}
+	if uint64(len(gens)) != want {
+		return fmt.Errorf("window: %d live generations inconsistent with epoch %d of a %d-generation ring (want %d)",
+			len(gens), epoch, r.k, want)
+	}
+	for _, g := range gens {
+		if any(g) == nil {
+			return errors.New("window: Adopt of a nil generation")
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gens = append(r.gens[:0:0], gens...)
+	r.epoch = epoch
+	r.edges = edges
+	r.start = r.clock()
+	return nil
+}

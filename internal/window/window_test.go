@@ -1,0 +1,224 @@
+package window
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// gen is a minimal generation type: it records how many edges it absorbed.
+type gen struct{ edges int }
+
+func newRing(k int, opts ...Option) *Ring[*gen] {
+	return New(k, func() *gen { return &gen{} }, opts...)
+}
+
+func feed(r *Ring[*gen], n int) {
+	r.Feed(uint64(n), func(g *gen) { g.edges += n })
+}
+
+func liveEdges(r *Ring[*gen]) []int {
+	var out []int
+	r.View(func(live []*gen) {
+		for _, g := range live {
+			out = append(out, g.edges)
+		}
+	})
+	return out
+}
+
+func TestRingGrowsToKThenDrops(t *testing.T) {
+	r := newRing(3)
+	if r.K() != 3 || r.Live() != 1 || r.Epoch() != 0 {
+		t.Fatalf("fresh ring k=%d live=%d epoch=%d", r.K(), r.Live(), r.Epoch())
+	}
+	feed(r, 10)
+	r.Rotate()
+	feed(r, 20)
+	r.Rotate()
+	feed(r, 30)
+	if got := liveEdges(r); len(got) != 3 || got[0] != 30 || got[1] != 20 || got[2] != 10 {
+		t.Fatalf("live = %v, want [30 20 10]", got)
+	}
+	r.Rotate() // the 10-edge generation ages out
+	if got := liveEdges(r); len(got) != 3 || got[0] != 0 || got[1] != 30 || got[2] != 20 {
+		t.Fatalf("live after overflow = %v, want [0 30 20]", got)
+	}
+	if r.Epoch() != 3 {
+		t.Fatalf("epoch = %d", r.Epoch())
+	}
+}
+
+func TestRingByEdgesBoundary(t *testing.T) {
+	r := newRing(2, WithBoundary(ByEdges{N: 10}))
+	feed(r, 9)
+	if r.Epoch() != 0 {
+		t.Fatal("rotated early")
+	}
+	feed(r, 1)
+	if r.Epoch() != 1 || r.EdgesInEpoch() != 0 {
+		t.Fatalf("epoch=%d edges=%d after hitting the boundary", r.Epoch(), r.EdgesInEpoch())
+	}
+	// A batch far past the boundary still rotates at most once, and all its
+	// edges belong to the generation current at call start.
+	feed(r, 35)
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2 (one rotation per feed)", r.Epoch())
+	}
+	if got := liveEdges(r); got[0] != 0 || got[1] != 35 {
+		t.Fatalf("live = %v, want the whole batch in one generation", got)
+	}
+}
+
+func TestRingByDurationBoundaryAndTick(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	r := newRing(2, WithBoundary(ByDuration{D: time.Minute}), WithClock(clock))
+	feed(r, 5)
+	if r.Tick() {
+		t.Fatal("ticked before the epoch elapsed")
+	}
+	now = now.Add(time.Minute)
+	if !r.Tick() {
+		t.Fatal("tick at the boundary must rotate")
+	}
+	if r.Epoch() != 1 {
+		t.Fatalf("epoch = %d", r.Epoch())
+	}
+	// Feeding also notices an elapsed duration, without a Tick.
+	now = now.Add(2 * time.Minute)
+	feed(r, 1)
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch = %d after feeding past the boundary", r.Epoch())
+	}
+}
+
+func TestRingManualNeverRotates(t *testing.T) {
+	r := newRing(2)
+	feed(r, 1_000_000)
+	if r.Tick() || r.Epoch() != 0 {
+		t.Fatal("manual ring rotated on its own")
+	}
+}
+
+func TestRingSnapshotAndAdopt(t *testing.T) {
+	r := newRing(3)
+	feed(r, 7)
+	r.Rotate()
+	feed(r, 8)
+	gens, epoch, inEpoch := r.Snapshot()
+	if epoch != 1 || inEpoch != 8 || len(gens) != 2 || gens[0].edges != 8 || gens[1].edges != 7 {
+		t.Fatalf("snapshot gens=%v epoch=%d edges=%d", gens, epoch, inEpoch)
+	}
+	// Snapshot is a copy of the headers: rotating afterwards must not alter it.
+	r.Rotate()
+	if len(gens) != 2 {
+		t.Fatal("snapshot aliased the ring's slice")
+	}
+
+	fresh := newRing(3)
+	if err := fresh.Adopt(gens, epoch, inEpoch); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.EdgesInEpoch() != 8 {
+		t.Fatalf("adopted edges-in-epoch = %d", fresh.EdgesInEpoch())
+	}
+	if got := liveEdges(fresh); len(got) != 2 || got[0] != 8 || got[1] != 7 {
+		t.Fatalf("adopted live = %v", got)
+	}
+	if fresh.Epoch() != 1 {
+		t.Fatalf("adopted epoch = %d", fresh.Epoch())
+	}
+
+	// Invariant violations are rejected without touching the ring.
+	if err := fresh.Adopt(gens, 5, 0); err == nil {
+		t.Fatal("2 live generations at epoch 5 of a k=3 ring accepted")
+	}
+	ifaceRing := New(3, func() any { return &gen{} })
+	if err := ifaceRing.Adopt([]any{&gen{}, nil}, 1, 0); err == nil {
+		t.Fatal("nil generation accepted")
+	}
+	if got := liveEdges(fresh); got[0] != 8 || got[1] != 7 {
+		t.Fatal("failed Adopt mutated the ring")
+	}
+}
+
+func TestRingPanics(t *testing.T) {
+	mustPanic(t, func() { New(1, func() *gen { return &gen{} }) })
+	mustPanic(t, func() { New[*gen](2, nil) })
+	mustPanic(t, func() { New(2, func() any { return nil }) })
+	calls := 0
+	r := New(2, func() any {
+		calls++
+		if calls > 1 {
+			return nil
+		}
+		return &gen{}
+	})
+	mustPanic(t, func() { r.Rotate() })
+}
+
+// TestRingFeedRotateRace is the -race guard for the tentpole: batches,
+// rotations, ticks, and views interleave from many goroutines, and the
+// per-generation edge totals must still add up exactly — a torn batch or a
+// lost update would break the sum.
+func TestRingFeedRotateRace(t *testing.T) {
+	r := newRing(4, WithBoundary(ByEdges{N: 500}))
+	const workers, perWorker, batch = 8, 300, 7
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				feed(r, batch)
+				if i%50 == 0 {
+					r.Tick()
+				}
+				if i%97 == 0 {
+					r.View(func(live []*gen) {
+						for _, g := range live {
+							_ = g.edges
+						}
+					})
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Rotate()
+		}
+	}()
+	wg.Wait()
+	<-done
+	// Every fed edge landed in exactly one generation; most have aged out,
+	// but the live ones must hold whole batches (edges ≡ 0 mod batch would
+	// not hold after boundary rotations, so just check non-negative totals
+	// and that the epoch advanced).
+	if r.Epoch() < 50 {
+		t.Fatalf("epoch = %d, want >= 50 explicit rotations", r.Epoch())
+	}
+	total := 0
+	for _, e := range liveEdges(r) {
+		if e < 0 {
+			t.Fatalf("negative generation total %d", e)
+		}
+		total += e
+	}
+	if total%batch != 0 {
+		t.Fatalf("live total %d is not a whole number of %d-edge batches: a batch was torn", total, batch)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -253,6 +253,40 @@ func mergeShards[T mergeable[T]](s *Sharded, cast func(Estimator) (T, bool)) (fl
 	return combined.TotalDistinct(), nil
 }
 
+// Rotator is the epoch-advance surface of time-windowed estimators:
+// Windowed implements it, Sharded fans it out, and deployments drive it from
+// whatever marks their epochs (a timer, a watermark in the stream, an
+// operator command).
+type Rotator interface {
+	// Rotate closes the current epoch and starts a fresh one.
+	Rotate()
+}
+
+// Rotate advances every shard's window by one epoch, taking each shard's
+// lock as it goes — the same one-lock-per-shard discipline as ingestion, so
+// a rotation never tears a concurrent ObserveBatch (the batch's shard lock
+// holds the rotation off until the batch is fully absorbed, and the batch is
+// attributed to the epoch it started in). All shards end the call at the
+// same epoch: a Sharded(Windowed(...)) rotates coherently under one epoch
+// as long as rotations are issued from one place, which is also what keeps
+// concurrent runs bit-identical to a sequential twin rotated at the same
+// stream positions. It panics if the shard estimators do not implement
+// Rotator.
+func (s *Sharded) Rotate() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		r, ok := sh.est.(Rotator)
+		if ok {
+			r.Rotate()
+		}
+		sh.mu.Unlock()
+		if !ok {
+			panic(fmt.Sprintf("streamcard: %s shards do not rotate (wrap a Windowed estimator)", sh.est.Name()))
+		}
+	}
+}
+
 // Name implements Estimator.
 func (s *Sharded) Name() string { return s.name }
 

@@ -31,7 +31,7 @@
 package streamcard
 
 import (
-	"errors"
+	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/cse"
@@ -115,6 +115,27 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
+// registerFloor is the minimum shared-array size, in registers, accepted by
+// the register-sharing constructors (NewFreeRS, NewVHLL). The floor is 2
+// because both methods' estimators are undefined on a single register —
+// FreeRS's HLL view needs a harmonic mean over M ≥ 2 registers and vHLL's
+// noise-removal term divides by M−m ≥ 1 — and a memory budget below even one
+// register holds no sketch state at all. Sub-floor budgets are a
+// configuration bug, not a degraded mode, so the constructors panic instead
+// of silently rounding up.
+const registerFloor = 2
+
+// registerCount converts a memory budget in bits into a register count for
+// the given register width, panicking on budgets below the floor.
+func registerCount(memoryBits, width int, constructor string) int {
+	regs := memoryBits / width
+	if regs < registerFloor {
+		panic(fmt.Sprintf("streamcard: %s needs at least %d bits of memory (%d registers of %d bits); got %d",
+			constructor, registerFloor*width, registerFloor, width, memoryBits))
+	}
+	return regs
+}
+
 // ---- FreeBS ----
 
 // FreeBS wraps core.FreeBS behind the Estimator interface.
@@ -141,7 +162,7 @@ func (f *FreeBS) ObserveBatch(edges []Edge) { f.inner.ObserveBatch(edges) }
 // are reconciled through the paper's update rule (see internal/core).
 func (f *FreeBS) Merge(other *FreeBS) error {
 	if other == nil {
-		return errors.New("streamcard: FreeBS.Merge(nil)")
+		return fmt.Errorf("streamcard: FreeBS.Merge(nil): %w", ErrIncompatible)
 	}
 	return f.inner.Merge(other.inner)
 }
@@ -179,12 +200,11 @@ type FreeRS struct{ inner *core.FreeRS }
 
 // NewFreeRS returns a FreeRS estimator with memoryBits bits of shared sketch
 // memory, organized as memoryBits/5 five-bit registers (the paper's layout).
+// It panics if the budget is below the shared two-register floor (see
+// registerFloor).
 func NewFreeRS(memoryBits int, opts ...Option) *FreeRS {
 	o := buildOptions(opts)
-	regs := memoryBits / core.DefaultRegisterWidth
-	if regs < 1 {
-		regs = 1
-	}
+	regs := registerCount(memoryBits, core.DefaultRegisterWidth, "NewFreeRS")
 	return &FreeRS{inner: core.NewFreeRS(regs, o.seed)}
 }
 
@@ -203,7 +223,7 @@ func (f *FreeRS) ObserveBatch(edges []Edge) { f.inner.ObserveBatch(edges) }
 // internal/core).
 func (f *FreeRS) Merge(other *FreeRS) error {
 	if other == nil {
-		return errors.New("streamcard: FreeRS.Merge(nil)")
+		return fmt.Errorf("streamcard: FreeRS.Merge(nil): %w", ErrIncompatible)
 	}
 	return f.inner.Merge(other.inner)
 }
@@ -266,13 +286,12 @@ type VHLL struct{ inner *vhll.VHLL }
 
 // NewVHLL returns a vHLL estimator: memoryBits/5 shared five-bit registers,
 // virtual sketches of virtualM registers per user. Estimates cost
-// O(virtualM).
+// O(virtualM). It panics if the budget is below the shared two-register
+// floor (see registerFloor) or virtualM does not fit under the register
+// count.
 func NewVHLL(memoryBits, virtualM int, opts ...Option) *VHLL {
 	o := buildOptions(opts)
-	regs := memoryBits / vhll.Width
-	if regs < 2 {
-		regs = 2
-	}
+	regs := registerCount(memoryBits, vhll.Width, "NewVHLL")
 	return &VHLL{inner: vhll.New(regs, virtualM, o.seed)}
 }
 

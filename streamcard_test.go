@@ -192,3 +192,18 @@ func TestDuplicateInsensitivityAllMethods(t *testing.T) {
 		}
 	}
 }
+
+// TestRegisterFloorPanics pins the unified register-count floor: both
+// register-sharing constructors reject memory budgets below two full
+// registers (see registerFloor) instead of silently clamping, and budgets at
+// the floor work.
+func TestRegisterFloorPanics(t *testing.T) {
+	mustPanic(t, func() { NewFreeRS(0) })
+	mustPanic(t, func() { NewFreeRS(4) })  // less than one 5-bit register
+	mustPanic(t, func() { NewFreeRS(9) })  // one register: below the floor of 2
+	mustPanic(t, func() { NewVHLL(9, 1) }) // same floor for vHLL
+	if got := NewFreeRS(10).MemoryBits(); got != 10 {
+		t.Fatalf("floor-sized FreeRS has %d bits", got)
+	}
+	NewVHLL(20, 2) // 4 registers, m=2 < M: smallest legal vHLL here
+}

@@ -1,29 +1,85 @@
 package streamcard
 
-import "fmt"
+import (
+	"encoding"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/window"
+)
 
 // Windowed adapts any Estimator to approximate cardinalities over the recent
 // past instead of the whole stream — the practical need behind the paper's
 // future-work note on monitoring anomalies continuously (a scanner from last
 // week should not keep a host flagged today).
 //
-// It uses epoch rotation, the standard windowing scheme for sketches that do
-// not support deletion: two generations of the underlying estimator are
-// kept, every edge feeds the current generation, and Rotate() (called every
-// epoch, e.g. by a timer) discards the older generation and starts a fresh
-// one. Queries sum the two live generations, so an estimate covers between
-// one and two epochs of history.
+// It uses k-generation epoch rotation, the standard windowing scheme for
+// sketches that do not support deletion: k generations of the underlying
+// estimator are kept live, every edge feeds the newest, and each epoch
+// boundary discards the oldest and starts a fresh one. Queries sum the live
+// generations, so an estimate covers between k−1 and k epochs of history —
+// size epochs so that k−1 of them span the window you care about, and the
+// slop (extra history, and double counting of pairs re-observed across
+// epochs) is bounded by 1/(k−1): 100% for the classic k=2, ≤⅓ for k=4,
+// shrinking as k buys finer-grained aging at k× the memory. Within one
+// generation duplicates are still free.
 //
-// Semantics: a pair observed in both live generations is counted in both, so
-// Estimate is an upper approximation of the distinct count over the window
-// (at most 2× for a pathological stream that repeats every pair each epoch;
-// in monitoring practice the overlap is the steady traffic one usually wants
-// weighted anyway). Within one generation duplicates are still free.
+// Epoch boundaries are pluggable: rotate explicitly (Rotate), by traffic
+// volume (WithRotateEveryEdges), or by wall time (WithRotateEvery, checked
+// on every observation and on Tick for timer goroutines). All mutation and
+// rotation run under one internal lock, so a rotation can never tear a
+// batch: an ObserveBatch is attributed wholly to the epoch current when the
+// call starts. Windowed is therefore safe for concurrent use; for multi-core
+// scaling wrap it per shard — Sharded(Windowed(...)) — and advance all
+// shards together with Sharded.Rotate.
+//
+// When the underlying estimator is FreeBS or FreeRS, Windowed additionally
+// supports Users/NumUsers (so TopK and SpreaderDetector run on windows),
+// generation-wise Merge/Clone, and MarshalBinary/UnmarshalBinary
+// checkpointing of all live generations plus the epoch bookkeeping.
 type Windowed struct {
-	build    func() Estimator
-	current  Estimator
-	previous Estimator // nil during the first epoch
-	epoch    int
+	build func() Estimator // nil-checked wrapper around the user's build
+	ring  *window.Ring[Estimator]
+	cfg   windowedConfig
+	name  string
+}
+
+type windowedConfig struct {
+	k        int
+	boundary window.Boundary
+	clock    window.Clock
+}
+
+// WindowedOption configures NewWindowed.
+type WindowedOption func(*windowedConfig)
+
+// WithGenerations sets the number of live generations k (default 2, minimum
+// 2). The window covers between k−1 and k epochs, so the relative slop is
+// 1/(k−1); memory is k live sketches.
+func WithGenerations(k int) WindowedOption {
+	return func(c *windowedConfig) { c.k = k }
+}
+
+// WithRotateEveryEdges rotates automatically once an epoch has absorbed n
+// edges — the volume-driven policy. A batch that crosses the boundary is
+// attributed wholly to the epoch it started in; rotation happens after it.
+func WithRotateEveryEdges(n uint64) WindowedOption {
+	return func(c *windowedConfig) { c.boundary = window.ByEdges{N: n} }
+}
+
+// WithRotateEvery rotates automatically once an epoch is d old — the
+// wall-time policy. The boundary is checked on every observation; call Tick
+// from a timer so epochs also end during traffic lulls.
+func WithRotateEvery(d time.Duration) WindowedOption {
+	return func(c *windowedConfig) { c.boundary = window.ByDuration{D: d} }
+}
+
+// WithWindowClock substitutes the time source used by WithRotateEvery
+// (default time.Now); tests use it to drive wall-time epochs
+// deterministically.
+func WithWindowClock(now func() time.Time) WindowedOption {
+	return func(c *windowedConfig) { c.clock = now }
 }
 
 // NewWindowed returns a windowed wrapper; build must return a fresh
@@ -31,70 +87,282 @@ type Windowed struct {
 //
 //	w := streamcard.NewWindowed(func() streamcard.Estimator {
 //	    return streamcard.NewFreeRS(1 << 22)
-//	})
-func NewWindowed(build func() Estimator) *Windowed {
+//	}, streamcard.WithGenerations(4), streamcard.WithRotateEveryEdges(1e6))
+func NewWindowed(build func() Estimator, opts ...WindowedOption) *Windowed {
 	if build == nil {
 		panic("streamcard: NewWindowed requires a build function")
 	}
-	w := &Windowed{build: build}
-	w.current = build()
-	if w.current == nil {
-		panic("streamcard: build returned nil estimator")
+	cfg := windowedConfig{k: 2, boundary: window.Manual{}, clock: time.Now}
+	for _, o := range opts {
+		o(&cfg)
 	}
+	return newWindowed(build, cfg)
+}
+
+func newWindowed(build func() Estimator, cfg windowedConfig) *Windowed {
+	wrapped := func() Estimator {
+		e := build()
+		if e == nil {
+			panic("streamcard: build returned nil estimator")
+		}
+		return e
+	}
+	w := &Windowed{build: wrapped, cfg: cfg}
+	w.ring = window.New(cfg.k, wrapped,
+		window.WithBoundary(cfg.boundary), window.WithClock(cfg.clock))
+	w.ring.View(func(live []Estimator) {
+		w.name = fmt.Sprintf("Windowed(%s,k=%d)", live[0].Name(), cfg.k)
+	})
 	return w
 }
 
-// Observe implements Estimator (feeds the current generation).
-func (w *Windowed) Observe(user, item uint64) { w.current.Observe(user, item) }
+// Observe implements Estimator (feeds the newest generation).
+func (w *Windowed) Observe(user, item uint64) {
+	w.ring.Feed(1, func(e Estimator) { e.Observe(user, item) })
+}
 
-// ObserveBatch implements Estimator (feeds the current generation). A batch
-// is attributed to the epoch current when the call starts; callers that
-// rotate on a timer should rotate between batches, not during them.
-func (w *Windowed) ObserveBatch(edges []Edge) { w.current.ObserveBatch(edges) }
+// ObserveBatch implements Estimator. The batch is attributed to the epoch
+// current when the call starts: the ring lock holds off any concurrent
+// Rotate or Tick until the whole batch has been absorbed, and an automatic
+// boundary the batch crosses takes effect only after it.
+func (w *Windowed) ObserveBatch(edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	w.ring.Feed(uint64(len(edges)), func(e Estimator) { e.ObserveBatch(edges) })
+}
 
 // Estimate implements Estimator: the sum over live generations.
 func (w *Windowed) Estimate(user uint64) float64 {
-	e := w.current.Estimate(user)
-	if w.previous != nil {
-		e += w.previous.Estimate(user)
-	}
-	return e
+	sum := 0.0
+	w.ring.View(func(live []Estimator) {
+		for _, g := range live {
+			sum += g.Estimate(user)
+		}
+	})
+	return sum
 }
 
 // TotalDistinct implements Estimator (same windowed semantics).
 func (w *Windowed) TotalDistinct() float64 {
-	t := w.current.TotalDistinct()
-	if w.previous != nil {
-		t += w.previous.TotalDistinct()
-	}
-	return t
+	sum := 0.0
+	w.ring.View(func(live []Estimator) {
+		for _, g := range live {
+			sum += g.TotalDistinct()
+		}
+	})
+	return sum
 }
 
-// MemoryBits implements Estimator (both live generations).
+// MemoryBits implements Estimator (all live generations).
 func (w *Windowed) MemoryBits() int64 {
-	m := w.current.MemoryBits()
-	if w.previous != nil {
-		m += w.previous.MemoryBits()
-	}
-	return m
+	var sum int64
+	w.ring.View(func(live []Estimator) {
+		for _, g := range live {
+			sum += g.MemoryBits()
+		}
+	})
+	return sum
 }
 
 // Name implements Estimator.
-func (w *Windowed) Name() string { return fmt.Sprintf("Windowed(%s)", w.current.Name()) }
+func (w *Windowed) Name() string { return w.name }
 
-// Rotate closes the current epoch: the oldest generation is discarded, the
-// current one becomes read-only history, and a fresh estimator starts
-// receiving edges. Call it once per epoch length.
-func (w *Windowed) Rotate() {
-	w.previous = w.current
-	w.current = w.build()
-	if w.current == nil {
-		panic("streamcard: build returned nil estimator")
-	}
-	w.epoch++
-}
+// Rotate closes the current epoch: the oldest of k live generations is
+// discarded, every survivor ages one slot, and a fresh estimator starts
+// receiving edges. Explicit-rotation deployments call it once per epoch
+// length; automatic policies (WithRotateEveryEdges, WithRotateEvery) call it
+// internally.
+func (w *Windowed) Rotate() { w.ring.Rotate() }
+
+// Tick re-checks the rotation policy without observing anything and reports
+// whether it rotated. Wall-time deployments call it from a timer so epochs
+// also end while no edges arrive; under WithRotateEveryEdges or manual
+// rotation it never fires.
+func (w *Windowed) Tick() bool { return w.ring.Tick() }
 
 // Epoch returns how many rotations have happened.
-func (w *Windowed) Epoch() int { return w.epoch }
+func (w *Windowed) Epoch() int { return int(w.ring.Epoch()) }
 
-var _ Estimator = (*Windowed)(nil)
+// Generations returns the configured generation count k.
+func (w *Windowed) Generations() int { return w.ring.K() }
+
+// LiveGenerations returns how many generations currently hold data (1 before
+// the first rotation, growing to k).
+func (w *Windowed) LiveGenerations() int { return w.ring.Live() }
+
+// Users implements AnytimeEstimator: fn is called once per user with a
+// nonzero windowed estimate, the sum of that user's estimates across live
+// generations. It requires the underlying estimator to be an
+// AnytimeEstimator (FreeBS or FreeRS) and panics otherwise. Cost is
+// O(users) time and memory (a merge map, since one user may appear in
+// several generations).
+func (w *Windowed) Users(fn func(user uint64, estimate float64)) {
+	for u, e := range w.userSums() {
+		fn(u, e)
+	}
+}
+
+// NumUsers implements AnytimeEstimator: the number of users with a nonzero
+// estimate in any live generation. Same requirements and cost as Users.
+func (w *Windowed) NumUsers() int { return len(w.userSums()) }
+
+func (w *Windowed) userSums() map[uint64]float64 {
+	merged := make(map[uint64]float64)
+	w.ring.View(func(live []Estimator) {
+		for _, g := range live {
+			a, ok := g.(AnytimeEstimator)
+			if !ok {
+				panic(fmt.Sprintf("streamcard: Windowed.Users needs an AnytimeEstimator underlying (FreeBS/FreeRS), not %s", g.Name()))
+			}
+			a.Users(func(u uint64, e float64) { merged[u] += e })
+		}
+	})
+	return merged
+}
+
+// Merge folds other into w generation by generation, so each of w's live
+// generations summarizes the union of the corresponding epoch's streams;
+// other is unchanged. Both windows must have the same generation count and
+// be at the same epoch (ErrIncompatible otherwise — merging sketches of
+// different epochs would blend different time ranges), their underlying
+// estimators must be mergeable (FreeBS or FreeRS) and built with identical
+// parameters, and both should be quiescent (no concurrent ingestion) for
+// the duration of the call. On error w is unchanged.
+func (w *Windowed) Merge(other *Windowed) error {
+	if other == nil {
+		return fmt.Errorf("streamcard: Windowed.Merge(nil): %w", ErrIncompatible)
+	}
+	if other == w {
+		return fmt.Errorf("streamcard: Windowed.Merge with itself: %w", ErrIncompatible)
+	}
+	if w.Generations() != other.Generations() {
+		return fmt.Errorf("streamcard: windows with k=%d vs k=%d: %w",
+			w.Generations(), other.Generations(), ErrIncompatible)
+	}
+	mine, myEpoch, myEdges := w.ring.Snapshot()
+	theirs, otherEpoch, otherEdges := other.ring.Snapshot()
+	if myEpoch != otherEpoch {
+		return fmt.Errorf("streamcard: windows at epoch %d vs %d: %w", myEpoch, otherEpoch, ErrIncompatible)
+	}
+	// Merge into clones and adopt the result atomically: a failure on any
+	// generation (e.g. mismatched seeds) leaves the receiver untouched.
+	merged := make([]Estimator, len(mine))
+	for i := range mine {
+		g, err := mergeGeneration(mine[i], theirs[i])
+		if err != nil {
+			return fmt.Errorf("streamcard: window generation %d: %w", i, err)
+		}
+		merged[i] = g
+	}
+	return w.ring.Adopt(merged, myEpoch, myEdges+otherEdges)
+}
+
+func mergeGeneration(mine, theirs Estimator) (Estimator, error) {
+	switch m := mine.(type) {
+	case *FreeBS:
+		return mergeGen(m, theirs)
+	case *FreeRS:
+		return mergeGen(m, theirs)
+	default:
+		return nil, fmt.Errorf("%s generations are not mergeable: %w", mine.Name(), ErrIncompatible)
+	}
+}
+
+// mergeGen clones m and folds the matching-typed theirs into the clone — the
+// same clone-then-fold shape as Sharded's mergeShards, written once over the
+// shared mergeable constraint.
+func mergeGen[T interface {
+	Estimator
+	mergeable[T]
+}](m T, theirs Estimator) (Estimator, error) {
+	o, ok := theirs.(T)
+	if !ok {
+		return nil, fmt.Errorf("generation types %s vs %s: %w", m.Name(), theirs.Name(), ErrIncompatible)
+	}
+	c := m.Clone()
+	if err := c.Merge(o); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Clone returns an independent deep copy of w: same configuration, every
+// live generation cloned, epoch bookkeeping preserved. It requires a
+// cloneable underlying estimator (FreeBS or FreeRS) and panics otherwise.
+func (w *Windowed) Clone() *Windowed {
+	gens, epoch, edges := w.ring.Snapshot()
+	clones := make([]Estimator, len(gens))
+	for i, g := range gens {
+		switch e := g.(type) {
+		case *FreeBS:
+			clones[i] = e.Clone()
+		case *FreeRS:
+			clones[i] = e.Clone()
+		default:
+			panic(fmt.Sprintf("streamcard: %s generations do not support Clone", g.Name()))
+		}
+	}
+	c := newWindowed(w.build, w.cfg)
+	if err := c.ring.Adopt(clones, epoch, edges); err != nil {
+		panic(fmt.Sprintf("streamcard: Windowed.Clone: %v", err)) // ring invariants guarantee this cannot happen
+	}
+	return c
+}
+
+// MarshalBinary serializes every live generation plus the epoch bookkeeping
+// through the versioned window envelope in internal/core. It requires the
+// underlying estimator to support checkpointing (FreeBS or FreeRS).
+func (w *Windowed) MarshalBinary() ([]byte, error) {
+	gens, epoch, edges := w.ring.Snapshot()
+	payloads := make([][]byte, len(gens))
+	for i, g := range gens {
+		m, ok := g.(encoding.BinaryMarshaler)
+		if !ok {
+			return nil, fmt.Errorf("streamcard: %s does not support checkpointing", g.Name())
+		}
+		p, err := m.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = p
+	}
+	return core.MarshalWindow(w.Generations(), epoch, edges, payloads)
+}
+
+// UnmarshalBinary restores state produced by MarshalBinary: every live
+// generation, the epoch number, and the edges absorbed by the current epoch
+// (so an edge-driven rotation policy resumes in lockstep). The receiver must
+// be configured with the same generation count as the checkpoint
+// (ErrIncompatible otherwise) and a build function matching the
+// checkpointed sketches' parameters, so post-restore rotations stay
+// compatible. The receiver's previous state is replaced only on success.
+func (w *Windowed) UnmarshalBinary(data []byte) error {
+	k, epoch, edges, payloads, err := core.UnmarshalWindow(data)
+	if err != nil {
+		return err
+	}
+	if k != w.Generations() {
+		return fmt.Errorf("streamcard: checkpoint of a k=%d window into a k=%d window: %w",
+			k, w.Generations(), ErrIncompatible)
+	}
+	gens := make([]Estimator, len(payloads))
+	for i, p := range payloads {
+		g := w.build()
+		u, ok := g.(encoding.BinaryUnmarshaler)
+		if !ok {
+			return fmt.Errorf("streamcard: %s does not support checkpointing", g.Name())
+		}
+		if err := u.UnmarshalBinary(p); err != nil {
+			return fmt.Errorf("streamcard: window generation %d: %w", i, err)
+		}
+		gens[i] = g
+	}
+	return w.ring.Adopt(gens, epoch, edges)
+}
+
+var (
+	_ Estimator        = (*Windowed)(nil)
+	_ AnytimeEstimator = (*Windowed)(nil)
+	_ Rotator          = (*Windowed)(nil)
+)
