@@ -1,0 +1,235 @@
+// Command cardload replays a synthetic workload against a live cardserved
+// instance and reports the achieved ingest rate — the load driver that
+// turns "the daemon runs" into "the daemon serves N edges/sec", and the
+// smoke check CI uses to assert a freshly started server estimates sanely.
+//
+// Usage:
+//
+//	cardserved -addr :8080 &
+//	cardload -addr http://localhost:8080 -dataset flickr -scale 0.001
+//
+// The workload comes from the paper-calibrated generators in
+// internal/datagen (heavy-tailed per-user cardinalities, shuffled arrival,
+// duplicates injected), POSTed as line-protocol batches. With -c > 1 the
+// stream is split into contiguous spans sent concurrently — per-span order
+// is preserved, so per-user sub-streams stay ordered whenever a user's
+// edges fall in one span.
+//
+// With -check t the driver also computes the exact distinct-pair total of
+// the replayed stream and exits nonzero if the server's /total estimate is
+// off by more than the fraction t — only meaningful against a freshly
+// started, unrotated server that receives this workload alone.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/exact"
+	"repro/internal/stream"
+)
+
+// client bounds every request: a wedged server must fail the driver (and
+// CI's smoke job) in seconds with a diagnosable error, not hang it. The
+// timeout is generous because /flush legitimately blocks while a backlog
+// drains.
+var client = &http.Client{Timeout: 60 * time.Second}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cardload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cardload", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8080", "cardserved base URL")
+		dataset = fs.String("dataset", "flickr", "datagen dataset: sanjose|chicago|twitter|flickr|orkut|livejournal")
+		scale   = fs.Float64("scale", 0.001, "dataset scale factor in (0,1]")
+		seed    = fs.Uint64("seed", 1, "workload seed")
+		maxE    = fs.Int("edges", 0, "replay at most N edges (0 = whole stream)")
+		batch   = fs.Int("batch", 5000, "edges per ingest request")
+		conc    = fs.Int("c", 1, "concurrent senders (contiguous stream spans)")
+		wait    = fs.Bool("wait", false, "use ?wait=1 (response only after the batch is absorbed)")
+		check   = fs.Float64("check", 0, "fail if /total deviates from exact truth by more than this fraction (0 = report only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *batch <= 0 || *conc <= 0 {
+		return errors.New("-batch and -c must be positive")
+	}
+
+	cfg, err := datagen.PaperConfig(*dataset, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	d := datagen.Generate(cfg)
+	edges := d.Edges
+	if *maxE > 0 && *maxE < len(edges) {
+		edges = edges[:*maxE]
+	}
+	fmt.Fprintf(out, "cardload: %s scale=%g -> %d users, %d edges to replay\n",
+		*dataset, *scale, d.NumUsers(), len(edges))
+
+	// Health first: fail fast with a useful message when nothing listens.
+	if err := checkHealth(*addr); err != nil {
+		return err
+	}
+
+	base := strings.TrimSuffix(*addr, "/")
+	ingestURL := base + "/ingest"
+	if *wait {
+		ingestURL += "?wait=1"
+	}
+	spans := splitSpans(edges, *conc)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		batches  int
+		firstErr error
+	)
+	start := time.Now()
+	for _, span := range spans {
+		wg.Add(1)
+		go func(span []stream.Edge) {
+			defer wg.Done()
+			var sb strings.Builder
+			for i := 0; i < len(span); i += *batch {
+				end := i + *batch
+				if end > len(span) {
+					end = len(span)
+				}
+				sb.Reset()
+				if err := stream.WriteText(&sb, span[i:end]); err != nil {
+					panic(err) // strings.Builder writes cannot fail
+				}
+				if err := postBatch(ingestURL, sb.String()); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				batches++
+				mu.Unlock()
+			}
+		}(span)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// Flush barrier: the rate and the /total reading below cover every edge
+	// actually absorbed into the sketch, not just queued.
+	if err := postBatch(base+"/flush", ""); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	rate := float64(len(edges)) / elapsed.Seconds()
+	fmt.Fprintf(out, "cardload: %d edges in %d batches over %v -> %.0f edges/sec\n",
+		len(edges), batches, elapsed.Round(time.Millisecond), rate)
+
+	total, method, err := fetchTotal(base)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "cardload: server /total %.0f (%s)\n", total, method)
+
+	if *check > 0 {
+		truth := exact.NewTracker()
+		for _, e := range edges {
+			truth.Observe(e.User, e.Item)
+		}
+		want := float64(truth.TotalCardinality())
+		dev := math.Abs(total-want) / want
+		fmt.Fprintf(out, "cardload: exact %.0f, deviation %.1f%% (limit %.1f%%)\n",
+			want, 100*dev, 100**check)
+		if dev > *check {
+			return fmt.Errorf("estimate deviates %.1f%% > %.1f%%", 100*dev, 100**check)
+		}
+	}
+	return nil
+}
+
+func splitSpans(edges []stream.Edge, n int) [][]stream.Edge {
+	if n > len(edges) {
+		n = len(edges)
+	}
+	if n <= 1 {
+		return [][]stream.Edge{edges}
+	}
+	spans := make([][]stream.Edge, 0, n)
+	size := (len(edges) + n - 1) / n
+	for i := 0; i < len(edges); i += size {
+		end := i + size
+		if end > len(edges) {
+			end = len(edges)
+		}
+		spans = append(spans, edges[i:end])
+	}
+	return spans
+}
+
+func checkHealth(addr string) error {
+	resp, err := client.Get(strings.TrimSuffix(addr, "/") + "/healthz")
+	if err != nil {
+		return fmt.Errorf("no cardserved at %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func postBatch(url, body string) error {
+	resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("ingest returned %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+func fetchTotal(base string) (float64, string, error) {
+	resp, err := client.Get(base + "/total")
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	var body struct {
+		Total  float64 `json:"total"`
+		Method string  `json:"method"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", fmt.Errorf("/total returned %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		return 0, "", fmt.Errorf("unparseable /total %q: %w", raw, err)
+	}
+	return body.Total, body.Method, nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func startBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := server.New(server.Config{
+		MemoryBits: 1 << 20, Shards: 2, Generations: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return ts
+}
+
+// TestCardloadReplaysAndChecks drives a scaled paper workload through a
+// live server and lets -check assert the estimate — the same invocation
+// CI's smoke job uses.
+func TestCardloadReplaysAndChecks(t *testing.T) {
+	ts := startBackend(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-dataset", "flickr", "-scale", "0.0005", "-seed", "5",
+		"-batch", "2000", "-wait",
+		"-check", "0.25",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	for _, want := range []string{"edges/sec", "server /total", "deviation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCardloadConcurrentSenders exercises the span-splitting path.
+func TestCardloadConcurrentSenders(t *testing.T) {
+	ts := startBackend(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-dataset", "chicago", "-scale", "0.0002",
+		"-edges", "5000", "-batch", "500", "-c", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+}
+
+func TestCardloadBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "nope"}, &out); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-batch", "0"}, &out); err == nil {
+		t.Fatal("batch=0 accepted")
+	}
+	if err := run([]string{"-scale", "2"}, &out); err == nil {
+		t.Fatal("scale=2 accepted")
+	}
+}
+
+func TestCardloadNoServer(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-addr", "http://127.0.0.1:1", "-dataset", "flickr", "-scale", "0.0002"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no cardserved") {
+		t.Fatalf("dead address: %v", err)
+	}
+}

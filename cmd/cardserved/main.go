@@ -1,0 +1,128 @@
+// Command cardserved runs the cardinality service as a daemon: an HTTP
+// server over a Sharded(Windowed(FreeRS|FreeBS)) stack that ingests
+// user-item edges continuously and answers per-user cardinality queries at
+// any moment, with wall-clock epoch rotation and checkpoint-backed
+// durability.
+//
+// Usage:
+//
+//	cardserved -addr :8080 -mbits 67108864 -shards 8 -gens 4 \
+//	    -epoch 5m -spool /var/spool/cardserved -checkpoint-every 1m
+//
+// Ingest is newline-delimited "user item" decimal pairs (blank lines and
+// #-comments skipped); a batch with any malformed line is refused
+// atomically with 400. Queries: /estimate?user=N (or ?key=string),
+// /total, /topk?k=N, /users, /healthz, /metrics (Prometheus text). Ops:
+// POST /rotate forces an epoch boundary, POST /checkpoint forces a spool
+// write, POST /flush blocks until every accepted batch is absorbed.
+//
+//	curl -XPOST --data-binary $'1 100\n1 101\n2 100\n' 'localhost:8080/ingest?wait=1'
+//	curl 'localhost:8080/estimate?user=1'
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains the ingest
+// pipeline, writes a final checkpoint, and exits; a restart with the same
+// configuration and spool directory resumes in bit-identical lockstep.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, sig); err != nil {
+		fmt.Fprintln(os.Stderr, "cardserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a signal arrives (or the listener
+// fails); factored from main so tests can drive the full lifecycle.
+func run(args []string, out io.Writer, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("cardserved", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		method   = fs.String("method", "freers", "estimator: freers|freebs")
+		mbits    = fs.Int("mbits", 1<<26, "total sketch memory in bits (split across shards, spent once per generation)")
+		shards   = fs.Int("shards", 4, "independently locked shards")
+		gens     = fs.Int("gens", 4, "live window generations k (queries cover k-1..k epochs)")
+		seed     = fs.Uint64("seed", 1, "hash seed shared across shards (enables merged /total)")
+		epoch    = fs.Duration("epoch", 0, "wall-clock epoch length (0 = rotate only via POST /rotate)")
+		ckEvery  = fs.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on shutdown)")
+		spool    = fs.String("spool", "", "checkpoint spool directory (empty = no persistence)")
+		workers  = fs.Int("workers", 4, "ingest pipeline workers")
+		queue    = fs.Int("queue", 64, "ingest pipeline queue depth (full queue = backpressure)")
+		maxBody  = fs.Int64("max-body", 8<<20, "max ingest request body bytes")
+		drainFor = fs.Duration("drain", 10*time.Second, "shutdown grace for in-flight HTTP requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := server.New(server.Config{
+		Method:          *method,
+		MemoryBits:      *mbits,
+		Shards:          *shards,
+		Generations:     *gens,
+		Seed:            *seed,
+		Epoch:           *epoch,
+		CheckpointEvery: *ckEvery,
+		SpoolDir:        *spool,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxBodyBytes:    *maxBody,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		s.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	if s.Restored() {
+		fmt.Fprintf(out, "cardserved: restored checkpoint from %s (epoch=%d)\n", *spool, s.Epoch())
+	}
+	fmt.Fprintf(out, "cardserved: listening on %s (method=%s mbits=%d shards=%d gens=%d epoch=%v spool=%q)\n",
+		ln.Addr(), *method, *mbits, *shards, *gens, *epoch, *spool)
+
+	select {
+	case got := <-sig:
+		fmt.Fprintf(out, "cardserved: %v — draining\n", got)
+	case err := <-serveErr:
+		s.Close()
+		return err
+	}
+
+	// Orderly stop: no new HTTP work, then drain the ingest pipeline and
+	// write the final checkpoint.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(out, "cardserved: http shutdown: %v\n", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(out, "cardserved: serve: %v\n", err)
+	}
+	if err := s.Close(); err != nil {
+		return fmt.Errorf("final checkpoint: %w", err)
+	}
+	fmt.Fprintf(out, "cardserved: stopped (epoch=%d)\n", s.Epoch())
+	return nil
+}

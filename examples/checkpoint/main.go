@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 
 	streamcard "repro"
+	"repro/internal/atomicfile"
 	"repro/internal/hashing"
 )
 
@@ -28,8 +29,10 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	// Atomic write (temp file + fsync + rename): a crash mid-checkpoint must
+	// leave the previous complete checkpoint in place, never a torn prefix.
 	path := filepath.Join(os.TempDir(), "monitor.ckpt")
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := atomicfile.WriteFile(path, data, 0o644); err != nil {
 		panic(err)
 	}
 	fmt.Printf("checkpointed %d KB to %s\n", len(data)/1024, path)

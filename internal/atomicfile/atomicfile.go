@@ -1,0 +1,58 @@
+// Package atomicfile writes files that are either fully there or not there
+// at all. Checkpoint persistence is the motivating user: a monitor that
+// crashes mid-write must find either the previous complete checkpoint or
+// the new complete checkpoint at the spool path on restart — never a torn
+// prefix, which would fail to restore and throw away the state the spool
+// exists to protect.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically: the bytes land in a temporary
+// file in path's directory, are fsynced, and only then replace path with a
+// rename — the POSIX guarantee that readers (and a post-crash restart) see
+// either the old complete file or the new complete file. The directory is
+// fsynced afterwards so the rename itself survives a power loss. perm
+// applies to newly created files; an existing file at path keeps its mode
+// until replaced. On any error the temporary file is removed and path is
+// untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if _, err = tmp.Write(data); err != nil {
+		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: closing %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	// Sync the directory so the rename is on disk too. Best-effort beyond
+	// opening: some filesystems refuse to fsync directories, and the data
+	// itself is already durable.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package atomicfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := WriteFile(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("one")) {
+		t.Fatalf("read back %q", got)
+	}
+	// Replace: the new content fully displaces the old, even when shorter.
+	if err := WriteFile(path, []byte("2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(path); !bytes.Equal(got, []byte("2")) {
+		t.Fatalf("after replace: %q", got)
+	}
+}
+
+func TestWriteFileLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := WriteFile(path, []byte("data"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want exactly the target file, have %d entries", len(entries))
+	}
+}
+
+func TestWriteFileMissingDirFailsCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope", "ckpt.bin")
+	if err := WriteFile(path, []byte("data"), 0o644); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target exists after failed write: %v", err)
+	}
+}
+
+func TestWriteFileSetsMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := WriteFile(path, []byte("data"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Fatalf("mode %v, want 0600", perm)
+	}
+}

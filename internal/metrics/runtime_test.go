@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(500)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1500 {
+		t.Fatalf("counter %d, want %d", got, 8*1500)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-556.5) > 1e-9 {
+		t.Fatalf("sum %v", got)
+	}
+	// Bucket membership: le=1 gets {0.5, 1}, le=10 adds {5}, le=100 adds
+	// {50}, +Inf adds {500}.
+	want := []uint64{2, 1, 1, 1}
+	for i := range want {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Fatalf("bucket %d: %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-8.0) > 1e-6 {
+		t.Fatalf("sum %v, want 8.0 (CAS accumulation lost updates?)", got)
+	}
+}
+
+func TestRegistryPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	edges := r.Counter("edges_total", "", "Edges ingested.")
+	edges.Add(42)
+	r.Gauge("occupancy", `shard="0"`, "Users per shard.", func() float64 { return 7 })
+	r.Gauge("occupancy", `shard="1"`, "", func() float64 { return 9.5 })
+	lat := r.Histogram("req_seconds", `handler="/ingest"`, "Request latency.", []float64{0.01, 0.1})
+	lat.Observe(0.005)
+	lat.Observe(0.05)
+	lat.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE edges_total counter",
+		"edges_total 42",
+		"# TYPE occupancy gauge",
+		`occupancy{shard="0"} 7`,
+		`occupancy{shard="1"} 9.5`,
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{handler="/ingest",le="0.01"} 1`,
+		`req_seconds_bucket{handler="/ingest",le="0.1"} 2`,
+		`req_seconds_bucket{handler="/ingest",le="+Inf"} 3`,
+		`req_seconds_sum{handler="/ingest"} 5.055`,
+		`req_seconds_count{handler="/ingest"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	// TYPE lines appear once per metric name, not once per series.
+	if n := strings.Count(out, "# TYPE occupancy gauge"); n != 1 {
+		t.Fatalf("TYPE occupancy emitted %d times", n)
+	}
+}
+
+func TestRegistryRejectsTypeClash(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("m", "", "", func() float64 { return 0 })
+}

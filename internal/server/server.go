@@ -1,0 +1,697 @@
+// Package server turns the streamcard library into a long-running
+// networked cardinality service: an HTTP daemon that ingests user-item
+// edges continuously and answers per-user cardinality queries at any
+// moment — the deployment the sliding-window line of work assumes (a
+// monitor that is fed forever and asked "how many distinct contacts did
+// this host have recently?" at arbitrary instants).
+//
+// The estimator stack is Sharded(Windowed(FreeRS|FreeBS)): sharding for
+// multi-core ingest, windowing so answers cover the recent past, and a
+// shared hash seed across shards so /total can merge the shard sketches
+// into one low-variance union reading.
+//
+// Ingest is a newline-delimited "user item" batch protocol (the same text
+// format the stream codec and cmd/spreaderwatch speak, and the same shape
+// as a time-series database's line-protocol write path): the handler
+// decodes the body into an edge batch and hands it to a bounded worker
+// pipeline, so network framing and parsing never serialize the sketch's
+// hot path — concurrent posts parse in parallel and only the O(1)-per-edge
+// sketch updates contend on shard locks. A batch containing any malformed
+// line is refused atomically with 400: either every edge of a batch is
+// ingested or none is, so a client can always retry a rejected batch
+// verbatim without double counting concerns beyond the sketch's built-in
+// duplicate tolerance.
+//
+// Time advances by wall-clock epoch rotation (Config.Epoch) fanned out
+// through Sharded.Rotate under a global quiesce barrier, so all shards
+// always sit at the same epoch. The full windowed state checkpoints
+// periodically (and always on graceful shutdown) to a spool directory as
+// an atomically-written file; a restarted daemon restores it and resumes
+// in bit-identical lockstep with an uninterrupted twin.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	streamcard "repro"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Config describes a cardinality service instance. The sketch parameters
+// (Method, MemoryBits, Shards, Generations, Seed) are the service's
+// identity: a spool checkpoint records them and refuses to restore into a
+// differently configured server, because restoring a sketch into a stack
+// that would rotate fresh generations of a different shape silently
+// degrades every later answer.
+type Config struct {
+	// Method selects the estimator: "freers" (default) or "freebs".
+	Method string
+	// MemoryBits is the total sketch budget, split evenly across shards and
+	// spent k times over (once per live generation). Default 1<<26.
+	MemoryBits int
+	// Shards is the number of independently locked shards. Default 4.
+	Shards int
+	// Generations is the window's live generation count k (>= 2); queries
+	// cover between k-1 and k epochs. Default 4.
+	Generations int
+	// Seed is the hash seed shared by every shard (sharing it is what makes
+	// /total's merged union possible; per-user estimates are exact under
+	// user-partitioning either way). Default 1.
+	Seed uint64
+	// Epoch is the wall-clock rotation period; 0 disables automatic
+	// rotation (epochs then advance only through POST /rotate).
+	Epoch time.Duration
+	// CheckpointEvery is the periodic checkpoint interval; 0 checkpoints
+	// only on graceful shutdown. Ignored without a SpoolDir.
+	CheckpointEvery time.Duration
+	// SpoolDir is where checkpoints live; "" disables persistence.
+	SpoolDir string
+	// Workers is the ingest pipeline's worker count. Default 4.
+	Workers int
+	// QueueDepth bounds the pipeline's batch queue; a full queue blocks
+	// ingest handlers, which is the service's backpressure. Default 64.
+	QueueDepth int
+	// MaxBodyBytes bounds one ingest request body. Default 8 MiB.
+	MaxBodyBytes int64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Method == "" {
+		c.Method = "freers"
+	}
+	if c.Method != "freers" && c.Method != "freebs" {
+		return fmt.Errorf("server: unknown method %q (want freers or freebs)", c.Method)
+	}
+	if c.MemoryBits == 0 {
+		c.MemoryBits = 1 << 26
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Shards < 0 || c.MemoryBits < 0 {
+		return errors.New("server: negative sizes")
+	}
+	// The sketch constructors panic below their register floor; turn a
+	// too-small budget into a config error before any panic can fire.
+	if c.MemoryBits/c.Shards < 64 {
+		return fmt.Errorf("server: MemoryBits/Shards = %d bits per shard is below the sketch minimum (64)",
+			c.MemoryBits/c.Shards)
+	}
+	if c.Generations == 0 {
+		c.Generations = 4
+	}
+	if c.Generations < 2 {
+		return fmt.Errorf("server: need at least 2 generations, got %d", c.Generations)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Workers < 0 || c.QueueDepth < 0 || c.MaxBodyBytes < 0 {
+		// Zero workers would accept ingest and never absorb it; a negative
+		// queue panics make(chan); refuse all of them as config errors.
+		return errors.New("server: Workers, QueueDepth, and MaxBodyBytes must be positive")
+	}
+	return nil
+}
+
+// job is one parsed ingest batch moving through the pipeline.
+type job struct {
+	edges []stream.Edge
+	done  chan struct{} // non-nil for ?wait=1 requests
+}
+
+// Server is a runnable cardinality service. Create with New, expose with
+// Handler (mount it on any http.Server or httptest), and stop with Close.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	wins []*streamcard.Windowed // per-shard windows, for checkpointing
+	sh   *streamcard.Sharded    // the serving stack over wins
+
+	// quiesce orders sketch access: ingest workers and query handlers hold
+	// it shared; rotation and checkpointing hold it exclusively, so an
+	// epoch advance is a clean cut (all shards rotate as one) and a
+	// checkpoint is a consistent point-in-time snapshot across shards.
+	quiesce sync.RWMutex
+
+	jobs     chan job
+	workerWG sync.WaitGroup
+	// submitMu lets Close wait out in-flight submissions before closing the
+	// jobs channel: submitters hold it shared across the channel send,
+	// Close flips closed under the exclusive lock.
+	submitMu sync.RWMutex
+	closed   bool
+	// pending counts batches submitted but not yet absorbed; Drain waits on
+	// it reaching zero (queued batches AND batches a worker is mid-absorb).
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pending  int
+
+	tickerWG   sync.WaitGroup
+	stopTicker chan struct{}
+	closeOnce  sync.Once
+	closeErr   error
+	restored   bool
+	// ckptMu serializes whole checkpoints (marshal through rename) so a
+	// slow write can never overwrite a newer one.
+	ckptMu sync.Mutex
+
+	mux *http.ServeMux
+
+	// Instruments.
+	reg            *metrics.Registry
+	edgesIngested  *metrics.Counter
+	batches        *metrics.Counter
+	batchesRefused *metrics.Counter
+	rotations      *metrics.Counter
+	checkpoints    *metrics.Counter
+	retiredGens    *metrics.Counter
+	retiredPairs   *metrics.Counter // Σ TotalDistinct of retired generations, rounded
+	latency        map[string]*metrics.Histogram
+}
+
+// ErrClosed is returned by ingestion paths once Close has begun.
+var ErrClosed = errors.New("server: closed")
+
+// New builds the estimator stack, restores the latest spool checkpoint if
+// one exists, and starts the ingest workers and (if configured) the
+// rotation and checkpoint tickers.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		start:      time.Now(),
+		jobs:       make(chan job, cfg.QueueDepth),
+		stopTicker: make(chan struct{}),
+		reg:        metrics.NewRegistry(),
+		latency:    make(map[string]*metrics.Histogram),
+	}
+	s.pendCond = sync.NewCond(&s.pendMu)
+	s.initMetrics()
+
+	perShardBits := cfg.MemoryBits / cfg.Shards
+	buildSketch := func() streamcard.Estimator {
+		if cfg.Method == "freebs" {
+			return streamcard.NewFreeBS(perShardBits, streamcard.WithSeed(cfg.Seed))
+		}
+		return streamcard.NewFreeRS(perShardBits, streamcard.WithSeed(cfg.Seed))
+	}
+	s.wins = make([]*streamcard.Windowed, cfg.Shards)
+	for i := range s.wins {
+		s.wins[i] = streamcard.NewWindowed(buildSketch,
+			streamcard.WithGenerations(cfg.Generations),
+			streamcard.WithOnRetire(func(g streamcard.Estimator) {
+				s.retiredGens.Inc()
+				s.retiredPairs.Add(uint64(g.TotalDistinct() + 0.5))
+			}))
+	}
+	next := 0
+	s.sh = streamcard.NewSharded(cfg.Shards, func(int) streamcard.Estimator {
+		w := s.wins[next]
+		next++
+		return w
+	})
+	for i := range s.wins {
+		i := i
+		// UserEntries, not NumUsers: a scrape must not pay an O(users)
+		// merge map per shard every few seconds. Entries upper-bound users
+		// (one per generation a user is active in).
+		s.reg.Gauge("cardserved_shard_user_entries", fmt.Sprintf(`shard="%d"`, i),
+			"Per-user estimate entries across the shard's live generations (upper bound on distinct users).",
+			func() float64 { return float64(s.wins[i].UserEntries()) })
+	}
+
+	if cfg.SpoolDir != "" {
+		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: spool: %w", err)
+		}
+		restored, err := s.restore()
+		if err != nil {
+			return nil, err
+		}
+		s.restored = restored
+	}
+
+	s.mux = http.NewServeMux()
+	s.routes()
+
+	for w := 0; w < cfg.Workers; w++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	if cfg.Epoch > 0 {
+		s.tickerWG.Add(1)
+		go s.rotateLoop()
+	}
+	if cfg.SpoolDir != "" && cfg.CheckpointEvery > 0 {
+		s.tickerWG.Add(1)
+		go s.checkpointLoop()
+	}
+	return s, nil
+}
+
+func (s *Server) initMetrics() {
+	s.edgesIngested = s.reg.Counter("cardserved_edges_ingested_total", "",
+		"Edges absorbed into the sketch.")
+	s.batches = s.reg.Counter("cardserved_batches_total", "",
+		"Ingest batches absorbed.")
+	s.batchesRefused = s.reg.Counter("cardserved_batches_refused_total", "",
+		"Ingest batches refused atomically for malformed lines.")
+	s.rotations = s.reg.Counter("cardserved_rotations_total", "",
+		"Epoch rotations fanned out across all shards.")
+	s.checkpoints = s.reg.Counter("cardserved_checkpoints_total", "",
+		"Checkpoints written to the spool.")
+	s.retiredGens = s.reg.Counter("cardserved_retired_generations_total", "",
+		"Generations aged out of the windows.")
+	s.retiredPairs = s.reg.Counter("cardserved_retired_pairs_total", "",
+		"Estimated distinct pairs held by retired generations (rounded).")
+	s.reg.Gauge("cardserved_queue_depth", "",
+		"Parsed batches waiting in the ingest pipeline.",
+		func() float64 { return float64(len(s.jobs)) })
+	for _, h := range []string{"/ingest", "/estimate", "/total", "/topk", "/users"} {
+		s.latency[h] = s.reg.Histogram("cardserved_http_request_seconds",
+			fmt.Sprintf(`handler="%s"`, h),
+			"Request latency by handler.", metrics.LatencyBuckets())
+	}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Estimator exposes the underlying sharded stack (tests compare it against
+// twins; embedding applications can query in-process without HTTP).
+func (s *Server) Estimator() *streamcard.Sharded { return s.sh }
+
+// Epoch returns the current epoch (all shards agree by construction).
+func (s *Server) Epoch() int { return s.wins[0].Epoch() }
+
+// Restored reports whether New found and restored a spool checkpoint.
+func (s *Server) Restored() bool { return s.restored }
+
+// worker drains parsed batches into the sketch. Absorption happens under
+// the shared side of the quiesce barrier: batches from different workers
+// only contend per shard, while rotation and checkpointing exclude all of
+// them for their clean cut.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.jobs {
+		s.quiesce.RLock()
+		s.sh.ObserveBatch(j.edges)
+		s.quiesce.RUnlock()
+		s.edgesIngested.Add(uint64(len(j.edges)))
+		s.batches.Inc()
+		if j.done != nil {
+			close(j.done)
+		}
+		s.pendMu.Lock()
+		s.pending--
+		if s.pending == 0 {
+			s.pendCond.Broadcast()
+		}
+		s.pendMu.Unlock()
+	}
+}
+
+// submit hands a parsed batch to the pipeline, optionally waiting for it to
+// be absorbed (the ?wait=1 contract: when the response arrives, queries
+// reflect the batch).
+func (s *Server) submit(edges []stream.Edge, wait bool) error {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	j := job{edges: edges}
+	if wait {
+		j.done = make(chan struct{})
+	}
+	s.pendMu.Lock()
+	s.pending++
+	s.pendMu.Unlock()
+	s.jobs <- j
+	if wait {
+		<-j.done
+	}
+	return nil
+}
+
+// Drain blocks until the ingest pipeline is empty: every batch submitted
+// so far — queued or mid-absorption on a worker — has landed in the
+// sketch. Concurrent submitters extend the wait; Drain returns at the
+// first lull.
+func (s *Server) Drain() {
+	s.pendMu.Lock()
+	for s.pending > 0 {
+		s.pendCond.Wait()
+	}
+	s.pendMu.Unlock()
+}
+
+func (s *Server) rotateLoop() {
+	defer s.tickerWG.Done()
+	t := time.NewTicker(s.cfg.Epoch)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.rotate()
+		case <-s.stopTicker:
+			return
+		}
+	}
+}
+
+// rotate advances every shard one epoch under the exclusive barrier, so no
+// batch lands astride the boundary and all shards stay in lockstep.
+func (s *Server) rotate() {
+	s.quiesce.Lock()
+	s.sh.Rotate()
+	s.quiesce.Unlock()
+	s.rotations.Inc()
+}
+
+func (s *Server) checkpointLoop() {
+	defer s.tickerWG.Done()
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.Checkpoint(); err != nil {
+				// A failed periodic checkpoint must not kill the service;
+				// the next interval (and shutdown) will retry.
+				fmt.Fprintf(os.Stderr, "cardserved: checkpoint: %v\n", err)
+			}
+		case <-s.stopTicker:
+			return
+		}
+	}
+}
+
+// Checkpoint snapshots the full windowed state of every shard under the
+// exclusive barrier (a consistent cross-shard cut) and writes it
+// atomically to the spool. No-op without a spool directory. Checkpoints
+// are serialized by ckptMu so two concurrent calls (POST /checkpoint vs
+// the periodic ticker) cannot rename out of order and leave the older
+// snapshot as current.ckpt; the quiesce barrier is held only for the
+// in-memory marshal, not the disk write.
+func (s *Server) Checkpoint() error {
+	if s.cfg.SpoolDir == "" {
+		return nil
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.quiesce.Lock()
+	data, err := s.marshalSpool()
+	s.quiesce.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := writeSpool(s.spoolPath(), data); err != nil {
+		return err
+	}
+	s.checkpoints.Inc()
+	return nil
+}
+
+func (s *Server) spoolPath() string {
+	return filepath.Join(s.cfg.SpoolDir, "current.ckpt")
+}
+
+// restore loads the newest checkpoint from the spool, if any, into the
+// freshly built stack. Called from New before any traffic, so no locking.
+func (s *Server) restore() (bool, error) {
+	data, err := os.ReadFile(s.spoolPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("server: reading spool: %w", err)
+	}
+	if err := s.unmarshalSpool(data); err != nil {
+		return false, fmt.Errorf("server: restoring %s: %w", s.spoolPath(), err)
+	}
+	return true, nil
+}
+
+// Close drains and stops the service: new ingest is refused, queued batches
+// are absorbed, tickers stop, and (with a spool) a final checkpoint is
+// written so a restart resumes exactly where this process left off. Safe to
+// call more than once.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.submitMu.Lock()
+		s.closed = true
+		s.submitMu.Unlock()
+		close(s.jobs) // no submitter can be in flight now
+		s.workerWG.Wait()
+		close(s.stopTicker)
+		s.tickerWG.Wait()
+		s.closeErr = s.Checkpoint()
+	})
+	return s.closeErr
+}
+
+// ---- HTTP surface ----
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /ingest", s.timed("/ingest", s.handleIngest))
+	s.mux.HandleFunc("GET /estimate", s.timed("/estimate", s.handleEstimate))
+	s.mux.HandleFunc("GET /total", s.timed("/total", s.handleTotal))
+	s.mux.HandleFunc("GET /topk", s.timed("/topk", s.handleTopK))
+	s.mux.HandleFunc("GET /users", s.timed("/users", s.handleUsers))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /rotate", s.handleRotate)
+	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /flush", s.handleFlush)
+}
+
+func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.latency[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(t0).Seconds())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseBatch decodes the ingest line protocol strictly: exactly two
+// decimal uint64 fields per line, blank lines and '#' comments skipped.
+// This is deliberately stricter than stream.TextReader, which tolerates
+// trailing columns for piping SNAP-style files through the CLIs: a service
+// must refuse a batch whose lines carry extra fields rather than silently
+// misread, say, CSV-ish "user item count" rows as bare pairs.
+func parseBatch(r io.Reader) ([]stream.Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var edges []stream.Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want exactly 2 fields, have %d", line, len(fields))
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad user %q", line, fields[0])
+		}
+		it, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad item %q", line, fields[1])
+		}
+		edges = append(edges, stream.Edge{User: u, Item: it})
+	}
+	return edges, sc.Err()
+}
+
+// handleIngest decodes a newline-delimited "user item" batch and feeds it
+// through the pipeline. The batch is atomic: any malformed line refuses the
+// whole request with 400 and nothing is ingested — the client fixes and
+// retries the batch as a unit, and a retried batch can never half-apply.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	edges, err := parseBatch(body)
+	if err != nil {
+		s.batchesRefused.Inc()
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"batch exceeds %d bytes; split it", s.cfg.MaxBodyBytes)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "batch refused, nothing ingested: %v", err)
+		return
+	}
+	if len(edges) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"edges": 0})
+		return
+	}
+	wait := r.URL.Query().Get("wait") == "1"
+	if err := s.submit(edges, wait); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if wait {
+		status = http.StatusOK // absorbed: queries now reflect this batch
+	}
+	writeJSON(w, status, map[string]any{"edges": len(edges)})
+}
+
+// parseUser accepts ?user=<uint64> or ?key=<string> (hashed with
+// streamcard.Key, for curl-friendly string identifiers).
+func parseUser(r *http.Request) (uint64, error) {
+	if q := r.URL.Query().Get("user"); q != "" {
+		u, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad user %q: %v", q, err)
+		}
+		return u, nil
+	}
+	if k := r.URL.Query().Get("key"); k != "" {
+		return streamcard.Key(k), nil
+	}
+	return 0, errors.New("missing user= (uint64) or key= (string) parameter")
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	u, err := parseUser(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.quiesce.RLock()
+	est := s.sh.Estimate(u)
+	s.quiesce.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"user": u, "estimate": est})
+}
+
+// handleTotal prefers the merged union reading (shared-seed shards merge
+// into one sketch; low variance) and falls back to the sum of independent
+// shard totals if merging is unavailable.
+func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
+	s.quiesce.RLock()
+	total, err := s.sh.TotalDistinctMerged()
+	method := "merged"
+	if err != nil {
+		total = s.sh.TotalDistinct()
+		method = "summed"
+	}
+	epoch := s.Epoch()
+	s.quiesce.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total": total, "method": method, "epoch": epoch,
+	})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if q := r.URL.Query().Get("k"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, "bad k %q: want a positive integer", q)
+			return
+		}
+		k = v
+	}
+	s.quiesce.RLock()
+	top := streamcard.TopK(s.sh, k)
+	s.quiesce.RUnlock()
+	type entry struct {
+		User     uint64  `json:"user"`
+		Estimate float64 `json:"estimate"`
+	}
+	out := make([]entry, len(top))
+	for i, t := range top {
+		out[i] = entry{User: t.User, Estimate: t.Estimate}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"k": k, "top": out})
+}
+
+func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	s.quiesce.RLock()
+	n := s.sh.NumUsers()
+	s.quiesce.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"count": n})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"method":      s.cfg.Method,
+		"shards":      s.cfg.Shards,
+		"generations": s.cfg.Generations,
+		"epoch":       s.Epoch(),
+		"uptime_s":    int(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleRotate(w http.ResponseWriter, r *http.Request) {
+	s.rotate()
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": s.Epoch()})
+}
+
+// handleFlush waits until every batch accepted so far is absorbed — the
+// barrier an async (202-mode) client calls before trusting a query to
+// reflect its writes.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	s.Drain()
+	writeJSON(w, http.StatusOK, map[string]any{"flushed": true})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SpoolDir == "" {
+		httpError(w, http.StatusConflict, "no spool directory configured")
+		return
+	}
+	if err := s.Checkpoint(); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"path": s.spoolPath()})
+}

@@ -1,0 +1,151 @@
+package server
+
+// The spool checkpoint envelope: one file holding every shard's complete
+// windowed state (each shard is a WIN1 envelope from internal/core — all
+// live generations plus epoch bookkeeping) prefixed by the service's
+// configuration fingerprint. The fingerprint is load-bearing: a Windowed
+// restore adopts whatever sketch sizes the payload carries, so restoring
+// into a server configured differently would not fail — it would silently
+// rotate fresh generations of the wrong shape forever after. Refusing a
+// mismatched fingerprint up front turns that silent divergence into a
+// startup error naming both configurations.
+//
+// Layout (all integers uvarint unless noted):
+//
+//	magic "CSP1"
+//	method byte ('R' FreeRS, 'B' FreeBS)
+//	memoryBits, shards, generations, seed
+//	per shard: payload length, payload
+//	crc32-IEEE of everything before it (4 bytes big-endian)
+//
+// Files are written through the atomic-write helper, so a crash mid-write
+// leaves the previous complete checkpoint in place; the trailing CRC
+// additionally rejects any file corrupted at rest.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/atomicfile"
+)
+
+const spoolMagic = "CSP1"
+
+var errSpoolCorrupt = errors.New("server: corrupt spool checkpoint")
+
+func methodByte(method string) byte {
+	if method == "freebs" {
+		return 'B'
+	}
+	return 'R'
+}
+
+// marshalSpool serializes the full service state. Caller holds the
+// exclusive quiesce barrier, so the cut is consistent across shards.
+func (s *Server) marshalSpool() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(spoolMagic)
+	buf.WriteByte(methodByte(s.cfg.Method))
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) { buf.Write(tmp[:binary.PutUvarint(tmp[:], v)]) }
+	putUvarint(uint64(s.cfg.MemoryBits))
+	putUvarint(uint64(s.cfg.Shards))
+	putUvarint(uint64(s.cfg.Generations))
+	putUvarint(s.cfg.Seed)
+	for i, w := range s.wins {
+		payload, err := w.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("server: checkpointing shard %d: %w", i, err)
+		}
+		putUvarint(uint64(len(payload)))
+		buf.Write(payload)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf.Bytes()))
+	buf.Write(crc[:])
+	return buf.Bytes(), nil
+}
+
+// unmarshalSpool validates data and restores it into the freshly built
+// stack. Called before the server takes traffic; on error the stack keeps
+// whatever state it had (a fresh build: empty).
+func (s *Server) unmarshalSpool(data []byte) error {
+	if len(data) < len(spoolMagic)+1+4 {
+		return fmt.Errorf("%w: %d bytes", errSpoolCorrupt, len(data))
+	}
+	body, crc := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != crc {
+		return fmt.Errorf("%w: checksum mismatch", errSpoolCorrupt)
+	}
+	if string(body[:len(spoolMagic)]) != spoolMagic {
+		return fmt.Errorf("%w: bad magic %q", errSpoolCorrupt, body[:len(spoolMagic)])
+	}
+	r := bytes.NewReader(body[len(spoolMagic):])
+	method, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("%w: truncated header", errSpoolCorrupt)
+	}
+	readUvarint := func(field string) (uint64, error) {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, fmt.Errorf("%w: truncated %s", errSpoolCorrupt, field)
+		}
+		return v, nil
+	}
+	mbits, err := readUvarint("memoryBits")
+	if err != nil {
+		return err
+	}
+	shards, err := readUvarint("shards")
+	if err != nil {
+		return err
+	}
+	gens, err := readUvarint("generations")
+	if err != nil {
+		return err
+	}
+	seed, err := readUvarint("seed")
+	if err != nil {
+		return err
+	}
+	if method != methodByte(s.cfg.Method) ||
+		mbits != uint64(s.cfg.MemoryBits) ||
+		shards != uint64(s.cfg.Shards) ||
+		gens != uint64(s.cfg.Generations) ||
+		seed != s.cfg.Seed {
+		return fmt.Errorf("server: checkpoint of a method=%c mbits=%d shards=%d gens=%d seed=%d service "+
+			"cannot restore into method=%c mbits=%d shards=%d gens=%d seed=%d — "+
+			"match the configuration or move the spool aside",
+			method, mbits, shards, gens, seed,
+			methodByte(s.cfg.Method), s.cfg.MemoryBits, s.cfg.Shards, s.cfg.Generations, s.cfg.Seed)
+	}
+	for i := 0; i < int(shards); i++ {
+		n, err := readUvarint("shard payload length")
+		if err != nil {
+			return err
+		}
+		if n > uint64(r.Len()) {
+			return fmt.Errorf("%w: shard %d claims %d bytes, %d remain", errSpoolCorrupt, i, n, r.Len())
+		}
+		payload := make([]byte, n)
+		if _, err := r.Read(payload); err != nil {
+			return fmt.Errorf("%w: shard %d payload", errSpoolCorrupt, i)
+		}
+		if err := s.wins[i].UnmarshalBinary(payload); err != nil {
+			return fmt.Errorf("server: restoring shard %d: %w", i, err)
+		}
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", errSpoolCorrupt, r.Len())
+	}
+	return nil
+}
+
+// writeSpool persists one checkpoint atomically.
+func writeSpool(path string, data []byte) error {
+	return atomicfile.WriteFile(path, data, os.FileMode(0o644))
+}

@@ -76,6 +76,7 @@ type Ring[E any] struct {
 	start    time.Time
 	clock    Clock
 	boundary Boundary
+	onRetire func(E)
 }
 
 // New returns a ring of k generations (k >= 2); build must return a fresh,
@@ -110,6 +111,24 @@ func mustBuild[E any](build func() E) E {
 		panic("window: build returned nil generation")
 	}
 	return g
+}
+
+// OnRetire registers fn to be called with each generation the moment a
+// rotation evicts it — after it has stopped being live but before the new
+// epoch opens, under the ring lock, so fn observes the retired generation's
+// final state exactly once and no Feed can interleave. fn runs on whichever
+// goroutine triggered the rotation (an explicit Rotate, a Tick, or a Feed
+// that crossed an automatic boundary) and must be fast and must not call
+// back into the ring (the lock is not reentrant). Rotations before the ring
+// is full do not retire anything (the ring grows instead), and Adopt
+// replaces generations without retiring them — the hook reports aged-out
+// history, not every discarded pointer. Passing nil removes the hook; it is
+// a setter rather than an Option because the callback's signature depends
+// on the ring's type parameter.
+func (r *Ring[E]) OnRetire(fn func(E)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onRetire = fn
 }
 
 // K returns the configured generation count.
@@ -198,6 +217,8 @@ func (r *Ring[E]) rotateLocked() {
 	if len(r.gens) < r.k {
 		var zero E
 		r.gens = append(r.gens, zero)
+	} else if r.onRetire != nil {
+		r.onRetire(r.gens[len(r.gens)-1])
 	}
 	copy(r.gens[1:], r.gens)
 	r.gens[0] = g

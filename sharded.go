@@ -194,20 +194,24 @@ func (s *Sharded) MemoryBits() int64 {
 // combined sketch's total — the array-derived, low-variance reading of the
 // union, the way per-shard sketches are merged for a database-wide
 // cardinality instead of summing independent estimates. It requires every
-// shard to wrap the same mergeable type (FreeBS or FreeRS) built with
-// identical parameters, including the seed: build shards with a shared seed
-// to use it (user-partitioning keeps per-user estimates exact either way).
-// With the customary distinct per-shard seeds it reports ErrIncompatible —
-// fall back to TotalDistinct, which sums shard totals and needs no
-// compatibility. Safe for concurrent use; shards are snapshotted one at a
-// time, so edges racing in mid-call land in either reading, as with
-// TotalDistinct.
+// shard to wrap the same mergeable type (FreeBS, FreeRS, or a Windowed over
+// either) built with identical parameters, including the seed: build shards
+// with a shared seed to use it (user-partitioning keeps per-user estimates
+// exact either way). With the customary distinct per-shard seeds it reports
+// ErrIncompatible — fall back to TotalDistinct, which sums shard totals and
+// needs no compatibility. Windowed shards additionally require every shard
+// to sit at the same epoch (ErrIncompatible otherwise), which Rotate
+// guarantees as long as rotations go through it. Safe for concurrent use;
+// shards are snapshotted one at a time, so edges racing in mid-call land in
+// either reading, as with TotalDistinct.
 func (s *Sharded) TotalDistinctMerged() (float64, error) {
 	switch s.shards[0].est.(type) {
 	case *FreeBS:
 		return mergeShards(s, func(e Estimator) (*FreeBS, bool) { f, ok := e.(*FreeBS); return f, ok })
 	case *FreeRS:
 		return mergeShards(s, func(e Estimator) (*FreeRS, bool) { f, ok := e.(*FreeRS); return f, ok })
+	case *Windowed:
+		return mergeWindowedShards(s)
 	default:
 		return 0, fmt.Errorf("streamcard: %s shards are not mergeable: %w",
 			s.shards[0].est.Name(), ErrIncompatible)
@@ -221,6 +225,38 @@ type mergeable[T any] interface {
 	Merge(T) error
 	Clone() T
 	TotalDistinct() float64
+}
+
+// mergeWindowedShards is the Windowed variant of mergeShards: same
+// clone-then-fold shape, but folding in place with foldFrom rather than
+// through Windowed.Merge, whose per-fold atomicity would re-clone every
+// generation of the accumulator once per shard — the accumulator here is
+// private, so a failed fold just discards it. At most one shard lock is
+// held at a time; a rotation racing between shards makes epochs mismatch,
+// which reports ErrIncompatible (callers fall back to TotalDistinct).
+func mergeWindowedShards(s *Sharded) (float64, error) {
+	var combined *Windowed
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		w, ok := sh.est.(*Windowed)
+		var err error
+		if ok {
+			if i == 0 {
+				combined = w.Clone()
+			} else {
+				err = combined.foldFrom(w)
+			}
+		}
+		sh.mu.Unlock()
+		if !ok {
+			return 0, fmt.Errorf("streamcard: shard %d is not *Windowed: %w", i, ErrIncompatible)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return combined.TotalDistinct(), nil
 }
 
 // mergeShards clones shard 0's estimator and folds every other shard in,
@@ -251,6 +287,52 @@ func mergeShards[T mergeable[T]](s *Sharded, cast func(Estimator) (T, bool)) (fl
 		}
 	}
 	return combined.TotalDistinct(), nil
+}
+
+// Users implements AnytimeEstimator: fn is called once per user with a
+// nonzero estimate, fanning out across the shards. Users partition across
+// shards (all of a user's edges land in one shard), so every user is
+// reported exactly once and the union of the per-shard user sets is the
+// deployment-wide user set — no merge map needed, unlike Windowed. Each
+// shard's lock is held while its users stream through fn, so fn must not
+// call back into s (the locks are not reentrant). It requires the shard
+// estimators to be AnytimeEstimators (FreeBS, FreeRS, or Windowed over
+// either) and panics otherwise. Report order is deterministic across shards
+// but not within one (the underlying estimate maps are unordered); TopK
+// sorts, so its output is fully deterministic.
+func (s *Sharded) Users(fn func(user uint64, estimate float64)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		a, ok := sh.est.(AnytimeEstimator)
+		if ok {
+			a.Users(fn)
+		}
+		sh.mu.Unlock()
+		if !ok {
+			panic(fmt.Sprintf("streamcard: Sharded.Users needs AnytimeEstimator shards (FreeBS/FreeRS/Windowed), not %s", sh.est.Name()))
+		}
+	}
+}
+
+// NumUsers implements AnytimeEstimator: the total number of users with a
+// nonzero estimate, the sum of the per-shard counts (exact, since users
+// partition across shards). Same requirements as Users.
+func (s *Sharded) NumUsers() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		a, ok := sh.est.(AnytimeEstimator)
+		if ok {
+			total += a.NumUsers()
+		}
+		sh.mu.Unlock()
+		if !ok {
+			panic(fmt.Sprintf("streamcard: Sharded.NumUsers needs AnytimeEstimator shards (FreeBS/FreeRS/Windowed), not %s", sh.est.Name()))
+		}
+	}
+	return total
 }
 
 // Rotator is the epoch-advance surface of time-windowed estimators:
@@ -293,4 +375,10 @@ func (s *Sharded) Name() string { return s.name }
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
-var _ Estimator = (*Sharded)(nil)
+var (
+	_ Estimator = (*Sharded)(nil)
+	// AnytimeEstimator holds whenever the shard estimators are themselves
+	// AnytimeEstimators (FreeBS, FreeRS, or Windowed over either); Users and
+	// NumUsers panic otherwise.
+	_ AnytimeEstimator = (*Sharded)(nil)
+)

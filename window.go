@@ -49,6 +49,7 @@ type windowedConfig struct {
 	k        int
 	boundary window.Boundary
 	clock    window.Clock
+	onRetire func(Estimator)
 }
 
 // WindowedOption configures NewWindowed.
@@ -82,6 +83,21 @@ func WithWindowClock(now func() time.Time) WindowedOption {
 	return func(c *windowedConfig) { c.clock = now }
 }
 
+// WithOnRetire registers fn to be called with each generation the moment a
+// rotation evicts it from the window — a monitor's last chance to read an
+// epoch's totals (retired.TotalDistinct(), its user set, ...) before that
+// history is discarded, instead of losing it silently. fn runs under the
+// window's internal lock on whichever goroutine triggered the rotation, so
+// it must be fast and must not call back into the Windowed or the Sharded
+// wrapping it (the locks are not reentrant); querying the retired generation
+// itself is safe — nothing else references it anymore. Rotations before the
+// ring is full retire nothing (the window is still growing), and
+// restore-from-checkpoint replaces generations without retiring them. Clones
+// inherit the hook.
+func WithOnRetire(fn func(retired Estimator)) WindowedOption {
+	return func(c *windowedConfig) { c.onRetire = fn }
+}
+
 // NewWindowed returns a windowed wrapper; build must return a fresh
 // estimator (it is called on construction and at every rotation). Example:
 //
@@ -110,6 +126,9 @@ func newWindowed(build func() Estimator, cfg windowedConfig) *Windowed {
 	w := &Windowed{build: wrapped, cfg: cfg}
 	w.ring = window.New(cfg.k, wrapped,
 		window.WithBoundary(cfg.boundary), window.WithClock(cfg.clock))
+	if cfg.onRetire != nil {
+		w.ring.OnRetire(cfg.onRetire)
+	}
 	w.ring.View(func(live []Estimator) {
 		w.name = fmt.Sprintf("Windowed(%s,k=%d)", live[0].Name(), cfg.k)
 	})
@@ -207,6 +226,26 @@ func (w *Windowed) Users(fn func(user uint64, estimate float64)) {
 // estimate in any live generation. Same requirements and cost as Users.
 func (w *Windowed) NumUsers() int { return len(w.userSums()) }
 
+// UserEntries returns the total number of per-user estimate entries across
+// live generations — a user active in g generations contributes g entries,
+// so this is an upper bound on NumUsers that costs O(k) map-length reads
+// instead of NumUsers' O(users) merge map. Occupancy gauges scraped every
+// few seconds want this reading; exact distinct-user counts want NumUsers.
+// Same AnytimeEstimator requirement as Users.
+func (w *Windowed) UserEntries() int {
+	total := 0
+	w.ring.View(func(live []Estimator) {
+		for _, g := range live {
+			a, ok := g.(AnytimeEstimator)
+			if !ok {
+				panic(fmt.Sprintf("streamcard: Windowed.UserEntries needs an AnytimeEstimator underlying (FreeBS/FreeRS), not %s", g.Name()))
+			}
+			total += a.NumUsers()
+		}
+	})
+	return total
+}
+
 func (w *Windowed) userSums() map[uint64]float64 {
 	merged := make(map[uint64]float64)
 	w.ring.View(func(live []Estimator) {
@@ -256,6 +295,52 @@ func (w *Windowed) Merge(other *Windowed) error {
 		merged[i] = g
 	}
 	return w.ring.Adopt(merged, myEpoch, myEdges+otherEdges)
+}
+
+// foldFrom folds other's generations into w in place — the fast path
+// behind Sharded.TotalDistinctMerged, whose accumulator is a private clone
+// nobody else references: it needs none of Merge's failure atomicity (on
+// error the whole accumulator is discarded) and must not pay Merge's
+// clone-of-every-generation per fold, which on a k-generation window would
+// copy the accumulator k times per shard. Same compatibility rules as
+// Merge: equal generation counts, equal epochs, mergeable generations
+// built with identical parameters. other must be quiescent (the caller
+// holds its shard lock); w must be private to the caller.
+func (w *Windowed) foldFrom(other *Windowed) error {
+	if w.Generations() != other.Generations() {
+		return fmt.Errorf("streamcard: windows with k=%d vs k=%d: %w",
+			w.Generations(), other.Generations(), ErrIncompatible)
+	}
+	mine, myEpoch, _ := w.ring.Snapshot()
+	theirs, otherEpoch, _ := other.ring.Snapshot()
+	if myEpoch != otherEpoch {
+		return fmt.Errorf("streamcard: windows at epoch %d vs %d: %w", myEpoch, otherEpoch, ErrIncompatible)
+	}
+	for i := range mine {
+		if err := foldGen(mine[i], theirs[i]); err != nil {
+			return fmt.Errorf("streamcard: window generation %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func foldGen(mine, theirs Estimator) error {
+	switch m := mine.(type) {
+	case *FreeBS:
+		o, ok := theirs.(*FreeBS)
+		if !ok {
+			return fmt.Errorf("generation types %s vs %s: %w", mine.Name(), theirs.Name(), ErrIncompatible)
+		}
+		return m.Merge(o)
+	case *FreeRS:
+		o, ok := theirs.(*FreeRS)
+		if !ok {
+			return fmt.Errorf("generation types %s vs %s: %w", mine.Name(), theirs.Name(), ErrIncompatible)
+		}
+		return m.Merge(o)
+	default:
+		return fmt.Errorf("%s generations are not mergeable: %w", mine.Name(), ErrIncompatible)
+	}
 }
 
 func mergeGeneration(mine, theirs Estimator) (Estimator, error) {
