@@ -1,0 +1,436 @@
+// Command corebench measures what the per-user estimate store costs at the
+// ROADMAP's "millions of users" scale: ingest throughput, resident bytes per
+// user, allocation counts, and GC pause time for FreeBS and FreeRS on a
+// ≥1M-user bursty workload — each against a twin that keeps its estimates in
+// the map[uint64]float64 the flat table (internal/usertab) replaced. The map
+// twins replicate the sketch update rule operation for operation, so the
+// comparison is store-vs-store on bit-identical work, and the bench asserts
+// that bit-identity before reporting.
+//
+// It writes the results as JSON — CI runs it and uploads BENCH_core.json
+// alongside BENCH_window.json, so the core memory/throughput trajectory is
+// tracked per commit.
+//
+//	go run ./cmd/corebench -edges 16000000 -users 1000000 -out BENCH_core.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bitarray"
+	"repro/internal/core"
+	"repro/internal/hashing"
+	"repro/internal/regarray"
+	"repro/internal/stream"
+)
+
+// MethodResult is the per-method section of the JSON document.
+type MethodResult struct {
+	NumUsers int `json:"num_users"`
+
+	TableEdgesPerSec float64 `json:"table_edges_per_sec"`
+	MapEdgesPerSec   float64 `json:"map_edges_per_sec"`
+	IngestSpeedupX   float64 `json:"ingest_speedup_x"` // table vs map; >= 1 means no regression
+
+	TableBytesPerUser      float64 `json:"table_bytes_per_user"`       // measured live heap
+	TableBytesPerUserExact float64 `json:"table_bytes_per_user_exact"` // table backing arrays (PerUserBytes)
+	MapBytesPerUser        float64 `json:"map_bytes_per_user"`         // measured live heap
+	BytesPerUserReductionX float64 `json:"bytes_per_user_reduction_x"`
+
+	TableMallocsPerUser float64 `json:"table_mallocs_per_user"`
+	MapMallocsPerUser   float64 `json:"map_mallocs_per_user"`
+	TableGCPauseMs      float64 `json:"table_gc_pause_ms"`
+	MapGCPauseMs        float64 `json:"map_gc_pause_ms"`
+	TableNumGC          uint32  `json:"table_num_gc"`
+	MapNumGC            uint32  `json:"map_num_gc"`
+
+	BitIdenticalToMap bool `json:"bit_identical_to_map"`
+}
+
+// Result is the JSON document corebench emits.
+type Result struct {
+	Edges      int          `json:"edges"`
+	Users      int          `json:"users"`
+	MemoryBits int          `json:"memory_bits"`
+	BatchSize  int          `json:"batch_size"`
+	FreeBS     MethodResult `json:"freebs"`
+	FreeRS     MethodResult `json:"freers"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "corebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("corebench", flag.ContinueOnError)
+	var (
+		edges = fs.Int("edges", 16_000_000, "edges to ingest per variant")
+		users = fs.Int("users", 1_000_000, "distinct users in the workload (every one appears)")
+		mbits = fs.Int("mbits", 1<<23, "sketch memory in bits")
+		batch = fs.Int("batch", 1024, "ObserveBatch chunk size")
+		seed  = fs.Uint64("seed", 1, "workload and sketch seed")
+		out   = fs.String("out", "BENCH_core.json", "output file (- = stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *edges <= 0 || *users <= 0 || *batch <= 0 {
+		return fmt.Errorf("need edges, users, batch > 0")
+	}
+	if *edges < *users {
+		return fmt.Errorf("need edges >= users (%d < %d): every user must appear", *edges, *users)
+	}
+
+	stream := coverageBurstEdges(*edges, *users, *seed)
+	res := Result{Edges: *edges, Users: *users, MemoryBits: *mbits, BatchSize: *batch}
+
+	var err error
+	if res.FreeBS, err = benchMethod("freebs", stream, *mbits, *seed, *batch); err != nil {
+		return err
+	}
+	if res.FreeRS, err = benchMethod("freers", stream, *mbits, *seed, *batch); err != nil {
+		return err
+	}
+
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	for name, m := range map[string]MethodResult{"FreeBS": res.FreeBS, "FreeRS": res.FreeRS} {
+		fmt.Fprintf(stdout,
+			"corebench: %s %d users: %.1f B/user (map %.1f, %.2fx less), %.1fM edges/s (map %.1fM), gc pause %.1fms (map %.1fms), bit-identical=%v\n",
+			name, m.NumUsers, m.TableBytesPerUser, m.MapBytesPerUser, m.BytesPerUserReductionX,
+			m.TableEdgesPerSec/1e6, m.MapEdgesPerSec/1e6, m.TableGCPauseMs, m.MapGCPauseMs, m.BitIdenticalToMap)
+	}
+	fmt.Fprintf(stdout, "corebench: wrote %s\n", *out)
+	return nil
+}
+
+// benchMethod runs the map twin and the table-backed estimator over the
+// same stream and cross-checks them entry for entry.
+func benchMethod(method string, edges []core.Edge, mbits int, seed uint64, batch int) (MethodResult, error) {
+	// Warm code paths and fault in the edge slice before any timing.
+	warm := edges
+	if len(warm) > 200_000 {
+		warm = warm[:200_000]
+	}
+	warmTab := newCoreEstimator(method, mbits, seed)
+	warmTab.observeBatch(warm)
+	warmMap := newMapEstimator(method, mbits, seed)
+	warmMap.observeBatch(warm)
+	warmTab, warmMap = nil, nil
+
+	mapEst := newMapEstimator(method, mbits, seed)
+	mapStats := measure(func() { ingest(mapEst.observeBatch, edges, batch) })
+
+	tabEst := newCoreEstimator(method, mbits, seed)
+	tabStats := measure(func() { ingest(tabEst.observeBatch, edges, batch) })
+
+	identical := crossCheck(tabEst, mapEst)
+	if !identical {
+		// A divergence means the flat table changed estimator semantics —
+		// numbers for a broken estimator must fail the run (and CI), not
+		// ship in the JSON as a footnote.
+		return MethodResult{}, fmt.Errorf("%s: table-backed estimator diverged from the map twin", method)
+	}
+	numUsers := tabEst.numUsers()
+	if numUsers == 0 {
+		return MethodResult{}, fmt.Errorf("%s: workload produced no users", method)
+	}
+	u := float64(numUsers)
+	n := float64(len(edges))
+	// Post-GC heap deltas can read 0 on tiny runs or under GC noise; fall
+	// back to the table's exact accounting so the ratio stays a finite,
+	// JSON-encodable number (json.Marshal rejects Inf/NaN outright).
+	tabBytes := float64(tabStats.heapDelta)
+	if tabBytes == 0 {
+		tabBytes = float64(tabEst.perUserBytes())
+	}
+	reduction := 0.0
+	if tabBytes > 0 {
+		reduction = float64(mapStats.heapDelta) / tabBytes
+	}
+	res := MethodResult{
+		NumUsers:               numUsers,
+		TableEdgesPerSec:       n / tabStats.seconds,
+		MapEdgesPerSec:         n / mapStats.seconds,
+		IngestSpeedupX:         mapStats.seconds / tabStats.seconds,
+		TableBytesPerUser:      tabBytes / u,
+		TableBytesPerUserExact: float64(tabEst.perUserBytes()) / u,
+		MapBytesPerUser:        float64(mapStats.heapDelta) / u,
+		BytesPerUserReductionX: reduction,
+		TableMallocsPerUser:    float64(tabStats.mallocs) / u,
+		MapMallocsPerUser:      float64(mapStats.mallocs) / u,
+		TableGCPauseMs:         float64(tabStats.pauseNs) / 1e6,
+		MapGCPauseMs:           float64(mapStats.pauseNs) / 1e6,
+		TableNumGC:             tabStats.numGC,
+		MapNumGC:               mapStats.numGC,
+		BitIdenticalToMap:      identical,
+	}
+	runtime.KeepAlive(mapEst)
+	runtime.KeepAlive(tabEst)
+	return res, nil
+}
+
+// runStats captures one measured ingest run.
+type runStats struct {
+	seconds   float64
+	heapDelta int64 // live-heap growth across the run, after a full GC
+	mallocs   uint64
+	pauseNs   uint64
+	numGC     uint32
+}
+
+// measure times fn between two garbage-collected heap readings, so
+// heapDelta is the live bytes fn's data structures retain (transient
+// garbage — rehash churn, map growth — shows up in mallocs and GC pauses,
+// not in the delta).
+func measure(fn func()) runStats {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	seconds := time.Since(start).Seconds()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if delta < 0 {
+		delta = 0
+	}
+	return runStats{
+		seconds:   seconds,
+		heapDelta: delta,
+		mallocs:   after.Mallocs - before.Mallocs,
+		pauseNs:   after.PauseTotalNs - before.PauseTotalNs,
+		numGC:     after.NumGC - before.NumGC,
+	}
+}
+
+func ingest(observeBatch func([]core.Edge), edges []core.Edge, chunk int) {
+	for i := 0; i < len(edges); i += chunk {
+		end := i + chunk
+		if end > len(edges) {
+			end = len(edges)
+		}
+		observeBatch(edges[i:end])
+	}
+}
+
+// coverageBurstEdges builds a bursty stream over exactly `users` distinct
+// users: a first pass visits every user once in shuffled order (a short run
+// each), then random bursts fill the remaining budget — so the distinct-user
+// count is the workload parameter, not a side effect of sampling.
+func coverageBurstEdges(n, users int, seed uint64) []core.Edge {
+	rng := hashing.NewRNG(seed)
+	edges := make([]core.Edge, 0, n)
+	perm := rng.Perm(users)
+	for i, u := range perm {
+		run := rng.Intn(3) + 1
+		// Never let a burst starve the users still waiting for their first
+		// edge: cap it so one edge per remaining user always fits. With a
+		// roomy budget (the n >= users precondition plus slack) the cap
+		// never engages and the RNG stream is untouched.
+		if room := n - len(edges) - (users - i - 1); run > room {
+			run = room
+		}
+		for r := 0; r < run; r++ {
+			edges = append(edges, core.Edge{User: uint64(u) + 1, Item: rng.Uint64()})
+		}
+	}
+	for len(edges) < n {
+		u := uint64(rng.Intn(users) + 1)
+		run := rng.Intn(16) + 1
+		for r := 0; r < run && len(edges) < n; r++ {
+			edges = append(edges, core.Edge{User: u, Item: rng.Uint64()})
+		}
+	}
+	return edges
+}
+
+// estimator is the narrow surface both store variants expose to the bench.
+type estimator interface {
+	observeBatch([]core.Edge)
+	numUsers() int
+	estimate(user uint64) float64
+	total() float64
+	perUserBytes() int64
+	rangeUsers(fn func(u uint64, e float64))
+}
+
+// ---- table-backed (the real core estimators) ----
+
+type coreBS struct{ f *core.FreeBS }
+
+func (c coreBS) observeBatch(e []core.Edge)          { c.f.ObserveBatch(e) }
+func (c coreBS) numUsers() int                       { return c.f.NumUsers() }
+func (c coreBS) estimate(u uint64) float64           { return c.f.Estimate(u) }
+func (c coreBS) total() float64                      { return c.f.TotalDistinct() }
+func (c coreBS) perUserBytes() int64                 { return c.f.PerUserBytes() }
+func (c coreBS) rangeUsers(fn func(uint64, float64)) { c.f.RangeUsers(fn) }
+
+type coreRS struct{ f *core.FreeRS }
+
+func (c coreRS) observeBatch(e []core.Edge)          { c.f.ObserveBatch(e) }
+func (c coreRS) numUsers() int                       { return c.f.NumUsers() }
+func (c coreRS) estimate(u uint64) float64           { return c.f.Estimate(u) }
+func (c coreRS) total() float64                      { return c.f.TotalDistinct() }
+func (c coreRS) perUserBytes() int64                 { return c.f.PerUserBytes() }
+func (c coreRS) rangeUsers(fn func(uint64, float64)) { c.f.RangeUsers(fn) }
+
+func newCoreEstimator(method string, mbits int, seed uint64) estimator {
+	if method == "freebs" {
+		return coreBS{core.NewFreeBS(mbits, seed)}
+	}
+	return coreRS{core.NewFreeRS(mbits/core.DefaultRegisterWidth, seed)}
+}
+
+// ---- map-backed twins ----
+//
+// These replicate the core update rules (the pre-update q of Theorems 1 and
+// 2, the per-run hash-prefix and estimate hoisting of ObserveBatch) with the
+// per-user store the seed implementation used: a plain Go map. The sketch
+// arrays and hash seeds are derived exactly as core derives them, so every
+// credit is issued at the same instant with the same value and the twins
+// must end bit-identical to the table-backed estimators — crossCheck fails
+// the bench otherwise.
+
+// Seed-mixing constants, as in core.NewFreeBS / core.NewFreeRS.
+const (
+	bsSeedMix     = 0x6a09e667f3bcc908
+	rsSeedIdxMix  = 0xbb67ae8584caa73b
+	rsSeedRankMix = 0x3c6ef372fe94f82b
+)
+
+type mapBS struct {
+	bits  *bitarray.BitArray
+	seed  uint64
+	est   map[uint64]float64
+	sum   float64
+	edges uint64
+}
+
+func (m *mapBS) observeBatch(edges []core.Edge) {
+	m.edges += uint64(len(edges))
+	size := m.bits.Size()
+	stream.ForEachRun(edges, func(user uint64, run []core.Edge) {
+		prefix := hashing.HashPairPrefix(user)
+		e := m.est[user]
+		credited := false
+		for _, ed := range run {
+			idx := hashing.UniformIndex(hashing.HashPairFinish(prefix, ed.Item, m.seed), size)
+			m0 := m.bits.ZeroCount()
+			if !m.bits.Set(idx) {
+				continue
+			}
+			inc := float64(size) / float64(m0)
+			e += inc
+			m.sum += inc
+			credited = true
+		}
+		if credited {
+			m.est[user] = e
+		}
+	})
+}
+
+func (m *mapBS) numUsers() int             { return len(m.est) }
+func (m *mapBS) estimate(u uint64) float64 { return m.est[u] }
+func (m *mapBS) total() float64            { return m.sum }
+func (m *mapBS) perUserBytes() int64       { return -1 } // opaque: that's the point
+func (m *mapBS) rangeUsers(fn func(uint64, float64)) {
+	for u, e := range m.est {
+		fn(u, e)
+	}
+}
+
+type mapRS struct {
+	regs  *regarray.Array
+	sIdx  uint64
+	sRank uint64
+	est   map[uint64]float64
+	sum   float64
+}
+
+func (m *mapRS) observeBatch(edges []core.Edge) {
+	size := m.regs.Size()
+	maxVal := m.regs.MaxValue()
+	stream.ForEachRun(edges, func(user uint64, run []core.Edge) {
+		prefix := hashing.HashPairPrefix(user)
+		e := m.est[user]
+		credited := false
+		for _, ed := range run {
+			idx := hashing.UniformIndex(hashing.HashPairFinish(prefix, ed.Item, m.sIdx), size)
+			rank := hashing.Rho(hashing.HashPairFinish(prefix, ed.Item, m.sRank), maxVal)
+			q := m.regs.ChangeProbability()
+			if _, changed := m.regs.UpdateMax(idx, rank); !changed {
+				continue
+			}
+			inc := 1 / q
+			e += inc
+			m.sum += inc
+			credited = true
+		}
+		if credited {
+			m.est[user] = e
+		}
+	})
+}
+
+func (m *mapRS) numUsers() int             { return len(m.est) }
+func (m *mapRS) estimate(u uint64) float64 { return m.est[u] }
+func (m *mapRS) total() float64            { return m.sum }
+func (m *mapRS) perUserBytes() int64       { return -1 }
+func (m *mapRS) rangeUsers(fn func(uint64, float64)) {
+	for u, e := range m.est {
+		fn(u, e)
+	}
+}
+
+func newMapEstimator(method string, mbits int, seed uint64) estimator {
+	if method == "freebs" {
+		return &mapBS{
+			bits: bitarray.New(mbits),
+			seed: hashing.Mix64(seed ^ bsSeedMix),
+			est:  make(map[uint64]float64),
+		}
+	}
+	return &mapRS{
+		regs:  regarray.New(mbits/core.DefaultRegisterWidth, core.DefaultRegisterWidth),
+		sIdx:  hashing.Mix64(seed ^ rsSeedIdxMix),
+		sRank: hashing.Mix64(seed ^ rsSeedRankMix),
+		est:   make(map[uint64]float64),
+	}
+}
+
+// crossCheck verifies the two stores hold bit-identical estimator state:
+// same user count, same total, same estimate for every user.
+func crossCheck(a, b estimator) bool {
+	if a.numUsers() != b.numUsers() || a.total() != b.total() {
+		return false
+	}
+	ok := true
+	b.rangeUsers(func(u uint64, e float64) {
+		if a.estimate(u) != e {
+			ok = false
+		}
+	})
+	return ok
+}

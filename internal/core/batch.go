@@ -17,8 +17,10 @@ type Edge = stream.Edge
 //
 //   - the user half of the pair hash is computed once per run, not per edge
 //     (hashing.HashPairPrefix);
-//   - the user's running estimate is loaded from the map once per run,
-//     updated in a register, and stored once per run.
+//   - the user's running estimate cell is located in the table once per run
+//     (usertab.Ref), accumulated in a register, and written back through the
+//     same pointer — no second probe. Only a run that credits a previously
+//     unseen user pays an insertion.
 //
 // The within-batch edge order is preserved, which matters: each flip's credit
 // M/m0 depends on the zero count at that moment.
@@ -30,7 +32,14 @@ func (f *FreeBS) ObserveBatch(edges []Edge) {
 	size := f.bits.Size()
 	stream.ForEachRun(edges, func(user uint64, run []Edge) {
 		prefix := hashing.HashPairPrefix(user)
-		e := f.est[user]
+		// No table mutations happen between Ref and the write-back below
+		// (other users' cells are untouched during this run), so the cell
+		// pointer cannot be invalidated by growth.
+		ref := f.est.Ref(user)
+		e := 0.0
+		if ref != nil {
+			e = *ref
+		}
 		credited := false
 		for _, ed := range run {
 			idx := hashing.UniformIndex(hashing.HashPairFinish(prefix, ed.Item, f.seed), size)
@@ -51,7 +60,11 @@ func (f *FreeBS) ObserveBatch(edges []Edge) {
 			credited = true
 		}
 		if credited {
-			f.est[user] = e
+			if ref != nil {
+				*ref = e
+			} else {
+				f.est.Add(user, e)
+			}
 		}
 	})
 }
@@ -69,7 +82,11 @@ func (f *FreeRS) ObserveBatch(edges []Edge) {
 	maxVal := f.regs.MaxValue()
 	stream.ForEachRun(edges, func(user uint64, run []Edge) {
 		prefix := hashing.HashPairPrefix(user)
-		e := f.est[user]
+		ref := f.est.Ref(user) // see FreeBS.ObserveBatch for pointer validity
+		e := 0.0
+		if ref != nil {
+			e = *ref
+		}
 		credited := false
 		for _, ed := range run {
 			idx := hashing.UniformIndex(hashing.HashPairFinish(prefix, ed.Item, f.seedIdx), size)
@@ -87,7 +104,11 @@ func (f *FreeRS) ObserveBatch(edges []Edge) {
 			credited = true
 		}
 		if credited {
-			f.est[user] = e
+			if ref != nil {
+				*ref = e
+			} else {
+				f.est.Add(user, e)
+			}
 		}
 	})
 }

@@ -68,14 +68,14 @@ func assertFreeBSEqual(t *testing.T, seq, bat *FreeBS) {
 	if seq.total != bat.total {
 		t.Fatalf("total: seq %v, batch %v (must be bit-identical)", seq.total, bat.total)
 	}
-	if len(seq.est) != len(bat.est) {
-		t.Fatalf("user counts: seq %d, batch %d", len(seq.est), len(bat.est))
+	if seq.est.Len() != bat.est.Len() {
+		t.Fatalf("user counts: seq %d, batch %d", seq.est.Len(), bat.est.Len())
 	}
-	for u, e := range seq.est {
-		if be, ok := bat.est[u]; !ok || be != e {
-			t.Fatalf("user %d: seq %v, batch %v", u, e, bat.est[u])
+	seq.est.Range(func(u uint64, e float64) {
+		if be := bat.est.Ref(u); be == nil || *be != e {
+			t.Fatalf("user %d: seq %v, batch %v", u, e, bat.est.Get(u))
 		}
-	}
+	})
 	sa, err := seq.bits.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
@@ -110,14 +110,14 @@ func TestFreeRSObserveBatchBitIdentical(t *testing.T) {
 		if seq.total != bat.total {
 			t.Fatalf("total: seq %v, batch %v (must be bit-identical)", seq.total, bat.total)
 		}
-		if len(seq.est) != len(bat.est) {
-			t.Fatalf("user counts: seq %d, batch %d", len(seq.est), len(bat.est))
+		if seq.est.Len() != bat.est.Len() {
+			t.Fatalf("user counts: seq %d, batch %d", seq.est.Len(), bat.est.Len())
 		}
-		for u, e := range seq.est {
-			if be, ok := bat.est[u]; !ok || be != e {
-				t.Fatalf("user %d: seq %v, batch %v", u, e, bat.est[u])
+		seq.est.Range(func(u uint64, e float64) {
+			if be := bat.est.Ref(u); be == nil || *be != e {
+				t.Fatalf("user %d: seq %v, batch %v", u, e, bat.est.Get(u))
 			}
-		}
+		})
 		sa, err := seq.regs.MarshalBinary()
 		if err != nil {
 			t.Fatal(err)

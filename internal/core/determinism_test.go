@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The determinism property behind the sorted envelope and the flat estimate
+// table: the OBSERVABLE per-user state — Users enumeration and MarshalBinary
+// bytes — is a pure function of the logical state, not of the path that
+// produced it. Equal logical states reached through sequential ingestion,
+// batching, Clone, Merge, or a checkpoint/restore round trip must enumerate
+// identically (ascending user order) and serialize to identical bytes.
+
+// marshalOf fails the test on error so call sites stay one line.
+func marshalOf(t *testing.T, m interface{ MarshalBinary() ([]byte, error) }) []byte {
+	t.Helper()
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// assertSortedUsers checks the Users enumeration contract: ascending user
+// order, count consistent with NumUsers.
+func assertSortedUsers(t *testing.T, name string, est interface {
+	Users(func(uint64, float64))
+	NumUsers() int
+}) {
+	t.Helper()
+	prev := uint64(0)
+	first := true
+	n := 0
+	est.Users(func(u uint64, _ float64) {
+		if !first && u <= prev {
+			t.Fatalf("%s: Users out of order: %d after %d", name, u, prev)
+		}
+		prev, first = u, false
+		n++
+	})
+	if n != est.NumUsers() {
+		t.Fatalf("%s: Users visited %d, NumUsers %d", name, n, est.NumUsers())
+	}
+}
+
+func TestFreeBSDeterministicAcrossPaths(t *testing.T) {
+	edges := burstEdges(30000, 400, 16, 5)
+	build := func() *FreeBS { return NewFreeBS(1<<13, 11) }
+
+	seq := build()
+	for _, e := range edges {
+		seq.Observe(e.User, e.Item)
+	}
+	assertSortedUsers(t, "sequential", seq)
+	want := marshalOf(t, seq)
+
+	// Batched ingestion: same bytes.
+	bat := build()
+	feedChunks(bat.ObserveBatch, edges)
+	if !bytes.Equal(marshalOf(t, bat), want) {
+		t.Fatal("batched twin serializes differently")
+	}
+
+	// Clone: same bytes, and still the same after both sides diverge-proof.
+	if !bytes.Equal(marshalOf(t, seq.Clone()), want) {
+		t.Fatal("clone serializes differently")
+	}
+
+	// Checkpoint/restore round trip: bit-identical re-serialization even
+	// though the restored table's internal layout (sorted insertion) differs
+	// from the organically grown one.
+	restored, err := RestoreFreeBS(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSortedUsers(t, "restored", restored)
+	if !bytes.Equal(marshalOf(t, restored), want) {
+		t.Fatal("restore round trip changed the serialization")
+	}
+
+	// Merge: merging B into a clone of A is reproducible — repeat the same
+	// merge from fresh clones and the serialized result is identical, and
+	// the merged enumeration stays sorted.
+	a, b := build(), build()
+	a.ObserveBatch(edges[:15000])
+	b.ObserveBatch(edges[15000:])
+	m1 := a.Clone()
+	if err := m1.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	m2 := a.Clone()
+	if err := m2.Merge(b.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	assertSortedUsers(t, "merged", m1)
+	if !bytes.Equal(marshalOf(t, m1), marshalOf(t, m2)) {
+		t.Fatal("repeating the same merge serializes differently")
+	}
+	// Merging a RESTORED source must serialize identically too: the
+	// restored table's internal layout differs (key-sorted reinsertion),
+	// but reconcile iterates key-sorted, so even the float order of the
+	// total's accumulation is layout-independent.
+	br, err := RestoreFreeBS(marshalOf(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := a.Clone()
+	if err := m3.Merge(br); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalOf(t, m3), marshalOf(t, m1)) {
+		t.Fatal("merge of a restored source serializes differently from merge of the original")
+	}
+}
+
+func TestFreeRSDeterministicAcrossPaths(t *testing.T) {
+	edges := burstEdges(30000, 400, 16, 6)
+	build := func() *FreeRS { return NewFreeRS(1<<11, 13) }
+
+	seq := build()
+	for _, e := range edges {
+		seq.Observe(e.User, e.Item)
+	}
+	assertSortedUsers(t, "sequential", seq)
+	want := marshalOf(t, seq)
+
+	bat := build()
+	feedChunks(bat.ObserveBatch, edges)
+	if !bytes.Equal(marshalOf(t, bat), want) {
+		t.Fatal("batched twin serializes differently")
+	}
+	if !bytes.Equal(marshalOf(t, seq.Clone()), want) {
+		t.Fatal("clone serializes differently")
+	}
+	restored, err := RestoreFreeRS(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSortedUsers(t, "restored", restored)
+	if !bytes.Equal(marshalOf(t, restored), want) {
+		t.Fatal("restore round trip changed the serialization")
+	}
+
+	a, b := build(), build()
+	a.ObserveBatch(edges[:15000])
+	b.ObserveBatch(edges[15000:])
+	m1 := a.Clone()
+	if err := m1.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	m2 := a.Clone()
+	if err := m2.Merge(b.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	assertSortedUsers(t, "merged", m1)
+	if !bytes.Equal(marshalOf(t, m1), marshalOf(t, m2)) {
+		t.Fatal("repeating the same merge serializes differently")
+	}
+	br, err := RestoreFreeRS(marshalOf(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := a.Clone()
+	if err := m3.Merge(br); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalOf(t, m3), marshalOf(t, m1)) {
+		t.Fatal("merge of a restored source serializes differently from merge of the original")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitarray"
 	"repro/internal/hashing"
+	"repro/internal/usertab"
 )
 
 // FreeBS is the parameter-free bit-sharing estimator of §IV-A.
@@ -12,7 +13,7 @@ import (
 type FreeBS struct {
 	bits        *bitarray.BitArray
 	seed        uint64
-	est         map[uint64]float64
+	est         *usertab.Table
 	total       float64
 	edges       uint64 // edges processed (including duplicates)
 	postUpdateQ bool
@@ -35,7 +36,7 @@ func NewFreeBS(mBits int, seed uint64, opts ...FreeBSOption) *FreeBS {
 	f := &FreeBS{
 		bits: bitarray.New(mBits),
 		seed: hashing.Mix64(seed ^ 0x6a09e667f3bcc908),
-		est:  make(map[uint64]float64),
+		est:  usertab.New(),
 	}
 	for _, o := range opts {
 		o(f)
@@ -72,14 +73,14 @@ func (f *FreeBS) Observe(user, item uint64) bool {
 		}
 	}
 	inc := float64(f.bits.Size()) / float64(q)
-	f.est[user] += inc
+	f.est.Add(user, inc)
 	f.total += inc
 	return true
 }
 
 // Estimate returns the anytime cardinality estimate n̂_s for user (0 if the
 // user has produced no bit flips). O(1).
-func (f *FreeBS) Estimate(user uint64) float64 { return f.est[user] }
+func (f *FreeBS) Estimate(user uint64) float64 { return f.est.Get(user) }
 
 // TotalDistinct returns Σ_s n̂_s, the Horvitz–Thompson estimate of the total
 // number of distinct pairs n^(t). It equals the sum of per-user estimates by
@@ -113,20 +114,37 @@ func (f *FreeBS) Saturated() bool { return f.bits.ZeroCount() == 0 }
 // EdgesProcessed returns the number of Observe calls (duplicates included).
 func (f *FreeBS) EdgesProcessed() uint64 { return f.edges }
 
-// NumUsers returns the number of users with a nonzero estimate.
-func (f *FreeBS) NumUsers() int { return len(f.est) }
+// NumUsers returns the number of users with a nonzero estimate. O(1).
+func (f *FreeBS) NumUsers() int { return f.est.Len() }
 
-// Users calls fn for every user with a nonzero estimate.
+// Users calls fn for every user with a nonzero estimate, in ascending user
+// order — deterministic for equal logical states no matter how they were
+// reached (ingested, merged, cloned, or restored). Sorting costs
+// O(users log users) and one key-slice allocation; order-insensitive
+// consumers use RangeUsers.
 func (f *FreeBS) Users(fn func(user uint64, estimate float64)) {
-	for u, e := range f.est {
-		fn(u, e)
-	}
+	f.est.SortedRange(fn)
 }
+
+// RangeUsers calls fn for every user with a nonzero estimate in the
+// estimate table's layout order: allocation-free and O(users), but the
+// order, while deterministic for a given history, is not sorted and not
+// preserved across checkpoint/restore. The fan-in paths (top-k, windowed
+// sums, shard aggregation) use this.
+func (f *FreeBS) RangeUsers(fn func(user uint64, estimate float64)) {
+	f.est.Range(fn)
+}
+
+// PerUserBytes returns the exact memory held by the per-user estimate
+// table, in bytes — the bookkeeping the paper's accounting grants every
+// method (§V-B) but which this implementation also engineers flat; see
+// internal/usertab.
+func (f *FreeBS) PerUserBytes() int64 { return f.est.MemoryBytes() }
 
 // Reset clears the sketch and all estimates.
 func (f *FreeBS) Reset() {
 	f.bits.Reset()
-	f.est = make(map[uint64]float64)
+	f.est.Reset()
 	f.total = 0
 	f.edges = 0
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/hll"
 	"repro/internal/regarray"
+	"repro/internal/usertab"
 )
 
 // DefaultRegisterWidth is the register width the paper evaluates FreeRS with
@@ -18,7 +19,7 @@ type FreeRS struct {
 	regs        *regarray.Array
 	seedIdx     uint64
 	seedRank    uint64
-	est         map[uint64]float64
+	est         *usertab.Table
 	total       float64
 	edges       uint64
 	postUpdateQ bool
@@ -48,7 +49,7 @@ func NewFreeRS(mRegs int, seed uint64, opts ...FreeRSOption) *FreeRS {
 	f := &FreeRS{
 		seedIdx:  hashing.Mix64(seed ^ 0xbb67ae8584caa73b),
 		seedRank: hashing.Mix64(seed ^ 0x3c6ef372fe94f82b),
-		est:      make(map[uint64]float64),
+		est:      usertab.New(),
 		width:    DefaultRegisterWidth,
 	}
 	for _, o := range opts {
@@ -88,14 +89,14 @@ func (f *FreeRS) Observe(user, item uint64) bool {
 		q = f.regs.ChangeProbability() // Algorithm-2-literal ordering
 	}
 	inc := 1 / q
-	f.est[user] += inc
+	f.est.Add(user, inc)
 	f.total += inc
 	return true
 }
 
 // Estimate returns the anytime cardinality estimate n̂_s for user (0 if the
 // user has produced no register changes). O(1).
-func (f *FreeRS) Estimate(user uint64) float64 { return f.est[user] }
+func (f *FreeRS) Estimate(user uint64) float64 { return f.est.Get(user) }
 
 // TotalDistinct returns Σ_s n̂_s, the Horvitz–Thompson estimate of the total
 // number of distinct pairs n^(t).
@@ -125,20 +126,29 @@ func (f *FreeRS) MaxEstimate() float64 {
 // EdgesProcessed returns the number of Observe calls (duplicates included).
 func (f *FreeRS) EdgesProcessed() uint64 { return f.edges }
 
-// NumUsers returns the number of users with a nonzero estimate.
-func (f *FreeRS) NumUsers() int { return len(f.est) }
+// NumUsers returns the number of users with a nonzero estimate. O(1).
+func (f *FreeRS) NumUsers() int { return f.est.Len() }
 
-// Users calls fn for every user with a nonzero estimate.
+// Users calls fn for every user with a nonzero estimate, in ascending user
+// order; see FreeBS.Users for the determinism/cost contract.
 func (f *FreeRS) Users(fn func(user uint64, estimate float64)) {
-	for u, e := range f.est {
-		fn(u, e)
-	}
+	f.est.SortedRange(fn)
 }
+
+// RangeUsers calls fn for every user with a nonzero estimate in layout
+// order, allocation-free; see FreeBS.RangeUsers.
+func (f *FreeRS) RangeUsers(fn func(user uint64, estimate float64)) {
+	f.est.Range(fn)
+}
+
+// PerUserBytes returns the exact memory held by the per-user estimate
+// table, in bytes; see FreeBS.PerUserBytes.
+func (f *FreeRS) PerUserBytes() int64 { return f.est.MemoryBytes() }
 
 // Reset clears the sketch and all estimates.
 func (f *FreeRS) Reset() {
 	f.regs.Reset()
-	f.est = make(map[uint64]float64)
+	f.est.Reset()
 	f.total = 0
 	f.edges = 0
 }

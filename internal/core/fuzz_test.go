@@ -54,6 +54,18 @@ func FuzzUnmarshalBinary(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("FBS1"))
 	f.Add([]byte("FRS1"))
+	f.Add([]byte("FBS2"))
+	f.Add([]byte("FRS2"))
+	// Legacy (version-1, unordered-estimates) envelopes: pristine, truncated,
+	// and corrupted — the back-compat decode path must obey the same
+	// error-vs-state contract as the current version.
+	for _, p := range [][]byte{legacyMarshalFreeBS(f, fb), legacyMarshalFreeRS(f, fr)} {
+		f.Add(p)
+		f.Add(p[:len(p)/2])
+		corrupt := append([]byte{}, p...)
+		corrupt[len(corrupt)/2] ^= 0xff
+		f.Add(corrupt)
+	}
 	// Windowed checkpoint envelopes: a genuine 3-of-4-generation payload, a
 	// saturated 2-generation one, plus truncation and a length-field blowup.
 	winPayload, err := MarshalWindow(4, 2, 77, [][]byte{rsPayload, rsPayload, rsPayload})

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/usertab"
 )
 
 // Merging lets independently fed sketches — per-shard, per-node, per-epoch —
@@ -42,15 +44,12 @@ var ErrIncompatible = errors.New("sketches not mergeable")
 
 // Clone returns a deep copy of f: mutating either sketch never affects the
 // other. Non-destructive aggregation clones one shard and merges the rest in.
+// The estimate table is copied cell for cell, layout included.
 func (f *FreeBS) Clone() *FreeBS {
-	est := make(map[uint64]float64, len(f.est))
-	for u, e := range f.est {
-		est[u] = e
-	}
 	return &FreeBS{
 		bits:        f.bits.Clone(),
 		seed:        f.seed,
-		est:         est,
+		est:         f.est.Clone(),
 		total:       f.total,
 		edges:       f.edges,
 		postUpdateQ: f.postUpdateQ,
@@ -88,7 +87,7 @@ func (f *FreeBS) Merge(other *FreeBS) error {
 	}
 	kU := f.bits.OnesCount()
 	f.edges += other.edges
-	if kOther == 0 {
+	if kOther == 0 || other.est.Len() == 0 {
 		return nil
 	}
 	scale := harmonicCredit(f.bits.Size(), kF, kU, f.postUpdateQ) /
@@ -124,27 +123,29 @@ func harmonicCredit(m, from, to int, postUpdate bool) float64 {
 	return s
 }
 
-// reconcile folds a scaled copy of other's per-user credits into f's
-// estimates, keeping the TotalDistinct = Σ estimates invariant exact.
-func (f *FreeBS) reconcile(est map[uint64]float64, scale float64) {
-	for u, e := range est {
+// reconcile folds a scaled copy of other's per-user credits directly into
+// f's estimate table — no intermediate map is rebuilt — keeping the
+// TotalDistinct = Σ estimates invariant exact. Iteration is key-sorted, not
+// layout-order: f.total accumulates in float, so the summation order must
+// be a function of the logical state alone or merging a checkpoint-restored
+// sketch (whose table layout is rebuilt key-sorted) would drift from
+// merging its never-restored twin in the low bits — exactly the divergence
+// the restore-lockstep contract forbids.
+func (f *FreeBS) reconcile(est *usertab.Table, scale float64) {
+	est.SortedRange(func(u uint64, e float64) {
 		d := e * scale
-		f.est[u] += d
+		f.est.Add(u, d)
 		f.total += d
-	}
+	})
 }
 
 // Clone returns a deep copy of f; see FreeBS.Clone.
 func (f *FreeRS) Clone() *FreeRS {
-	est := make(map[uint64]float64, len(f.est))
-	for u, e := range f.est {
-		est[u] = e
-	}
 	return &FreeRS{
 		regs:        f.regs.Clone(),
 		seedIdx:     f.seedIdx,
 		seedRank:    f.seedRank,
-		est:         est,
+		est:         f.est.Clone(),
 		total:       f.total,
 		edges:       f.edges,
 		postUpdateQ: f.postUpdateQ,
@@ -186,20 +187,22 @@ func (f *FreeRS) Merge(other *FreeRS) error {
 	}
 	tU := f.TotalDistinctHLL()
 	f.edges += other.edges
-	if len(other.est) == 0 || tOther <= 0 {
+	if other.est.Len() == 0 || tOther <= 0 {
 		return nil
 	}
 	scale := (tU - tF) / tOther
 	if scale <= 0 {
 		// No array-implied gain (full overlap, or estimator noise on a
 		// low-novelty merge): re-issue no credit, and in particular do not
-		// seed zero-valued entries into the estimate map.
+		// seed zero-valued entries into the estimate table.
 		return nil
 	}
-	for u, e := range other.est {
+	// Key-sorted for the same reason as FreeBS.reconcile: the float order of
+	// f.total's accumulation must not depend on the source table's layout.
+	other.est.SortedRange(func(u uint64, e float64) {
 		d := e * scale
-		f.est[u] += d
+		f.est.Add(u, d)
 		f.total += d
-	}
+	})
 	return nil
 }

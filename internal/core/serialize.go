@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bitarray"
 	"repro/internal/regarray"
+	"repro/internal/usertab"
 )
 
 // Serialization lets a long-running monitor checkpoint its full estimator
@@ -16,14 +17,23 @@ import (
 //
 // Format (little-endian): magic, version byte, fixed header fields, the
 // underlying array's own binary form (length-prefixed), then the per-user
-// estimate map as a varint count followed by (uint64 user, float64 bits)
-// pairs. Map iteration order does not matter: estimates are summable
-// credits, and the total is stored explicitly.
+// estimate entries as a varint count followed by (uint64 user, float64
+// bits) pairs.
+//
+// The trailing digit of the magic is the envelope version. Version 2
+// ("FBS2"/"FRS2", the only version written) guarantees the estimate
+// entries are in ascending user order, so equal logical states always
+// serialize to equal bytes. Version 1 payloads — written before the flat
+// estimate table, with entries in Go map iteration order — still decode:
+// the entry layout is identical and estimates are summable credits whose
+// total is stored explicitly, so order carries no information.
 
 const (
-	freeBSMagic = "FBS1"
-	freeRSMagic = "FRS1"
-	windowMagic = "WIN1"
+	freeBSMagic       = "FBS2"
+	freeRSMagic       = "FRS2"
+	freeBSMagicLegacy = "FBS1"
+	freeRSMagicLegacy = "FRS1"
+	windowMagic       = "WIN1"
 )
 
 // maxWindowGenerations bounds the generation count a window checkpoint may
@@ -59,7 +69,7 @@ func (f *FreeBS) MarshalBinary() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, 0, 64+len(arr)+len(f.est)*16)
+	out := make([]byte, 0, 64+len(arr)+f.est.Len()*16)
 	out = append(out, freeBSMagic...)
 	out = append(out, boolByte(f.postUpdateQ))
 	out = binary.LittleEndian.AppendUint64(out, f.seed)
@@ -71,9 +81,10 @@ func (f *FreeBS) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalBinary restores state serialized by MarshalBinary.
+// UnmarshalBinary restores state serialized by MarshalBinary, current or
+// legacy envelope version (see the package comment on versioning).
 func (f *FreeBS) UnmarshalBinary(data []byte) error {
-	body, err := checkMagic(data, freeBSMagic)
+	body, err := checkMagicAny(data, freeBSMagic, freeBSMagicLegacy)
 	if err != nil {
 		return err
 	}
@@ -112,7 +123,7 @@ func (f *FreeRS) MarshalBinary() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, 0, 64+len(arr)+len(f.est)*16)
+	out := make([]byte, 0, 64+len(arr)+f.est.Len()*16)
 	out = append(out, freeRSMagic...)
 	out = append(out, boolByte(f.postUpdateQ), f.width)
 	out = binary.LittleEndian.AppendUint64(out, f.seedIdx)
@@ -125,9 +136,10 @@ func (f *FreeRS) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalBinary restores state serialized by MarshalBinary.
+// UnmarshalBinary restores state serialized by MarshalBinary, current or
+// legacy envelope version (see the package comment on versioning).
 func (f *FreeRS) UnmarshalBinary(data []byte) error {
-	body, err := checkMagic(data, freeRSMagic)
+	body, err := checkMagicAny(data, freeRSMagic, freeRSMagicLegacy)
 	if err != nil {
 		return err
 	}
@@ -265,16 +277,33 @@ func checkMagic(data []byte, magic string) ([]byte, error) {
 	return data[len(magic):], nil
 }
 
-func appendEstimates(out []byte, est map[uint64]float64) []byte {
-	out = binary.AppendUvarint(out, uint64(len(est)))
-	for u, e := range est {
+// checkMagicAny accepts any of the given magics (the current envelope
+// version first, then the legacy versions still decoded).
+func checkMagicAny(data []byte, magics ...string) ([]byte, error) {
+	for _, m := range magics {
+		if body, err := checkMagic(data, m); err == nil {
+			return body, nil
+		}
+	}
+	return nil, fmt.Errorf("core: bad magic (want %s)", magics[0])
+}
+
+// appendEstimates writes the estimate entries in ascending user order — the
+// version-2 determinism guarantee: equal logical states serialize to equal
+// bytes, whatever insertion history shaped the table's layout.
+func appendEstimates(out []byte, est *usertab.Table) []byte {
+	out = binary.AppendUvarint(out, uint64(est.Len()))
+	est.SortedRange(func(u uint64, e float64) {
 		out = binary.LittleEndian.AppendUint64(out, u)
 		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(e))
-	}
+	})
 	return out
 }
 
-func readEstimates(data []byte) (map[uint64]float64, error) {
+// readEstimates decodes the entries section into a pre-sized table. Entry
+// order is not required or checked (legacy payloads are unordered); on
+// duplicate users the last entry wins, as it did for the map this replaces.
+func readEstimates(data []byte) (*usertab.Table, error) {
 	count, n := binary.Uvarint(data)
 	if n <= 0 {
 		return nil, errors.New("core: bad estimate count")
@@ -285,11 +314,11 @@ func readEstimates(data []byte) (map[uint64]float64, error) {
 	if count != uint64(len(data))/16 || len(data)%16 != 0 {
 		return nil, fmt.Errorf("core: estimate payload %d bytes, want %d entries", len(data), count)
 	}
-	est := make(map[uint64]float64, count)
+	est := usertab.NewWithCapacity(int(count))
 	for i := uint64(0); i < count; i++ {
 		u := binary.LittleEndian.Uint64(data[i*16:])
 		e := math.Float64frombits(binary.LittleEndian.Uint64(data[i*16+8:]))
-		est[u] = e
+		est.Set(u, e)
 	}
 	return est, nil
 }

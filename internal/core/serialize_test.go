@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"testing"
 
 	"repro/internal/hashing"
@@ -95,6 +97,142 @@ func TestFreeRSCheckpointPreservesOptions(t *testing.T) {
 	}
 	if !restored.postUpdateQ || restored.Width() != 4 {
 		t.Fatal("options lost across checkpoint")
+	}
+}
+
+// reversedEstimates renders f's estimate entries in DESCENDING user order —
+// the adversarial far end of "Go map iteration order", which is what the
+// version-1 envelope actually contained — so the legacy tests prove the
+// decoder needs no ordering at all.
+func reversedEstimates(est interface {
+	Len() int
+	SortedRange(func(uint64, float64))
+}) []byte {
+	type entry struct {
+		u uint64
+		e float64
+	}
+	entries := make([]entry, 0, est.Len())
+	est.SortedRange(func(u uint64, e float64) { entries = append(entries, entry{u, e}) })
+	out := binary.AppendUvarint(nil, uint64(len(entries)))
+	for i := len(entries) - 1; i >= 0; i-- {
+		out = binary.LittleEndian.AppendUint64(out, entries[i].u)
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(entries[i].e))
+	}
+	return out
+}
+
+// legacyMarshalFreeBS re-encodes f in the pre-usertab version-1 envelope
+// ("FBS1" magic, unordered estimate entries). Byte-for-byte the layout a
+// seed-era MarshalBinary produced, so decoding it exercises the exact
+// back-compat path a real old checkpoint would.
+func legacyMarshalFreeBS(tb testing.TB, f *FreeBS) []byte {
+	tb.Helper()
+	arr, err := f.bits.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out := append([]byte{}, freeBSMagicLegacy...)
+	out = append(out, boolByte(f.postUpdateQ))
+	out = binary.LittleEndian.AppendUint64(out, f.seed)
+	out = binary.LittleEndian.AppendUint64(out, f.edges)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f.total))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(arr)))
+	out = append(out, arr...)
+	return append(out, reversedEstimates(f.est)...)
+}
+
+// legacyMarshalFreeRS is the register-sharing analogue of
+// legacyMarshalFreeBS ("FRS1" magic).
+func legacyMarshalFreeRS(tb testing.TB, f *FreeRS) []byte {
+	tb.Helper()
+	arr, err := f.regs.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out := append([]byte{}, freeRSMagicLegacy...)
+	out = append(out, boolByte(f.postUpdateQ), f.width)
+	out = binary.LittleEndian.AppendUint64(out, f.seedIdx)
+	out = binary.LittleEndian.AppendUint64(out, f.seedRank)
+	out = binary.LittleEndian.AppendUint64(out, f.edges)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f.total))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(arr)))
+	out = append(out, arr...)
+	return append(out, reversedEstimates(f.est)...)
+}
+
+// TestLegacyEnvelopeBackCompat: a pre-usertab (version-1, map-order)
+// envelope must decode into exactly the state that produced it, and
+// re-serializing that state must yield the current sorted envelope whose
+// own round trip is bit-identical — an old spool survives the upgrade with
+// nothing lost and nothing reordered.
+func TestLegacyEnvelopeBackCompat(t *testing.T) {
+	orig := NewFreeBS(4096, 7)
+	populateFreeBS(orig, 5000, 1)
+	legacy := legacyMarshalFreeBS(t, orig)
+
+	restored := new(FreeBS)
+	if err := restored.UnmarshalBinary(legacy); err != nil {
+		t.Fatalf("legacy FreeBS envelope rejected: %v", err)
+	}
+	if restored.TotalDistinct() != orig.TotalDistinct() ||
+		restored.NumUsers() != orig.NumUsers() ||
+		restored.EdgesProcessed() != orig.EdgesProcessed() ||
+		restored.ChangeProbability() != orig.ChangeProbability() {
+		t.Fatal("legacy decode lost summary state")
+	}
+	orig.Users(func(u uint64, e float64) {
+		if restored.Estimate(u) != e {
+			t.Fatalf("legacy decode changed user %d: %v vs %v", u, restored.Estimate(u), e)
+		}
+	})
+	// Re-encoding the restored state produces the current envelope,
+	// bit-identical to serializing the original directly: the unordered
+	// legacy entries land in the same sorted order.
+	reenc, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc, direct) {
+		t.Fatal("legacy-restored state re-serializes differently from the original")
+	}
+	if string(reenc[:4]) != freeBSMagic {
+		t.Fatalf("re-encode kept the legacy version: %q", reenc[:4])
+	}
+	// Bit-identical continuation, the restore-lockstep contract.
+	populateFreeBS(orig, 2000, 2)
+	populateFreeBS(restored, 2000, 2)
+	if restored.TotalDistinct() != orig.TotalDistinct() ||
+		restored.ChangeProbability() != orig.ChangeProbability() {
+		t.Fatal("continuation diverged after legacy restore")
+	}
+
+	origRS := NewFreeRS(2048, 9, WithPostUpdateQRS())
+	populateFreeRS(origRS, 5000, 3)
+	legacyRS := legacyMarshalFreeRS(t, origRS)
+	restoredRS := new(FreeRS)
+	if err := restoredRS.UnmarshalBinary(legacyRS); err != nil {
+		t.Fatalf("legacy FreeRS envelope rejected: %v", err)
+	}
+	if restoredRS.TotalDistinct() != origRS.TotalDistinct() ||
+		restoredRS.NumUsers() != origRS.NumUsers() ||
+		restoredRS.Width() != origRS.Width() || !restoredRS.postUpdateQ {
+		t.Fatal("legacy FreeRS decode lost state")
+	}
+	reencRS, err := restoredRS.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	directRS, err := origRS.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reencRS, directRS) {
+		t.Fatal("legacy-restored FreeRS re-serializes differently")
 	}
 }
 

@@ -78,6 +78,14 @@ type Config struct {
 	CheckpointEvery time.Duration
 	// SpoolDir is where checkpoints live; "" disables persistence.
 	SpoolDir string
+	// Retain bounds the spool: besides current.ckpt (always the newest
+	// checkpoint), each write leaves a ckpt-<seq>.ckpt history entry, and
+	// entries beyond the newest Retain are deleted after every successful
+	// write — without it a long-lived daemon with periodic checkpointing
+	// accumulates files without bound. Like every field here, 0 means the
+	// default (3); at least one history entry is always kept, since the
+	// newest is a free hard link to current.ckpt.
+	Retain int
 	// Workers is the ingest pipeline's worker count. Default 4.
 	Workers int
 	// QueueDepth bounds the pipeline's batch queue; a full queue blocks
@@ -85,6 +93,15 @@ type Config struct {
 	QueueDepth int
 	// MaxBodyBytes bounds one ingest request body. Default 8 MiB.
 	MaxBodyBytes int64
+	// StreamWriteTimeout bounds how long a streaming response (/users) may
+	// spend writing to one client. It is load-bearing, not hygiene: the
+	// stream runs under the shared quiesce lock plus one shard lock at a
+	// time, and a client that stops reading would otherwise hold them until
+	// its connection died — with a rotation's write-lock then queueing
+	// every other request behind it. Enforced in the handler itself (via
+	// the response write deadline), so embedders of Handler() are covered
+	// without configuring their http.Server. Default 2m; negative disables.
+	StreamWriteTimeout time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -132,6 +149,15 @@ func (c *Config) fillDefaults() error {
 		// queue panics make(chan); refuse all of them as config errors.
 		return errors.New("server: Workers, QueueDepth, and MaxBodyBytes must be positive")
 	}
+	if c.Retain == 0 {
+		c.Retain = 3
+	}
+	if c.Retain < 1 {
+		return fmt.Errorf("server: Retain must keep at least 1 checkpoint, got %d", c.Retain)
+	}
+	if c.StreamWriteTimeout == 0 {
+		c.StreamWriteTimeout = 2 * time.Minute
+	}
 	return nil
 }
 
@@ -175,8 +201,11 @@ type Server struct {
 	closeErr   error
 	restored   bool
 	// ckptMu serializes whole checkpoints (marshal through rename) so a
-	// slow write can never overwrite a newer one.
-	ckptMu sync.Mutex
+	// slow write can never overwrite a newer one. It also guards ckptSeq,
+	// the monotonically increasing history sequence number (resumed from
+	// the spool's existing files at startup).
+	ckptMu  sync.Mutex
+	ckptSeq uint64
 
 	mux *http.ServeMux
 
@@ -248,6 +277,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SpoolDir != "" {
 		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: spool: %w", err)
+		}
+		// Resume the history sequence past whatever a previous life left
+		// behind, so new checkpoints never collide with retained ones.
+		seqs, err := s.listHist()
+		if err != nil {
+			return nil, fmt.Errorf("server: spool: %w", err)
+		}
+		if len(seqs) > 0 {
+			s.ckptSeq = seqs[len(seqs)-1]
 		}
 		restored, err := s.restore()
 		if err != nil {
@@ -431,7 +469,7 @@ func (s *Server) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	if err := writeSpool(s.spoolPath(), data); err != nil {
+	if err := s.saveSpool(data); err != nil {
 		return err
 	}
 	s.checkpoints.Inc()
@@ -443,17 +481,28 @@ func (s *Server) spoolPath() string {
 }
 
 // restore loads the newest checkpoint from the spool, if any, into the
-// freshly built stack. Called from New before any traffic, so no locking.
+// freshly built stack: current.ckpt, or — only when that pointer file
+// itself is missing — the newest retained history entry. A checkpoint that
+// exists but fails to decode is a startup error, never silently skipped.
+// Called from New before any traffic, so no locking.
 func (s *Server) restore() (bool, error) {
-	data, err := os.ReadFile(s.spoolPath())
+	path := s.spoolPath()
+	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return false, nil
+		if s.ckptSeq == 0 {
+			return false, nil
+		}
+		path = s.histPath(s.ckptSeq)
+		data, err = os.ReadFile(path)
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
 	}
 	if err != nil {
 		return false, fmt.Errorf("server: reading spool: %w", err)
 	}
 	if err := s.unmarshalSpool(data); err != nil {
-		return false, fmt.Errorf("server: restoring %s: %w", s.spoolPath(), err)
+		return false, fmt.Errorf("server: restoring %s: %w", path, err)
 	}
 	return true, nil
 }
@@ -648,11 +697,76 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"k": k, "top": out})
 }
 
+// handleUsers enumerates every user with a nonzero estimate. The response
+// is streamed from the estimate-table iterator into a buffered writer — no
+// response-sized slice or generic-JSON tree is ever built, which at
+// millions of users would briefly double the service's per-user memory on
+// every call. (The sorted enumeration itself still uses one shard's entry
+// scratch at a time — bounded by the largest shard, not the response.)
+// Entries arrive in deterministic order (shards in
+// index order, ascending user ID within each); ?limit=N truncates the list
+// (first N in that order) while "count" still reports the full total, and
+// "truncated" says whether a limit cut the list. The sketch is locked
+// (shared quiesce, one shard at a time) for the duration of the stream, so
+// slow readers should pass a limit — and the handler sets a write deadline
+// (Config.StreamWriteTimeout) on its own connection, so a stalled reader
+// cannot hold those locks past it: once the deadline fires, writes here
+// fail fast and the iteration drains without blocking. limit=0 is the pure
+// count query and skips the sorted enumeration entirely.
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	limit := -1
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit %q: want a non-negative integer", q)
+			return
+		}
+		limit = v
+	}
+	if limit == 0 {
+		s.quiesce.RLock()
+		n := s.sh.NumUsers()
+		s.quiesce.RUnlock()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"users": []any{}, "count": n, "truncated": n > 0,
+		})
+		return
+	}
+	if s.cfg.StreamWriteTimeout > 0 {
+		// Best effort: ResponseController covers net/http servers; exotic
+		// ResponseWriters that cannot set a deadline just stay unbounded,
+		// as before. The deadline is cleared on the way out — it is set on
+		// the CONNECTION, and with an http.Server whose WriteTimeout is 0
+		// nothing would re-arm it, so a later response on the same
+		// keep-alive connection would spuriously fail once it passed.
+		rc := http.NewResponseController(w)
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+		defer func() { _ = rc.SetWriteDeadline(time.Time{}) }()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	bw := bufio.NewWriterSize(w, 64<<10)
+	bw.WriteString(`{"users":[`)
+	count := 0
+	var num [32]byte
 	s.quiesce.RLock()
-	n := s.sh.NumUsers()
+	s.sh.Users(func(u uint64, e float64) {
+		if limit < 0 || count < limit {
+			if count > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`{"user":`)
+			bw.Write(strconv.AppendUint(num[:0], u, 10))
+			bw.WriteString(`,"estimate":`)
+			bw.Write(strconv.AppendFloat(num[:0], e, 'g', -1, 64))
+			bw.WriteByte('}')
+		}
+		count++
+	})
 	s.quiesce.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"count": n})
+	truncated := limit >= 0 && count > limit
+	fmt.Fprintf(bw, `],"count":%d,"truncated":%v}`, count, truncated)
+	bw.WriteByte('\n')
+	_ = bw.Flush()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

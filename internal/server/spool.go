@@ -21,6 +21,18 @@ package server
 // Files are written through the atomic-write helper, so a crash mid-write
 // leaves the previous complete checkpoint in place; the trailing CRC
 // additionally rejects any file corrupted at rest.
+//
+// Retention: the newest checkpoint is always current.ckpt, and every write
+// also leaves a sequence-numbered history entry (ckpt-<seq>.ckpt, a hard
+// link to the same bytes — zero extra data written, with an independent
+// copy as the fallback on filesystems without hard links). After each
+// successful write, history entries beyond the newest Config.Retain are
+// deleted, so the spool holds a bounded short history instead of either a
+// single rollback-less file or an unbounded pile. Restore prefers
+// current.ckpt and falls back to the newest history entry if only the
+// pointer file is missing; a checkpoint that is present but corrupt stays a
+// startup error — silently skipping to an older one would un-notice data
+// loss.
 
 import (
 	"bytes"
@@ -29,11 +41,22 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/atomicfile"
 )
 
-const spoolMagic = "CSP1"
+const (
+	spoolMagic = "CSP1"
+
+	// spoolHistPrefix/Suffix frame history file names: ckpt-<seq>.ckpt,
+	// zero-padded so lexical and numeric order agree.
+	spoolHistPrefix = "ckpt-"
+	spoolHistSuffix = ".ckpt"
+)
 
 var errSpoolCorrupt = errors.New("server: corrupt spool checkpoint")
 
@@ -148,4 +171,68 @@ func (s *Server) unmarshalSpool(data []byte) error {
 // writeSpool persists one checkpoint atomically.
 func writeSpool(path string, data []byte) error {
 	return atomicfile.WriteFile(path, data, os.FileMode(0o644))
+}
+
+// histPath returns the history file name for sequence number seq.
+func (s *Server) histPath(seq uint64) string {
+	return filepath.Join(s.cfg.SpoolDir, fmt.Sprintf("%s%012d%s", spoolHistPrefix, seq, spoolHistSuffix))
+}
+
+// listHist returns the spool's history checkpoints, oldest first. Files
+// whose names merely look similar are ignored rather than deleted later.
+func (s *Server) listHist() (seqs []uint64, err error) {
+	entries, err := os.ReadDir(s.cfg.SpoolDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, spoolHistPrefix) || !strings.HasSuffix(name, spoolHistSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, spoolHistPrefix), spoolHistSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// saveSpool writes one checkpoint: current.ckpt atomically, a history
+// entry for it, then pruning down to the newest Retain history files. The
+// caller (Checkpoint) holds ckptMu, so sequence numbers and renames cannot
+// interleave.
+func (s *Server) saveSpool(data []byte) error {
+	if err := writeSpool(s.spoolPath(), data); err != nil {
+		return err
+	}
+	s.ckptSeq++
+	hist := s.histPath(s.ckptSeq)
+	if err := os.Link(s.spoolPath(), hist); err != nil {
+		// Hard links can fail on exotic filesystems; fall back to an
+		// independent atomic copy rather than losing the history entry.
+		if err := writeSpool(hist, data); err != nil {
+			return fmt.Errorf("server: spool history: %w", err)
+		}
+	}
+	return s.pruneSpool()
+}
+
+// pruneSpool deletes history checkpoints beyond the newest Retain. Only
+// runs after a successful write, so a failing disk never eats the history
+// it still has.
+func (s *Server) pruneSpool() error {
+	seqs, err := s.listHist()
+	if err != nil {
+		return fmt.Errorf("server: spool prune: %w", err)
+	}
+	for len(seqs) > s.cfg.Retain {
+		if err := os.Remove(s.histPath(seqs[0])); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("server: spool prune: %w", err)
+		}
+		seqs = seqs[1:]
+	}
+	return nil
 }

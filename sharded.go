@@ -297,20 +297,36 @@ func mergeShards[T mergeable[T]](s *Sharded, cast func(Estimator) (T, bool)) (fl
 // shard's lock is held while its users stream through fn, so fn must not
 // call back into s (the locks are not reentrant). It requires the shard
 // estimators to be AnytimeEstimators (FreeBS, FreeRS, or Windowed over
-// either) and panics otherwise. Report order is deterministic across shards
-// but not within one (the underlying estimate maps are unordered); TopK
-// sorts, so its output is fully deterministic.
+// either) and panics otherwise. Report order is fully deterministic: shards
+// in index order, each shard's users in ascending user order (the
+// AnytimeEstimator enumeration contract) — so /users-style output is
+// reproducible across runs and restarts. RangeUsers skips the per-shard
+// sort when order does not matter.
 func (s *Sharded) Users(fn func(user uint64, estimate float64)) {
+	s.eachShardUsers(func(a AnytimeEstimator) { a.Users(fn) }, "Users")
+}
+
+// RangeUsers implements UserRanger: the same exactly-once fan-out as Users
+// (users partition across shards), each shard iterated through its
+// unordered allocation-free surface. Same locking caveats as Users.
+func (s *Sharded) RangeUsers(fn func(user uint64, estimate float64)) {
+	s.eachShardUsers(func(a AnytimeEstimator) { rangeUsers(a, fn) }, "RangeUsers")
+}
+
+// eachShardUsers runs visit over every shard's AnytimeEstimator in shard
+// order, one shard lock at a time, panicking (outside the lock) on shards
+// that maintain no per-user estimates.
+func (s *Sharded) eachShardUsers(visit func(AnytimeEstimator), method string) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		a, ok := sh.est.(AnytimeEstimator)
 		if ok {
-			a.Users(fn)
+			visit(a)
 		}
 		sh.mu.Unlock()
 		if !ok {
-			panic(fmt.Sprintf("streamcard: Sharded.Users needs AnytimeEstimator shards (FreeBS/FreeRS/Windowed), not %s", sh.est.Name()))
+			panic(fmt.Sprintf("streamcard: Sharded.%s needs AnytimeEstimator shards (FreeBS/FreeRS/Windowed), not %s", method, sh.est.Name()))
 		}
 	}
 }
@@ -379,6 +395,7 @@ var (
 	_ Estimator = (*Sharded)(nil)
 	// AnytimeEstimator holds whenever the shard estimators are themselves
 	// AnytimeEstimators (FreeBS, FreeRS, or Windowed over either); Users and
-	// NumUsers panic otherwise.
+	// NumUsers panic otherwise. The same caveat applies to UserRanger.
 	_ AnytimeEstimator = (*Sharded)(nil)
+	_ UserRanger       = (*Sharded)(nil)
 )

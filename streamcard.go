@@ -86,10 +86,39 @@ type Estimator interface {
 // in O(users) with no per-user query cost.
 type AnytimeEstimator interface {
 	Estimator
-	// Users calls fn for every user with a nonzero estimate.
+	// Users calls fn for every user with a nonzero estimate, in ascending
+	// user order — the deterministic enumeration: equal logical states
+	// (however reached: ingestion, Merge, Clone, checkpoint/restore)
+	// enumerate identically. Sorting costs O(users log users); consumers
+	// that do not need the order should prefer UserRanger.RangeUsers.
 	Users(fn func(user uint64, estimate float64))
-	// NumUsers returns the number of users with nonzero estimates.
+	// NumUsers returns the number of users with nonzero estimates, in O(1)
+	// for FreeBS/FreeRS (O(users) for Windowed, which must merge
+	// generations).
 	NumUsers() int
+}
+
+// UserRanger is the unordered counterpart of AnytimeEstimator's Users: fn
+// is called once per user with a nonzero estimate, in the estimate table's
+// layout order — allocation-free and without Users' sort. The order is
+// deterministic for a given operation history but is NOT sorted and NOT
+// stable across checkpoint/restore, so it is for aggregations that treat
+// each user independently (top-k selection, windowed sums, shard fan-ins),
+// not for output that must be reproducible across restarts. All estimators
+// implementing AnytimeEstimator here (FreeBS, FreeRS, Windowed, Sharded)
+// also implement UserRanger.
+type UserRanger interface {
+	RangeUsers(fn func(user uint64, estimate float64))
+}
+
+// rangeUsers iterates est's users through the cheapest surface it offers:
+// RangeUsers when implemented, sorted Users otherwise.
+func rangeUsers(est AnytimeEstimator, fn func(user uint64, estimate float64)) {
+	if r, ok := est.(UserRanger); ok {
+		r.RangeUsers(fn)
+		return
+	}
+	est.Users(fn)
 }
 
 // Key hashes an arbitrary string identifier (an IP address, a URL, a user
@@ -183,8 +212,11 @@ func (f *FreeBS) MemoryBits() int64 { return f.inner.MemoryBits() }
 // Name implements Estimator.
 func (f *FreeBS) Name() string { return "FreeBS" }
 
-// Users implements AnytimeEstimator.
+// Users implements AnytimeEstimator (ascending user order).
 func (f *FreeBS) Users(fn func(uint64, float64)) { f.inner.Users(fn) }
+
+// RangeUsers implements UserRanger (layout order, allocation-free).
+func (f *FreeBS) RangeUsers(fn func(uint64, float64)) { f.inner.RangeUsers(fn) }
 
 // NumUsers implements AnytimeEstimator.
 func (f *FreeBS) NumUsers() int { return f.inner.NumUsers() }
@@ -243,8 +275,11 @@ func (f *FreeRS) MemoryBits() int64 { return f.inner.MemoryBits() }
 // Name implements Estimator.
 func (f *FreeRS) Name() string { return "FreeRS" }
 
-// Users implements AnytimeEstimator.
+// Users implements AnytimeEstimator (ascending user order).
 func (f *FreeRS) Users(fn func(uint64, float64)) { f.inner.Users(fn) }
+
+// RangeUsers implements UserRanger (layout order, allocation-free).
+func (f *FreeRS) RangeUsers(fn func(uint64, float64)) { f.inner.RangeUsers(fn) }
 
 // NumUsers implements AnytimeEstimator.
 func (f *FreeRS) NumUsers() int { return f.inner.NumUsers() }
@@ -404,17 +439,22 @@ func (d *SpreaderDetector) Threshold() float64 { return d.inner.Threshold() }
 // Detect returns the currently flagged users, sorted by descending estimate.
 func (d *SpreaderDetector) Detect() []Spreader { return d.inner.Detect() }
 
-// adaptor narrows AnytimeEstimator to the superspreader.Estimator interface.
+// adaptor narrows AnytimeEstimator to the superspreader.Estimator
+// interface. Its Users uses the unordered allocation-free iteration when
+// available: the detector re-sorts its findings, so enumeration order never
+// reaches the output.
 type adaptor struct{ e AnytimeEstimator }
 
 func (a adaptor) Estimate(u uint64) float64      { return a.e.Estimate(u) }
 func (a adaptor) TotalDistinct() float64         { return a.e.TotalDistinct() }
-func (a adaptor) Users(fn func(uint64, float64)) { a.e.Users(fn) }
+func (a adaptor) Users(fn func(uint64, float64)) { rangeUsers(a.e, fn) }
 
 // Interface conformance checks.
 var (
 	_ AnytimeEstimator = (*FreeBS)(nil)
 	_ AnytimeEstimator = (*FreeRS)(nil)
+	_ UserRanger       = (*FreeBS)(nil)
+	_ UserRanger       = (*FreeRS)(nil)
 	_ Estimator        = (*CSE)(nil)
 	_ Estimator        = (*VHLL)(nil)
 	_ Estimator        = (*PerUserLPC)(nil)

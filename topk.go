@@ -5,7 +5,10 @@ import "sort"
 // TopK returns the k users with the largest current estimates, descending
 // (ties broken by user ID for determinism). It runs in O(users · log k) over
 // an AnytimeEstimator's maintained estimates — the "who are my heaviest
-// sources right now" query network monitors issue between edges.
+// sources right now" query network monitors issue between edges. The scan
+// goes through the unordered allocation-free iteration (UserRanger) when the
+// estimator offers it — selection plus the final sort make the result
+// independent of scan order, so TopK never pays Users' sorted enumeration.
 func TopK(est AnytimeEstimator, k int) []Spreader {
 	if k <= 0 {
 		return nil
@@ -46,7 +49,7 @@ func TopK(est AnytimeEstimator, k int) []Spreader {
 			i = smallest
 		}
 	}
-	est.Users(func(u uint64, e float64) {
+	rangeUsers(est, func(u uint64, e float64) {
 		s := Spreader{User: u, Estimate: e}
 		if len(heap) < k {
 			heap = append(heap, s)

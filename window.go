@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/usertab"
 	"repro/internal/window"
 )
 
@@ -211,20 +212,28 @@ func (w *Windowed) Generations() int { return w.ring.K() }
 func (w *Windowed) LiveGenerations() int { return w.ring.Live() }
 
 // Users implements AnytimeEstimator: fn is called once per user with a
-// nonzero windowed estimate, the sum of that user's estimates across live
-// generations. It requires the underlying estimator to be an
-// AnytimeEstimator (FreeBS or FreeRS) and panics otherwise. Cost is
-// O(users) time and memory (a merge map, since one user may appear in
-// several generations).
+// nonzero windowed estimate — the sum of that user's estimates across live
+// generations — in ascending user order. It requires the underlying
+// estimator to be an AnytimeEstimator (FreeBS or FreeRS) and panics
+// otherwise. Cost is O(users log users) time and O(users) memory (a flat
+// merge table plus its sort, since one user may appear in several
+// generations); RangeUsers skips the sort.
 func (w *Windowed) Users(fn func(user uint64, estimate float64)) {
-	for u, e := range w.userSums() {
-		fn(u, e)
-	}
+	w.userSums().SortedRange(fn)
+}
+
+// RangeUsers implements UserRanger: the same per-user windowed sums as
+// Users, in the merge table's layout order (deterministic per history, not
+// sorted). The fold across generations still costs O(users); only Users'
+// sort is skipped.
+func (w *Windowed) RangeUsers(fn func(user uint64, estimate float64)) {
+	w.userSums().Range(fn)
 }
 
 // NumUsers implements AnytimeEstimator: the number of users with a nonzero
-// estimate in any live generation. Same requirements and cost as Users.
-func (w *Windowed) NumUsers() int { return len(w.userSums()) }
+// estimate in any live generation. Costs a full O(users) generation fold;
+// UserEntries is the O(k) upper bound for cheap occupancy gauges.
+func (w *Windowed) NumUsers() int { return w.userSums().Len() }
 
 // UserEntries returns the total number of per-user estimate entries across
 // live generations — a user active in g generations contributes g entries,
@@ -246,15 +255,20 @@ func (w *Windowed) UserEntries() int {
 	return total
 }
 
-func (w *Windowed) userSums() map[uint64]float64 {
-	merged := make(map[uint64]float64)
+// userSums folds the live generations' per-user estimates into one flat
+// table, generation order outermost — the same summation order Estimate
+// uses for a single user, so the folded value matches Estimate bit for bit.
+// The fold reads each generation through its unordered allocation-free
+// iterator; only the result table is allocated.
+func (w *Windowed) userSums() *usertab.Table {
+	merged := usertab.New()
 	w.ring.View(func(live []Estimator) {
 		for _, g := range live {
 			a, ok := g.(AnytimeEstimator)
 			if !ok {
 				panic(fmt.Sprintf("streamcard: Windowed.Users needs an AnytimeEstimator underlying (FreeBS/FreeRS), not %s", g.Name()))
 			}
-			a.Users(func(u uint64, e float64) { merged[u] += e })
+			rangeUsers(a, func(u uint64, e float64) { merged.Add(u, e) })
 		}
 	})
 	return merged
@@ -449,5 +463,6 @@ func (w *Windowed) UnmarshalBinary(data []byte) error {
 var (
 	_ Estimator        = (*Windowed)(nil)
 	_ AnytimeEstimator = (*Windowed)(nil)
+	_ UserRanger       = (*Windowed)(nil)
 	_ Rotator          = (*Windowed)(nil)
 )
