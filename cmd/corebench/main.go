@@ -50,6 +50,12 @@ type MethodResult struct {
 	TableNumGC          uint32  `json:"table_num_gc"`
 	MapNumGC            uint32  `json:"map_num_gc"`
 
+	// SnapshotBytesPerCall is what one copy-on-write Snapshot of the loaded
+	// estimator allocates — a few hundred bytes at any user count, since a
+	// snapshot shares the arrays instead of copying them. The read path of
+	// the serving stack leans on exactly this number staying flat.
+	SnapshotBytesPerCall float64 `json:"snapshot_bytes_per_call"`
+
 	BitIdenticalToMap bool `json:"bit_identical_to_map"`
 }
 
@@ -115,9 +121,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	for name, m := range map[string]MethodResult{"FreeBS": res.FreeBS, "FreeRS": res.FreeRS} {
 		fmt.Fprintf(stdout,
-			"corebench: %s %d users: %.1f B/user (map %.1f, %.2fx less), %.1fM edges/s (map %.1fM), gc pause %.1fms (map %.1fms), bit-identical=%v\n",
+			"corebench: %s %d users: %.1f B/user (map %.1f, %.2fx less), %.1fM edges/s (map %.1fM), gc pause %.1fms (map %.1fms), %.0f B/snapshot, bit-identical=%v\n",
 			name, m.NumUsers, m.TableBytesPerUser, m.MapBytesPerUser, m.BytesPerUserReductionX,
-			m.TableEdgesPerSec/1e6, m.MapEdgesPerSec/1e6, m.TableGCPauseMs, m.MapGCPauseMs, m.BitIdenticalToMap)
+			m.TableEdgesPerSec/1e6, m.MapEdgesPerSec/1e6, m.TableGCPauseMs, m.MapGCPauseMs,
+			m.SnapshotBytesPerCall, m.BitIdenticalToMap)
 	}
 	fmt.Fprintf(stdout, "corebench: wrote %s\n", *out)
 	return nil
@@ -184,6 +191,7 @@ func benchMethod(method string, edges []core.Edge, mbits int, seed uint64, batch
 		MapNumGC:               mapStats.numGC,
 		BitIdenticalToMap:      identical,
 	}
+	res.SnapshotBytesPerCall, _ = tabEst.snapshotBytes()
 	runtime.KeepAlive(mapEst)
 	runtime.KeepAlive(tabEst)
 	return res, nil
@@ -273,6 +281,29 @@ type estimator interface {
 	total() float64
 	perUserBytes() int64
 	rangeUsers(fn func(u uint64, e float64))
+	// snapshotBytes returns the bytes one Snapshot call allocates on the
+	// loaded estimator (0, false for stores without snapshot support — the
+	// map twins). At 1M users this must stay a few hundred bytes: snapshots
+	// are copy-on-write forks, never table copies.
+	snapshotBytes() (float64, bool)
+}
+
+// snapSink keeps the measured snapshots heap-allocated: an unused Snapshot
+// result would be stack-allocated away and the measurement would read 0.
+var snapSink any
+
+// measureSnapshotBytes brackets repeated Snapshot calls with allocation
+// readings. No writes interleave, so the measurement is pure publication
+// cost (and the estimator's logical state is untouched).
+func measureSnapshotBytes(snap func() any) float64 {
+	const rounds = 32
+	var ms1, ms2 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	for i := 0; i < rounds; i++ {
+		snapSink = snap()
+	}
+	runtime.ReadMemStats(&ms2)
+	return float64(ms2.TotalAlloc-ms1.TotalAlloc) / rounds
 }
 
 // ---- table-backed (the real core estimators) ----
@@ -285,6 +316,9 @@ func (c coreBS) estimate(u uint64) float64           { return c.f.Estimate(u) }
 func (c coreBS) total() float64                      { return c.f.TotalDistinct() }
 func (c coreBS) perUserBytes() int64                 { return c.f.PerUserBytes() }
 func (c coreBS) rangeUsers(fn func(uint64, float64)) { c.f.RangeUsers(fn) }
+func (c coreBS) snapshotBytes() (float64, bool) {
+	return measureSnapshotBytes(func() any { return c.f.Snapshot() }), true
+}
 
 type coreRS struct{ f *core.FreeRS }
 
@@ -294,6 +328,9 @@ func (c coreRS) estimate(u uint64) float64           { return c.f.Estimate(u) }
 func (c coreRS) total() float64                      { return c.f.TotalDistinct() }
 func (c coreRS) perUserBytes() int64                 { return c.f.PerUserBytes() }
 func (c coreRS) rangeUsers(fn func(uint64, float64)) { c.f.RangeUsers(fn) }
+func (c coreRS) snapshotBytes() (float64, bool) {
+	return measureSnapshotBytes(func() any { return c.f.Snapshot() }), true
+}
 
 func newCoreEstimator(method string, mbits int, seed uint64) estimator {
 	if method == "freebs" {
@@ -351,10 +388,11 @@ func (m *mapBS) observeBatch(edges []core.Edge) {
 	})
 }
 
-func (m *mapBS) numUsers() int             { return len(m.est) }
-func (m *mapBS) estimate(u uint64) float64 { return m.est[u] }
-func (m *mapBS) total() float64            { return m.sum }
-func (m *mapBS) perUserBytes() int64       { return -1 } // opaque: that's the point
+func (m *mapBS) numUsers() int                  { return len(m.est) }
+func (m *mapBS) estimate(u uint64) float64      { return m.est[u] }
+func (m *mapBS) total() float64                 { return m.sum }
+func (m *mapBS) perUserBytes() int64            { return -1 } // opaque: that's the point
+func (m *mapBS) snapshotBytes() (float64, bool) { return 0, false }
 func (m *mapBS) rangeUsers(fn func(uint64, float64)) {
 	for u, e := range m.est {
 		fn(u, e)
@@ -394,10 +432,11 @@ func (m *mapRS) observeBatch(edges []core.Edge) {
 	})
 }
 
-func (m *mapRS) numUsers() int             { return len(m.est) }
-func (m *mapRS) estimate(u uint64) float64 { return m.est[u] }
-func (m *mapRS) total() float64            { return m.sum }
-func (m *mapRS) perUserBytes() int64       { return -1 }
+func (m *mapRS) numUsers() int                  { return len(m.est) }
+func (m *mapRS) estimate(u uint64) float64      { return m.est[u] }
+func (m *mapRS) total() float64                 { return m.sum }
+func (m *mapRS) perUserBytes() int64            { return -1 }
+func (m *mapRS) snapshotBytes() (float64, bool) { return 0, false }
 func (m *mapRS) rangeUsers(fn func(uint64, float64)) {
 	for u, e := range m.est {
 		fn(u, e)

@@ -1,0 +1,417 @@
+// Command querybench measures what the snapshot-isolated read path buys:
+// ingest throughput of the serving stack — Sharded(Windowed(FreeRS)), the
+// same shape cardserved runs — with zero versus N concurrent query
+// goroutines, plus query latency percentiles for the query mix a monitor
+// actually issues (point estimates, top-k, merged totals, user counts).
+// Because queries are served from atomically published copy-on-write
+// snapshots, ingest throughput under query load should sit within a few
+// percent of the query-free baseline; the JSON this tool emits
+// (BENCH_query.json, uploaded by CI next to BENCH_core.json) tracks that
+// gap per commit.
+//
+// It also asserts the publication cost model: taking a snapshot of a
+// loaded stack must allocate a small, size-independent number of bytes —
+// never a full-array copy. The assertion compares publication cost at the
+// configured sketch size and at 4x that size and fails the run (exit 1) if
+// either is large or they scale with M.
+//
+//	go run ./cmd/querybench -edges 4000000 -queriers 8 -out BENCH_query.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	streamcard "repro"
+	"repro/internal/hashing"
+)
+
+// LatencySummary is the per-query-kind latency section of the JSON.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	P99Us float64 `json:"p99_us"`
+}
+
+// Result is the JSON document querybench emits.
+type Result struct {
+	PhaseSeconds  float64 `json:"phase_seconds"`
+	Edges         int     `json:"edges"`
+	MemoryBits    int     `json:"memory_bits"`
+	Shards        int     `json:"shards"`
+	Generations   int     `json:"generations"`
+	BatchSize     int     `json:"batch_size"`
+	Ingesters     int     `json:"ingesters"`
+	Queriers      int     `json:"queriers"`
+	TargetQPS     int     `json:"target_qps"`
+	RotateEveryMs int     `json:"rotate_every_ms"`
+
+	BaselineEdgesPerSec  float64 `json:"baseline_edges_per_sec"`
+	ContendedEdgesPerSec float64 `json:"contended_edges_per_sec"`
+	IngestDropPct        float64 `json:"ingest_drop_pct"`
+
+	QueriesExecuted int                       `json:"queries_executed"`
+	QueryLatency    map[string]LatencySummary `json:"query_latency"`
+
+	// Snapshot publication cost: bytes allocated by one Snapshot call on a
+	// loaded stack after a write made the published view stale, at the
+	// configured sketch size and at 4x it. O1OK asserts both are small and
+	// size-independent (the copy-on-write contract: publication never
+	// copies the arrays; the writer pays its lazy copy outside the call).
+	SnapshotPublishBytes   float64 `json:"snapshot_publish_bytes"`
+	SnapshotPublishBytes4x float64 `json:"snapshot_publish_bytes_4x"`
+	SnapshotPublishO1OK    bool    `json:"snapshot_publish_o1_ok"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "querybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("querybench", flag.ContinueOnError)
+	var (
+		seconds   = fs.Float64("seconds", 3, "measured duration of each phase")
+		edges     = fs.Int("edges", 4_000_000, "edges pre-generated and cycled through the window (the pool, not the total ingested)")
+		mbits     = fs.Int("mbits", 1<<22, "total sketch memory in bits (split across shards, spent per generation)")
+		shards    = fs.Int("shards", 4, "shard count")
+		gens      = fs.Int("gens", 4, "window generations k")
+		batch     = fs.Int("batch", 65536, "ObserveBatch chunk size")
+		users     = fs.Int("users", 50_000, "distinct users in the workload")
+		ingesters = fs.Int("ingesters", 2, "concurrent ingest goroutines")
+		queriers  = fs.Int("queriers", 8, "concurrent query goroutines in the contended phase")
+		qps       = fs.Int("qps", 2000, "total target point-estimate rate across the query fleet (0 = unthrottled)")
+		rotatems  = fs.Int("rotate", 50, "rotate every this many milliseconds during both phases (0 = never)")
+		out       = fs.String("out", "BENCH_query.json", "output file (- = stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *seconds <= 0 || *edges <= 0 || *shards <= 0 || *gens < 2 || *batch <= 0 || *users <= 0 || *ingesters <= 0 || *queriers < 0 {
+		return fmt.Errorf("need seconds, edges, shards, batch, users, ingesters > 0 and gens >= 2")
+	}
+
+	batches := makeBatches(*edges, *batch, *users, 1)
+
+	// Warm up code paths and fault in the edge slices before timing.
+	warmup(buildStack(*mbits, *shards, *gens), batches)
+
+	res := Result{
+		PhaseSeconds: *seconds,
+		Edges:        *edges, MemoryBits: *mbits, Shards: *shards, Generations: *gens,
+		BatchSize: *batch, Ingesters: *ingesters, Queriers: *queriers,
+		TargetQPS: *qps, RotateEveryMs: *rotatems,
+	}
+
+	cfg := phaseConfig{
+		mbits: *mbits, shards: *shards, gens: *gens, users: *users,
+		ingesters: *ingesters, qps: *qps, rotatems: *rotatems,
+		seconds: *seconds,
+	}
+	res.BaselineEdgesPerSec, _, _ = runPhase(cfg, batches, 0)
+	var lat map[string][]float64
+	var queries int
+	res.ContendedEdgesPerSec, lat, queries = runPhase(cfg, batches, *queriers)
+
+	res.IngestDropPct = (1 - res.ContendedEdgesPerSec/res.BaselineEdgesPerSec) * 100
+	res.QueriesExecuted = queries
+	res.QueryLatency = summarize(lat)
+
+	// The O(1)-publication assertion, at M and 4M.
+	small, err := snapshotPublishBytes(*mbits, *shards, *gens)
+	if err != nil {
+		return err
+	}
+	large, err := snapshotPublishBytes(*mbits*4, *shards, *gens)
+	if err != nil {
+		return err
+	}
+	res.SnapshotPublishBytes = small
+	res.SnapshotPublishBytes4x = large
+	// "Small": far below one generation's array (mbits/shards/8 bytes).
+	// "Size-independent": 4x the sketch must not even double the cost.
+	arrayBytes := float64(*mbits / *shards / 8)
+	res.SnapshotPublishO1OK = small < 64<<10 && small < arrayBytes/4 &&
+		large < 2*small+4096
+
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		if _, err := stdout.Write(doc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout,
+		"querybench: ingest %.1fM edges/s alone, %.1fM with %d queriers (%.1f%% drop), %d queries, estimate p99 %.0fus\n",
+		res.BaselineEdgesPerSec/1e6, res.ContendedEdgesPerSec/1e6, *queriers,
+		res.IngestDropPct, queries, res.QueryLatency["estimate"].P99Us)
+	fmt.Fprintf(stdout, "querybench: snapshot publication %.0f B at M, %.0f B at 4M (o1_ok=%v)\n",
+		small, large, res.SnapshotPublishO1OK)
+	if *out != "-" {
+		fmt.Fprintf(stdout, "querybench: wrote %s\n", *out)
+	}
+	if !res.SnapshotPublishO1OK {
+		return fmt.Errorf("snapshot publication is not O(1): %.0f bytes at M=%d, %.0f at 4x (one shard generation's array is %.0f bytes)",
+			small, *mbits, large, arrayBytes)
+	}
+	return nil
+}
+
+func buildStack(mbits, shards, gens int) *streamcard.Sharded {
+	per := mbits / shards
+	return streamcard.NewSharded(shards, func(int) streamcard.Estimator {
+		return streamcard.NewWindowed(func() streamcard.Estimator {
+			return streamcard.NewFreeRS(per, streamcard.WithSeed(1))
+		}, streamcard.WithGenerations(gens))
+	})
+}
+
+// makeBatches pre-generates a bursty stream sliced into ObserveBatch-sized
+// chunks, so the measured phases do no generation work.
+func makeBatches(edges, batch, users int, seed uint64) [][]streamcard.Edge {
+	rng := hashing.NewRNG(seed)
+	all := make([]streamcard.Edge, 0, edges)
+	for len(all) < edges {
+		u := uint64(rng.Intn(users) + 1)
+		run := rng.Intn(8) + 1
+		for r := 0; r < run && len(all) < edges; r++ {
+			all = append(all, streamcard.Edge{User: u, Item: rng.Uint64()})
+		}
+	}
+	var batches [][]streamcard.Edge
+	for i := 0; i < len(all); i += batch {
+		end := i + batch
+		if end > len(all) {
+			end = len(all)
+		}
+		batches = append(batches, all[i:end])
+	}
+	return batches
+}
+
+func warmup(s *streamcard.Sharded, batches [][]streamcard.Edge) {
+	n := len(batches)
+	if n > 16 {
+		n = 16
+	}
+	for _, b := range batches[:n] {
+		s.ObserveBatch(b)
+	}
+	_ = s.Snapshot()
+	_ = s.Estimate(1)
+}
+
+// phaseConfig carries the shared knobs of both measured phases.
+type phaseConfig struct {
+	mbits, shards, gens, users int
+	ingesters, qps, rotatems   int
+	seconds                    float64
+}
+
+// Heavy-query pacing: real monitors scrape aggregates on wall-clock
+// schedules, not per point query, so the contended phase issues them the
+// same way — one ops querier fires top-k, merged totals, and user counts at
+// these periods while the rest of the fleet runs paced point estimates.
+const (
+	topkEvery     = 1 * time.Second
+	totalEvery    = 2 * time.Second
+	numusersEvery = 1500 * time.Millisecond
+)
+
+// runPhase cycles the batch pool through the ingester goroutines for the
+// configured duration (the window keeps every cycle write-heavy: each
+// rotation opens a fresh generation that re-absorbs recurring pairs), with
+// an optional rotation ticker and an optional query fleet, and returns the
+// ingest throughput plus the query latencies by kind.
+func runPhase(cfg phaseConfig, batches [][]streamcard.Edge, queriers int) (edgesPerSec float64, lat map[string][]float64, queries int) {
+	s := buildStack(cfg.mbits, cfg.shards, cfg.gens)
+
+	var done atomic.Bool
+	var stopRot chan struct{}
+	var rotWG sync.WaitGroup
+	if cfg.rotatems > 0 {
+		stopRot = make(chan struct{})
+		rotWG.Add(1)
+		go func() {
+			defer rotWG.Done()
+			t := time.NewTicker(time.Duration(cfg.rotatems) * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.Rotate()
+				case <-stopRot:
+					return
+				}
+			}
+		}()
+	}
+
+	lat = map[string][]float64{}
+	var latMu sync.Mutex
+	merge := func(local map[string][]float64) {
+		latMu.Lock()
+		for k, v := range local {
+			lat[k] = append(lat[k], v...)
+		}
+		latMu.Unlock()
+	}
+	timed := func(local map[string][]float64, kind string, fn func()) {
+		t0 := time.Now()
+		fn()
+		local[kind] = append(local[kind], float64(time.Since(t0).Microseconds()))
+	}
+
+	var queryWG sync.WaitGroup
+	if queriers > 0 {
+		// Querier 0 is the ops querier: the heavy aggregate kinds on their
+		// wall-clock schedules.
+		queryWG.Add(1)
+		go func() {
+			defer queryWG.Done()
+			local := map[string][]float64{}
+			var lastTopk, lastTotal, lastNum time.Time
+			for !done.Load() {
+				now := time.Now()
+				switch {
+				case now.Sub(lastTopk) >= topkEvery:
+					lastTopk = now
+					timed(local, "topk", func() { _ = streamcard.TopK(s.Snapshot(), 10) })
+				case now.Sub(lastTotal) >= totalEvery:
+					lastTotal = now
+					timed(local, "total", func() {
+						v := s.Snapshot()
+						if _, err := v.TotalDistinctMerged(); err != nil {
+							_ = v.TotalDistinct()
+						}
+					})
+				case now.Sub(lastNum) >= numusersEvery:
+					lastNum = now
+					timed(local, "numusers", func() { _ = s.NumUsers() })
+				default:
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+			merge(local)
+		}()
+	}
+	estimators := queriers - 1
+	var interval time.Duration
+	if cfg.qps > 0 && estimators > 0 {
+		interval = time.Duration(float64(estimators) / float64(cfg.qps) * float64(time.Second))
+	}
+	for q := 0; q < estimators; q++ {
+		queryWG.Add(1)
+		go func(seed uint64) {
+			defer queryWG.Done()
+			rng := hashing.NewRNG(seed)
+			local := map[string][]float64{}
+			for !done.Load() {
+				timed(local, "estimate", func() { _ = s.Estimate(uint64(rng.Intn(cfg.users) + 1)) })
+				if interval > 0 {
+					time.Sleep(interval)
+				}
+			}
+			merge(local)
+		}(uint64(1000 + q))
+	}
+	// Give the query fleet a beat to spin up before timing ingest.
+	if queriers > 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var next atomic.Int64
+	var ingested atomic.Int64
+	var ingestWG sync.WaitGroup
+	deadline := time.Now().Add(time.Duration(cfg.seconds * float64(time.Second)))
+	start := time.Now()
+	for w := 0; w < cfg.ingesters; w++ {
+		ingestWG.Add(1)
+		go func() {
+			defer ingestWG.Done()
+			for time.Now().Before(deadline) {
+				b := batches[int(next.Add(1)-1)%len(batches)]
+				s.ObserveBatch(b)
+				ingested.Add(int64(len(b)))
+			}
+		}()
+	}
+	ingestWG.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	done.Store(true)
+	queryWG.Wait()
+	if stopRot != nil {
+		close(stopRot)
+		rotWG.Wait()
+	}
+	for _, v := range lat {
+		queries += len(v)
+	}
+	return float64(ingested.Load()) / elapsed, lat, queries
+}
+
+// snapshotPublishBytes measures the allocation cost of one snapshot
+// publication: a single-user write makes the published view stale, then
+// the Snapshot call — and only it — is bracketed by allocation readings.
+// The writer's lazy copy-on-write detach happens inside the write, outside
+// the bracket, which is exactly the accounting the cost model claims.
+func snapshotPublishBytes(mbits, shards, gens int) (float64, error) {
+	s := buildStack(mbits, shards, gens)
+	for _, b := range makeBatches(200_000, 8192, 100_000, 3) {
+		s.ObserveBatch(b)
+	}
+	const rounds = 64
+	var ms1, ms2 runtime.MemStats
+	var total uint64
+	for i := 0; i < rounds; i++ {
+		s.Observe(uint64(i%1000+1), uint64(i)|1<<40)
+		runtime.ReadMemStats(&ms1)
+		v := s.Snapshot()
+		runtime.ReadMemStats(&ms2)
+		if v == nil {
+			return 0, fmt.Errorf("stack is not snapshottable")
+		}
+		total += ms2.TotalAlloc - ms1.TotalAlloc
+	}
+	return float64(total) / rounds, nil
+}
+
+// summarize sorts each kind's latencies and extracts percentiles.
+func summarize(lat map[string][]float64) map[string]LatencySummary {
+	out := map[string]LatencySummary{}
+	for kind, v := range lat {
+		if len(v) == 0 {
+			continue
+		}
+		sort.Float64s(v)
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(v)-1))
+			return v[i]
+		}
+		out[kind] = LatencySummary{
+			Count: len(v),
+			P50Us: pct(0.50),
+			P95Us: pct(0.95),
+			P99Us: pct(0.99),
+		}
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	streamcard "repro"
@@ -33,6 +34,14 @@ type Result struct {
 	PlainNsPerEdge    float64 `json:"plain_ns_per_edge"`
 	WindowedNsPerEdge float64 `json:"windowed_ns_per_edge"`
 	BatchSize         int     `json:"batch_size"`
+
+	// Snapshot publication on the loaded window: nanoseconds and allocated
+	// bytes per Windowed.Snapshot call taken right after a write (the
+	// stale-view worst case). Both must stay small and independent of the
+	// sketch size — the copy-on-write read-path contract; cmd/querybench
+	// asserts the size-independence explicitly.
+	NsPerSnapshot    float64 `json:"ns_per_snapshot"`
+	BytesPerSnapshot float64 `json:"bytes_per_snapshot"`
 }
 
 func main() {
@@ -90,6 +99,25 @@ func run(args []string, stdout io.Writer) error {
 	}
 	rotNs := float64(time.Since(start).Nanoseconds()) / rotations
 
+	// Snapshot publication cost on the loaded window, write-staled each
+	// round so every call rebuilds and republishes the frozen view.
+	const snaps = 64
+	var ms1, ms2 runtime.MemStats
+	var snapNs, snapBytes float64
+	for i := 0; i < snaps; i++ {
+		w.Observe(uint64(i%977+1), uint64(i)|1<<40)
+		runtime.ReadMemStats(&ms1)
+		t0 := time.Now()
+		v := w.Snapshot()
+		dt := time.Since(t0)
+		runtime.ReadMemStats(&ms2)
+		if v == nil {
+			return fmt.Errorf("windowed FreeRS must be snapshottable")
+		}
+		snapNs += float64(dt.Nanoseconds())
+		snapBytes += float64(ms2.TotalAlloc - ms1.TotalAlloc)
+	}
+
 	n := float64(*edges)
 	res := Result{
 		Edges:             *edges,
@@ -104,6 +132,8 @@ func run(args []string, stdout io.Writer) error {
 		PlainNsPerEdge:    plainSec / n * 1e9,
 		WindowedNsPerEdge: windowSec / n * 1e9,
 		BatchSize:         *batch,
+		NsPerSnapshot:     snapNs / snaps,
+		BytesPerSnapshot:  snapBytes / snaps,
 	}
 	doc, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -117,8 +147,9 @@ func run(args []string, stdout io.Writer) error {
 	if err := os.WriteFile(*out, doc, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "windowbench: plain %.1fM edges/s, windowed(k=%d) %.1fM edges/s (%.1f%% overhead), %.0f ns/rotation -> %s\n",
-		res.PlainEdgesPerSec/1e6, *gens, res.WindowEdgesPerSec/1e6, res.WindowOverheadPct, rotNs, *out)
+	fmt.Fprintf(stdout, "windowbench: plain %.1fM edges/s, windowed(k=%d) %.1fM edges/s (%.1f%% overhead), %.0f ns/rotation, %.0f ns + %.0f B/snapshot -> %s\n",
+		res.PlainEdgesPerSec/1e6, *gens, res.WindowEdgesPerSec/1e6, res.WindowOverheadPct, rotNs,
+		res.NsPerSnapshot, res.BytesPerSnapshot, *out)
 	return nil
 }
 

@@ -22,6 +22,12 @@ type BitArray struct {
 	words []uint64
 	size  int // number of valid bits
 	zeros int // maintained count of zero bits among the first size bits
+
+	// shared marks words as possibly aliased by a Snapshot: the next write
+	// must detach (copy the backing array) first. Derived statistics (size,
+	// zeros) live in the struct and are copied by Snapshot itself, so only
+	// word writes pay the copy-on-write check.
+	shared bool
 }
 
 // New returns a bit array of size bits, all zero. It panics if size <= 0.
@@ -66,6 +72,7 @@ func (b *BitArray) Set(i int) bool {
 	if b.words[w]&mask != 0 {
 		return false
 	}
+	b.detach()
 	b.words[w] |= mask
 	b.zeros--
 	return true
@@ -81,6 +88,7 @@ func (b *BitArray) Clear(i int) bool {
 	if b.words[w]&mask == 0 {
 		return false
 	}
+	b.detach()
 	b.words[w] &^= mask
 	b.zeros++
 	return true
@@ -88,10 +96,42 @@ func (b *BitArray) Clear(i int) bool {
 
 // Reset zeroes every bit.
 func (b *BitArray) Reset() {
-	for i := range b.words {
-		b.words[i] = 0
+	if b.shared {
+		// Snapshots keep the old words; start over on a private array
+		// instead of paying a copy just to zero it.
+		b.words = make([]uint64, len(b.words))
+		b.shared = false
+	} else {
+		for i := range b.words {
+			b.words[i] = 0
+		}
 	}
 	b.zeros = b.size
+}
+
+// Snapshot returns an O(1) logically frozen copy of b: both arrays keep the
+// shared backing words and the first mutation on either side copies them
+// (copy-on-write), so taking a snapshot costs one small struct allocation
+// regardless of M. The snapshot is a fully independent BitArray — reads are
+// safe concurrently with mutations of the parent (the parent never writes
+// the shared words; it detaches onto a private copy first), and mutating the
+// snapshot itself detaches it the same way.
+func (b *BitArray) Snapshot() *BitArray {
+	b.shared = true
+	c := *b
+	return &c
+}
+
+// detach gives b a private copy of the backing words if a snapshot may still
+// alias them. Called before every word write.
+func (b *BitArray) detach() {
+	if !b.shared {
+		return
+	}
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	b.words = w
+	b.shared = false
 }
 
 // Audit recomputes the zero count from the raw words. It returns an error if
@@ -114,7 +154,7 @@ func (b *BitArray) Audit() error {
 	return nil
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (eager, unlike Snapshot's lazy copy-on-write).
 func (b *BitArray) Clone() *BitArray {
 	w := make([]uint64, len(b.words))
 	copy(w, b.words)
@@ -128,6 +168,7 @@ func (b *BitArray) UnionWith(other *BitArray) error {
 	if other == nil || other.size != b.size {
 		return errors.New("bitarray: union requires equal sizes")
 	}
+	b.detach()
 	zeros := 0
 	for i := range b.words {
 		b.words[i] |= other.words[i]
@@ -178,7 +219,8 @@ func (b *BitArray) UnmarshalBinary(data []byte) error {
 	}
 	b.words = words
 	b.size = size
-	b.zeros = 0 // recompute below via Audit repair
+	b.shared = false // freshly allocated words; no snapshot aliases them
+	b.zeros = 0      // recompute below via Audit repair
 	_ = b.Audit()
 	return nil
 }

@@ -1,0 +1,107 @@
+package bitarray
+
+import "testing"
+
+// TestSnapshotIsolation: a snapshot is a frozen logical copy — mutations of
+// the parent after the snapshot never show through it, in either direction.
+func TestSnapshotIsolation(t *testing.T) {
+	b := New(257) // odd size exercises the partial final word
+	for _, i := range []int{0, 63, 64, 200, 256} {
+		b.Set(i)
+	}
+	snap := b.Snapshot()
+	wantZeros := b.ZeroCount()
+
+	// Parent mutations: set new bits, clear an old one.
+	b.Set(1)
+	b.Set(100)
+	b.Clear(63)
+	if snap.ZeroCount() != wantZeros {
+		t.Fatalf("snapshot zero count drifted: %d != %d", snap.ZeroCount(), wantZeros)
+	}
+	for _, i := range []int{0, 63, 64, 200, 256} {
+		if !snap.Get(i) {
+			t.Fatalf("snapshot lost bit %d", i)
+		}
+	}
+	if snap.Get(1) || snap.Get(100) {
+		t.Fatal("parent mutation leaked into snapshot")
+	}
+	if err := snap.Audit(); err != nil {
+		t.Fatalf("snapshot audit: %v", err)
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatalf("parent audit: %v", err)
+	}
+
+	// Snapshot mutations must not leak back into the parent either.
+	snap2 := b.Snapshot()
+	snap2.Set(2)
+	if b.Get(2) {
+		t.Fatal("snapshot mutation leaked into parent")
+	}
+}
+
+// TestSnapshotReset: Reset on a shared array must leave snapshots intact.
+func TestSnapshotReset(t *testing.T) {
+	b := New(128)
+	b.Set(5)
+	snap := b.Snapshot()
+	b.Reset()
+	if !snap.Get(5) || snap.ZeroCount() != 127 {
+		t.Fatal("Reset destroyed the snapshot")
+	}
+	if b.ZeroCount() != 128 || b.Get(5) {
+		t.Fatal("Reset did not clear the parent")
+	}
+}
+
+// TestSnapshotUnionDetaches: UnionWith writes every word, so it must detach
+// from outstanding snapshots first.
+func TestSnapshotUnionDetaches(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	b.Set(2)
+	snap := a.Snapshot()
+	if err := a.UnionWith(b); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Get(2) {
+		t.Fatal("union leaked into snapshot")
+	}
+	if !a.Get(1) || !a.Get(2) {
+		t.Fatal("union lost bits")
+	}
+}
+
+// TestSnapshotO1: taking a snapshot must not copy the backing words — its
+// allocation cost is one fixed-size struct, independent of M.
+func TestSnapshotO1(t *testing.T) {
+	for _, size := range []int{1 << 10, 1 << 20} {
+		b := New(size)
+		b.Set(3)
+		allocs := testing.AllocsPerRun(100, func() {
+			sink = b.Snapshot()
+		})
+		if allocs > 1 {
+			t.Fatalf("Snapshot of %d bits allocates %v objects, want <= 1", size, allocs)
+		}
+	}
+}
+
+// TestDetachOncePerSnapshot: after one post-snapshot write detaches, further
+// writes are in-place (no repeated copying while unshared).
+func TestDetachOncePerSnapshot(t *testing.T) {
+	b := New(1 << 12)
+	_ = b.Snapshot()
+	b.Set(0) // detaches
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Clear(1)
+		b.Set(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("writes on a detached array allocate (%v allocs/run)", allocs)
+	}
+}
+
+var sink any // defeats dead-code elimination in alloc tests

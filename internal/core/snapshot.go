@@ -1,0 +1,51 @@
+package core
+
+// Snapshots are the read side of the serving architecture: an O(1)
+// logically frozen fork of a sketch, taken under whatever lock guards the
+// writer, then read — estimates, totals, user enumeration, serialization —
+// with no lock held at all. The backing arrays (the shared bit/register
+// array and the per-user estimate table) are shared copy-on-write: the
+// snapshot costs a few struct allocations regardless of M or the user
+// count, and the writer pays at most one array copy per mutated array per
+// outstanding snapshot generation, amortized across all the edges it
+// absorbs between snapshots. Old window generations are never written, so
+// in a windowed deployment only the current generation's arrays are ever
+// re-copied.
+//
+// A snapshot is a complete FreeBS/FreeRS value: every read method —
+// Estimate, TotalDistinct, TotalDistinctLPC/HLL, NumUsers, Users,
+// RangeUsers, MarshalBinary, Clone, Merge sources — behaves exactly as it
+// would on an eager Clone taken at the same instant, and the determinism
+// contracts (sorted enumeration, serialize-to-equal-bytes) carry over
+// unchanged. Mutating a snapshot is permitted (it detaches, leaving the
+// parent untouched), but the serving layers treat snapshots as read-only.
+
+// Snapshot returns an O(1) copy-on-write fork of f, logically frozen at the
+// current state. See the file comment for the cost model and the
+// concurrency contract: the call itself must be serialized with writers
+// (take it under the lock that guards Observe), after which reads of the
+// snapshot need no synchronization.
+func (f *FreeBS) Snapshot() *FreeBS {
+	return &FreeBS{
+		bits:        f.bits.Snapshot(),
+		seed:        f.seed,
+		est:         f.est.Snapshot(),
+		total:       f.total,
+		edges:       f.edges,
+		postUpdateQ: f.postUpdateQ,
+	}
+}
+
+// Snapshot returns an O(1) copy-on-write fork of f; see FreeBS.Snapshot.
+func (f *FreeRS) Snapshot() *FreeRS {
+	return &FreeRS{
+		regs:        f.regs.Snapshot(),
+		seedIdx:     f.seedIdx,
+		seedRank:    f.seedRank,
+		est:         f.est.Snapshot(),
+		total:       f.total,
+		edges:       f.edges,
+		postUpdateQ: f.postUpdateQ,
+		width:       f.width,
+	}
+}

@@ -53,6 +53,11 @@ type Array struct {
 	exact  bool  // whether scaled is maintained
 	scaled uint64
 	// scaled = Σ_j 2^(maxVal-R[j]), maintained incrementally when exact.
+
+	// shared marks words as possibly aliased by a Snapshot: the next write
+	// must detach (copy the backing array) first. Derived statistics live in
+	// the struct and are copied by Snapshot itself.
+	shared bool
 }
 
 // New returns an array of size registers of width bits each, all zero.
@@ -162,6 +167,7 @@ func (a *Array) UpdateMax(i int, v uint8) (old uint8, changed bool) {
 	if v <= old {
 		return old, false
 	}
+	a.detach()
 	a.set(i, v)
 	if old == 0 {
 		a.zeros--
@@ -175,13 +181,43 @@ func (a *Array) UpdateMax(i int, v uint8) (old uint8, changed bool) {
 
 // Reset zeroes every register.
 func (a *Array) Reset() {
-	for i := range a.words {
-		a.words[i] = 0
+	if a.shared {
+		// Snapshots keep the old words; start over on a private array.
+		a.words = make([]uint64, len(a.words))
+		a.shared = false
+	} else {
+		for i := range a.words {
+			a.words[i] = 0
+		}
 	}
 	a.zeros = a.size
 	if a.exact {
 		a.scaled = uint64(a.size) << uint(a.maxVal)
 	}
+}
+
+// Snapshot returns an O(1) logically frozen copy of a: both arrays keep the
+// shared backing words and the first register write on either side copies
+// them (copy-on-write), so taking a snapshot costs one small struct
+// allocation regardless of M. Reads of the snapshot are safe concurrently
+// with mutations of the parent, which detaches onto a private copy before
+// its first write.
+func (a *Array) Snapshot() *Array {
+	a.shared = true
+	c := *a
+	return &c
+}
+
+// detach gives a a private copy of the backing words if a snapshot may still
+// alias them. Called before every register write.
+func (a *Array) detach() {
+	if !a.shared {
+		return
+	}
+	w := make([]uint64, len(a.words))
+	copy(w, a.words)
+	a.words = w
+	a.shared = false
 }
 
 // Audit recomputes the zero count (and, in exact mode, the scaled harmonic
@@ -211,7 +247,7 @@ func (a *Array) Audit() error {
 	return err
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (eager, unlike Snapshot's lazy copy-on-write).
 func (a *Array) Clone() *Array {
 	w := make([]uint64, len(a.words))
 	copy(w, a.words)
@@ -269,6 +305,7 @@ func (a *Array) UnmarshalBinary(data []byte) error {
 	a.width = width
 	a.maxVal = maxVal
 	a.exact = maxVal < 64 && uint64(size) <= math.MaxUint64>>uint(maxVal)
-	_ = a.Audit() // recompute maintained statistics
+	a.shared = false // freshly allocated words; no snapshot aliases them
+	_ = a.Audit()    // recompute maintained statistics
 	return nil
 }

@@ -22,12 +22,26 @@
 // verbatim without double counting concerns beyond the sketch's built-in
 // duplicate tolerance.
 //
+// Reads are snapshot-isolated: every query handler (/estimate, /total,
+// /topk, /users), the /metrics gauges, and the checkpoint writer serve
+// from the stack's atomically published frozen view
+// (streamcard.Sharded.Snapshot) instead of taking the sketch locks — a
+// stalled /users reader or a slow checkpoint fsync cannot hold any sketch
+// lock at all, and ingest throughput is unaffected by concurrent query
+// load (cmd/querybench measures exactly this). The write path — ingest
+// workers and epoch rotation — is the only lock domain left: the quiesce
+// barrier below now orders only ingestion against rotation, so a batch is
+// never attributed astride an epoch boundary, while queries run through
+// rotations (each one sees a single consistent epoch, never a torn
+// pre/post-rotation mix).
+//
 // Time advances by wall-clock epoch rotation (Config.Epoch) fanned out
-// through Sharded.Rotate under a global quiesce barrier, so all shards
-// always sit at the same epoch. The full windowed state checkpoints
-// periodically (and always on graceful shutdown) to a spool directory as
-// an atomically-written file; a restarted daemon restores it and resumes
-// in bit-identical lockstep with an uninterrupted twin.
+// through Sharded.Rotate, which publishes each shard's next-epoch snapshot
+// as it goes, so all shards always sit at the same epoch. The full
+// windowed state checkpoints periodically (and always on graceful
+// shutdown) to a spool directory as an atomically-written file; a
+// restarted daemon restores it and resumes in bit-identical lockstep with
+// an uninterrupted twin.
 package server
 
 import (
@@ -94,13 +108,13 @@ type Config struct {
 	// MaxBodyBytes bounds one ingest request body. Default 8 MiB.
 	MaxBodyBytes int64
 	// StreamWriteTimeout bounds how long a streaming response (/users) may
-	// spend writing to one client. It is load-bearing, not hygiene: the
-	// stream runs under the shared quiesce lock plus one shard lock at a
-	// time, and a client that stops reading would otherwise hold them until
-	// its connection died — with a rotation's write-lock then queueing
-	// every other request behind it. Enforced in the handler itself (via
-	// the response write deadline), so embedders of Handler() are covered
-	// without configuring their http.Server. Default 2m; negative disables.
+	// spend writing to one client. The stream reads from a published
+	// snapshot, so a stalled client holds NO sketch lock — the deadline is
+	// connection hygiene: it bounds how long a dead connection can pin the
+	// handler goroutine and the snapshot's copy-on-write arrays. Enforced
+	// in the handler itself (via the response write deadline), so embedders
+	// of Handler() are covered without configuring their http.Server.
+	// Default 2m; negative disables.
 	StreamWriteTimeout time.Duration
 }
 
@@ -176,10 +190,12 @@ type Server struct {
 	wins []*streamcard.Windowed // per-shard windows, for checkpointing
 	sh   *streamcard.Sharded    // the serving stack over wins
 
-	// quiesce orders sketch access: ingest workers and query handlers hold
-	// it shared; rotation and checkpointing hold it exclusively, so an
-	// epoch advance is a clean cut (all shards rotate as one) and a
-	// checkpoint is a consistent point-in-time snapshot across shards.
+	// quiesce orders the WRITE path only: ingest workers hold it shared,
+	// rotation holds it exclusively, so an epoch advance is a clean cut (no
+	// batch is attributed astride the boundary and all shards rotate as
+	// one). Queries and checkpoints do not touch it — they read from the
+	// stack's published snapshot (s.view), which freezes one consistent
+	// epoch on its own.
 	quiesce sync.RWMutex
 
 	jobs     chan job
@@ -268,7 +284,10 @@ func New(cfg Config) (*Server, error) {
 		i := i
 		// UserEntries, not NumUsers: a scrape must not pay an O(users)
 		// merge map per shard every few seconds. Entries upper-bound users
-		// (one per generation a user is active in).
+		// (one per generation a user is active in). UserEntries is the one
+		// deliberately non-snapshot read: O(k) counter loads under a brief
+		// ring-lock hold, so a scrape neither blocks on a long read nor
+		// forces the writer into a fresh copy-on-write detach.
 		s.reg.Gauge("cardserved_shard_user_entries", fmt.Sprintf(`shard="%d"`, i),
 			"Per-user estimate entries across the shard's live generations (upper bound on distinct users).",
 			func() float64 { return float64(s.wins[i].UserEntries()) })
@@ -352,8 +371,9 @@ func (s *Server) Restored() bool { return s.restored }
 
 // worker drains parsed batches into the sketch. Absorption happens under
 // the shared side of the quiesce barrier: batches from different workers
-// only contend per shard, while rotation and checkpointing exclude all of
-// them for their clean cut.
+// only contend per shard, while rotation excludes all of them so no batch
+// is attributed astride an epoch boundary. (Checkpoints and queries read
+// published snapshots and never block here.)
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for j := range s.jobs {
@@ -450,22 +470,28 @@ func (s *Server) checkpointLoop() {
 	}
 }
 
-// Checkpoint snapshots the full windowed state of every shard under the
-// exclusive barrier (a consistent cross-shard cut) and writes it
-// atomically to the spool. No-op without a spool directory. Checkpoints
-// are serialized by ckptMu so two concurrent calls (POST /checkpoint vs
-// the periodic ticker) cannot rename out of order and leave the older
-// snapshot as current.ckpt; the quiesce barrier is held only for the
-// in-memory marshal, not the disk write.
+// view returns the stack's current published snapshot: one epoch-consistent
+// frozen cut across every shard. All query handlers, gauges, and the
+// checkpoint writer read from it; none of them take any sketch lock.
+func (s *Server) view() *streamcard.ShardedView {
+	return s.sh.Snapshot() // never nil: the stack is Windowed(FreeBS|FreeRS)
+}
+
+// Checkpoint freezes the full windowed state of every shard from the
+// published snapshot (an epoch-consistent cut; each shard a valid frozen
+// prefix of its own sub-stream) and writes it atomically to the spool.
+// No sketch lock is held at any point — neither for the marshal nor for
+// the disk write — so a slow fsync cannot stall ingest or rotation. No-op
+// without a spool directory. Checkpoints are serialized by ckptMu so two
+// concurrent calls (POST /checkpoint vs the periodic ticker) cannot rename
+// out of order and leave the older snapshot as current.ckpt.
 func (s *Server) Checkpoint() error {
 	if s.cfg.SpoolDir == "" {
 		return nil
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	s.quiesce.Lock()
-	data, err := s.marshalSpool()
-	s.quiesce.Unlock()
+	data, err := s.marshalSpool(s.view())
 	if err != nil {
 		return err
 	}
@@ -649,27 +675,25 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.quiesce.RLock()
-	est := s.sh.Estimate(u)
-	s.quiesce.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"user": u, "estimate": est})
+	writeJSON(w, http.StatusOK, map[string]any{"user": u, "estimate": s.view().Estimate(u)})
 }
 
 // handleTotal prefers the merged union reading (shared-seed shards merge
 // into one sketch; low variance) and falls back to the sum of independent
-// shard totals if merging is unavailable.
+// shard totals if merging is unavailable. Both readings come from the same
+// published snapshot, and the merged result is cached on it: repeated
+// totals over an unchanged stack merge once, and the reported epoch is
+// exactly the epoch the totals were computed over.
 func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
-	s.quiesce.RLock()
-	total, err := s.sh.TotalDistinctMerged()
+	v := s.view()
+	total, err := v.TotalDistinctMerged()
 	method := "merged"
 	if err != nil {
-		total = s.sh.TotalDistinct()
+		total = v.TotalDistinct()
 		method = "summed"
 	}
-	epoch := s.Epoch()
-	s.quiesce.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"total": total, "method": method, "epoch": epoch,
+		"total": total, "method": method, "epoch": v.Epoch(),
 	})
 }
 
@@ -683,9 +707,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
-	s.quiesce.RLock()
-	top := streamcard.TopK(s.sh, k)
-	s.quiesce.RUnlock()
+	top := streamcard.TopK(s.view(), k)
 	type entry struct {
 		User     uint64  `json:"user"`
 		Estimate float64 `json:"estimate"`
@@ -706,13 +728,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 // Entries arrive in deterministic order (shards in
 // index order, ascending user ID within each); ?limit=N truncates the list
 // (first N in that order) while "count" still reports the full total, and
-// "truncated" says whether a limit cut the list. The sketch is locked
-// (shared quiesce, one shard at a time) for the duration of the stream, so
-// slow readers should pass a limit — and the handler sets a write deadline
-// (Config.StreamWriteTimeout) on its own connection, so a stalled reader
-// cannot hold those locks past it: once the deadline fires, writes here
-// fail fast and the iteration drains without blocking. limit=0 is the pure
-// count query and skips the sorted enumeration entirely.
+// "truncated" says whether a limit cut the list. The stream reads from the
+// published snapshot, so NO sketch lock is held for its duration: a
+// stalled or slow reader cannot stall ingest, rotation, or other queries
+// at all. The write deadline (Config.StreamWriteTimeout) remains as
+// connection hygiene — it bounds how long a dead client can pin the
+// snapshot (and its copy-on-write arrays) and the handler goroutine.
+// limit=0 is the pure count query and skips the sorted enumeration
+// entirely.
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	limit := -1
 	if q := r.URL.Query().Get("limit"); q != "" {
@@ -724,9 +747,7 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 		limit = v
 	}
 	if limit == 0 {
-		s.quiesce.RLock()
-		n := s.sh.NumUsers()
-		s.quiesce.RUnlock()
+		n := s.view().NumUsers()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"users": []any{}, "count": n, "truncated": n > 0,
 		})
@@ -748,8 +769,7 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	bw.WriteString(`{"users":[`)
 	count := 0
 	var num [32]byte
-	s.quiesce.RLock()
-	s.sh.Users(func(u uint64, e float64) {
+	s.view().Users(func(u uint64, e float64) {
 		if limit < 0 || count < limit {
 			if count > 0 {
 				bw.WriteByte(',')
@@ -762,7 +782,6 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 		}
 		count++
 	})
-	s.quiesce.RUnlock()
 	truncated := limit >= 0 && count > limit
 	fmt.Fprintf(bw, `],"count":%d,"truncated":%v}`, count, truncated)
 	bw.WriteByte('\n')

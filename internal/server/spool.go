@@ -46,6 +46,7 @@ import (
 	"strconv"
 	"strings"
 
+	streamcard "repro"
 	"repro/internal/atomicfile"
 )
 
@@ -67,9 +68,11 @@ func methodByte(method string) byte {
 	return 'R'
 }
 
-// marshalSpool serializes the full service state. Caller holds the
-// exclusive quiesce barrier, so the cut is consistent across shards.
-func (s *Server) marshalSpool() ([]byte, error) {
+// marshalSpool serializes the full service state from a published snapshot
+// view: an epoch-consistent frozen cut, so no sketch lock is needed while
+// the (potentially large) payloads are marshaled. Shard order in the view
+// matches s.wins by construction (NewSharded consumed the builds in order).
+func (s *Server) marshalSpool(view *streamcard.ShardedView) ([]byte, error) {
 	var buf bytes.Buffer
 	buf.WriteString(spoolMagic)
 	buf.WriteByte(methodByte(s.cfg.Method))
@@ -79,7 +82,11 @@ func (s *Server) marshalSpool() ([]byte, error) {
 	putUvarint(uint64(s.cfg.Shards))
 	putUvarint(uint64(s.cfg.Generations))
 	putUvarint(s.cfg.Seed)
-	for i, w := range s.wins {
+	for i := 0; i < view.NumShards(); i++ {
+		w, ok := view.ShardView(i).(*streamcard.Windowed)
+		if !ok {
+			return nil, fmt.Errorf("server: checkpointing shard %d: not a windowed view", i)
+		}
 		payload, err := w.MarshalBinary()
 		if err != nil {
 			return nil, fmt.Errorf("server: checkpointing shard %d: %w", i, err)
@@ -200,6 +207,13 @@ func (s *Server) listHist() (seqs []uint64, err error) {
 	return seqs, nil
 }
 
+// linkFile hard-links a spool history entry to current.ckpt's bytes. It is
+// a variable so tests can force the no-hardlink fallback below: several
+// real filesystems (FAT/exFAT mounts, some network and FUSE filesystems,
+// object-store gateways) reject link(2), and the fallback must preserve
+// the retention contract byte for byte on them.
+var linkFile = os.Link
+
 // saveSpool writes one checkpoint: current.ckpt atomically, a history
 // entry for it, then pruning down to the newest Retain history files. The
 // caller (Checkpoint) holds ckptMu, so sequence numbers and renames cannot
@@ -210,9 +224,10 @@ func (s *Server) saveSpool(data []byte) error {
 	}
 	s.ckptSeq++
 	hist := s.histPath(s.ckptSeq)
-	if err := os.Link(s.spoolPath(), hist); err != nil {
-		// Hard links can fail on exotic filesystems; fall back to an
-		// independent atomic copy rather than losing the history entry.
+	if err := linkFile(s.spoolPath(), hist); err != nil {
+		// Hard links can fail on filesystems without link support; fall
+		// back to an independent atomic copy (tmp+fsync+rename via
+		// internal/atomicfile) rather than losing the history entry.
 		if err := writeSpool(hist, data); err != nil {
 			return fmt.Errorf("server: spool history: %w", err)
 		}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -120,6 +121,85 @@ func TestSpoolRestoreFromHistory(t *testing.T) {
 	}
 	if !s2.Restored() || s2.Estimator().NumUsers() != 1 {
 		t.Fatalf("history fallback lost state (restored=%v users=%d)",
+			s2.Restored(), s2.Estimator().NumUsers())
+	}
+	s2.cfg.SpoolDir = ""
+	s2.Close()
+}
+
+// TestSpoolRetentionWithoutHardlinks forces the no-hardlink fallback
+// (filesystems like FAT/exFAT, some network and FUSE mounts, reject
+// link(2)) and asserts the retention contract is preserved byte for byte:
+// every checkpoint still leaves a history entry identical to current.ckpt,
+// pruning still bounds the spool, and a restart still restores from the
+// copied history when the pointer file is lost.
+func TestSpoolRetentionWithoutHardlinks(t *testing.T) {
+	prev := linkFile
+	linkFile = func(oldname, newname string) error {
+		return &os.LinkError{Op: "link", Old: oldname, New: newname, Err: errors.New("operation not permitted (forced by test)")}
+	}
+	t.Cleanup(func() { linkFile = prev })
+
+	spool := t.TempDir()
+	cfg := testConfig(spool)
+	cfg.Retain = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.submit([]stream.Edge{{User: 9, Item: uint64(100 + i)}}, true)
+		if err := s.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint %d with hardlinks disabled: %v", i, err)
+		}
+	}
+	want := []string{"ckpt-000000000003.ckpt", "ckpt-000000000004.ckpt", "current.ckpt"}
+	if got := spoolFiles(t, spool); !equalStrings(got, want) {
+		t.Fatalf("fallback retention: %v, want %v", got, want)
+	}
+	cur, err := os.ReadFile(filepath.Join(spool, "current.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := os.ReadFile(filepath.Join(spool, "ckpt-000000000004.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cur) != string(hist) {
+		t.Fatal("copied history entry differs from current.ckpt")
+	}
+	// The copy must be an independent file, not a link: rewriting
+	// current.ckpt must not change the history entry.
+	if st, err := os.Stat(filepath.Join(spool, "ckpt-000000000004.ckpt")); err != nil || st.Size() == 0 {
+		t.Fatalf("history entry missing or empty: %v", err)
+	}
+	s.submit([]stream.Edge{{User: 10, Item: 1}}, true)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	hist2, err := os.ReadFile(filepath.Join(spool, "ckpt-000000000004.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(hist2) != string(hist) {
+		t.Fatal("older history entry changed when a newer checkpoint was written")
+	}
+	s.cfg.SpoolDir = "" // skip the shutdown checkpoint
+	s.Close()
+
+	// Restore still works from a copied (non-linked) history entry when
+	// only current.ckpt is lost.
+	if err := os.Remove(filepath.Join(spool, "current.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := testConfig(spool)
+	cfg2.Retain = 2
+	s2, err := New(cfg2)
+	if err != nil {
+		t.Fatalf("restore from copied history: %v", err)
+	}
+	if !s2.Restored() || s2.Estimator().NumUsers() < 2 {
+		t.Fatalf("copied-history fallback lost state (restored=%v users=%d)",
 			s2.Restored(), s2.Estimator().NumUsers())
 	}
 	s2.cfg.SpoolDir = ""

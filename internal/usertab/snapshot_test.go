@@ -1,0 +1,127 @@
+package usertab
+
+import "testing"
+
+// TestSnapshotIsolation: a snapshot is a frozen logical copy of the table —
+// later Add/Set/Ref mutations of the parent never show through it, and
+// mutating the snapshot never leaks back.
+func TestSnapshotIsolation(t *testing.T) {
+	tb := New()
+	for i := uint64(0); i < 100; i++ { // includes the zero-key sidecar
+		tb.Add(i, float64(i)+0.5)
+	}
+	snap := tb.Snapshot()
+	wantLen := snap.Len()
+
+	// Parent mutations: updates, inserts (growth included), Ref write-back.
+	for i := uint64(50); i < 400; i++ {
+		tb.Add(i, 1000)
+	}
+	if p := tb.Ref(7); p != nil {
+		*p = -1
+	}
+	tb.Set(0, -2)
+
+	if snap.Len() != wantLen {
+		t.Fatalf("snapshot length drifted: %d != %d", snap.Len(), wantLen)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if got, want := snap.Get(i), float64(i)+0.5; got != want {
+			t.Fatalf("snapshot entry %d: %v != %v", i, got, want)
+		}
+	}
+	if snap.Get(200) != 0 {
+		t.Fatal("parent insert leaked into snapshot")
+	}
+
+	// Snapshot-side mutation stays private.
+	snap2 := tb.Snapshot()
+	snap2.Add(9999, 1)
+	if tb.Get(9999) != 0 {
+		t.Fatal("snapshot mutation leaked into parent")
+	}
+}
+
+// TestSnapshotReset: wholesale deletion on the parent must not empty
+// outstanding snapshots.
+func TestSnapshotReset(t *testing.T) {
+	tb := New()
+	tb.Add(42, 7)
+	snap := tb.Snapshot()
+	tb.Reset()
+	if snap.Get(42) != 7 || snap.Len() != 1 {
+		t.Fatal("Reset destroyed the snapshot")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("Reset did not clear the parent")
+	}
+}
+
+// TestSnapshotGetIsPure: Get on a shared table must not detach it — reads
+// of snapshots (and of parents between writes) stay allocation-free.
+func TestSnapshotGetIsPure(t *testing.T) {
+	tb := New()
+	for i := uint64(1); i <= 1000; i++ {
+		tb.Add(i, 1)
+	}
+	snap := tb.Snapshot()
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = snap.Get(500)
+		_ = snap.Get(424242) // miss
+		_ = tb.Get(500)
+	})
+	if allocs != 0 {
+		t.Fatalf("Get on a shared table allocates (%v allocs/run)", allocs)
+	}
+}
+
+// TestSnapshotO1: taking a snapshot must not copy the backing arrays.
+func TestSnapshotO1(t *testing.T) {
+	for _, n := range []int{1 << 8, 1 << 16} {
+		tb := New()
+		for i := 1; i <= n; i++ {
+			tb.Add(uint64(i), 1)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			sink = tb.Snapshot()
+		})
+		if allocs > 1 {
+			t.Fatalf("Snapshot of %d entries allocates %v objects, want <= 1", n, allocs)
+		}
+	}
+}
+
+// TestSnapshotRangeDeterminism: a snapshot preserves the parent's layout, so
+// Range order matches the parent's at the moment of the snapshot, and
+// SortedRange stays key-sorted.
+func TestSnapshotRangeDeterminism(t *testing.T) {
+	tb := New()
+	for i := uint64(1); i <= 300; i++ {
+		tb.Add(i*2654435761%100000, float64(i))
+	}
+	var parentOrder []uint64
+	tb.Range(func(k uint64, _ float64) { parentOrder = append(parentOrder, k) })
+	snap := tb.Snapshot()
+	tb.Add(123456789, 1) // mutate parent afterwards
+
+	var snapOrder []uint64
+	snap.Range(func(k uint64, _ float64) { snapOrder = append(snapOrder, k) })
+	if len(snapOrder) != len(parentOrder) {
+		t.Fatalf("snapshot Range length %d != %d", len(snapOrder), len(parentOrder))
+	}
+	for i := range snapOrder {
+		if snapOrder[i] != parentOrder[i] {
+			t.Fatalf("snapshot Range order diverged at %d", i)
+		}
+	}
+	last := uint64(0)
+	first := true
+	snap.SortedRange(func(k uint64, _ float64) {
+		if !first && k <= last {
+			t.Fatalf("SortedRange not ascending: %d after %d", k, last)
+		}
+		last, first = k, false
+	})
+}
+
+var sink any

@@ -60,6 +60,11 @@ type Table struct {
 
 	hasZero bool    // user 0 present (sidecar; 0 marks empty slots)
 	zeroVal float64 // user 0's value
+
+	// shared marks keys/vals as possibly aliased by a Snapshot: the next
+	// slot write must detach (copy both arrays) first. The sidecar and the
+	// occupancy counters live in the struct and are copied by Snapshot.
+	shared bool
 }
 
 // New returns an empty table at the minimum capacity.
@@ -87,12 +92,37 @@ func grow32nd(c int) int {
 }
 
 // install points the table at fresh arrays of capacity c (a power of two).
+// Fresh arrays are private by construction, so install also clears shared.
 func (t *Table) install(c int) {
 	t.keys = make([]uint64, c)
 	t.vals = make([]float64, c)
 	t.mask = uint64(c) - 1
 	t.n = 0
 	t.growAt = c - grow32nd(c)
+	t.shared = false
+}
+
+// Snapshot returns an O(1) logically frozen copy of t: both tables keep the
+// shared backing arrays and the first slot write on either side copies them
+// (copy-on-write), so taking a snapshot costs one small struct allocation
+// regardless of occupancy. Reads of the snapshot (Get, Range, SortedRange)
+// are safe concurrently with mutations of the parent, which detaches onto
+// private arrays before its first write.
+func (t *Table) Snapshot() *Table {
+	t.shared = true
+	c := *t
+	return &c
+}
+
+// detach gives t private copies of the backing arrays if a snapshot may
+// still alias them. Called before every slot write (put, Ref).
+func (t *Table) detach() {
+	if !t.shared {
+		return
+	}
+	t.keys = slices.Clone(t.keys)
+	t.vals = slices.Clone(t.vals)
+	t.shared = false
 }
 
 // home returns key's preferred slot.
@@ -119,19 +149,37 @@ func (t *Table) Cap() int { return len(t.keys) }
 // arrays, so this is the exact per-user bookkeeping cost.
 func (t *Table) MemoryBytes() int64 { return int64(len(t.keys)) * 16 }
 
-// Get returns key's value, or 0 if absent.
+// Get returns key's value, or 0 if absent. It is a pure read: unlike Ref it
+// never detaches a snapshot-shared table, so it is safe on frozen views.
 func (t *Table) Get(key uint64) float64 {
-	if p := t.Ref(key); p != nil {
-		return *p
+	if key == 0 {
+		if t.hasZero {
+			return t.zeroVal
+		}
+		return 0
 	}
-	return 0
+	slot := t.home(key)
+	var d uint64
+	for {
+		k := t.keys[slot]
+		if k == key {
+			return t.vals[slot]
+		}
+		if k == 0 || t.distance(k, slot) < d {
+			return 0
+		}
+		slot = (slot + 1) & t.mask
+		d++
+	}
 }
 
 // Ref returns a pointer to key's value cell, or nil if key is absent. The
-// pointer stays valid until the next Add, Set, or Reset (growth moves the
-// arrays) — the batch ingestion hot path reads a user's estimate once per
-// run, accumulates in a register, and writes back through the same pointer,
-// paying one probe sequence instead of two.
+// pointer stays valid until the next Add, Set, Reset, or Snapshot (growth
+// and copy-on-write both move the arrays) — the batch ingestion hot path
+// reads a user's estimate once per run, accumulates in a register, and
+// writes back through the same pointer, paying one probe sequence instead
+// of two. Because the returned pointer is writable, Ref detaches the table
+// from any outstanding snapshot before probing.
 func (t *Table) Ref(key uint64) *float64 {
 	if key == 0 {
 		if t.hasZero {
@@ -139,6 +187,7 @@ func (t *Table) Ref(key uint64) *float64 {
 		}
 		return nil
 	}
+	t.detach()
 	slot := t.home(key)
 	var d uint64
 	for {
@@ -188,6 +237,7 @@ func (t *Table) Set(key uint64, val float64) {
 // existing entry (+= when accumulate, overwrite otherwise). key is nonzero
 // and the table has a free slot.
 func (t *Table) put(key uint64, val float64, accumulate bool) {
+	t.detach()
 	slot := t.home(key)
 	var d uint64
 	for {
@@ -285,11 +335,13 @@ type entry struct {
 	val float64
 }
 
-// Clone returns a deep copy: same entries, same layout, no shared state.
+// Clone returns a deep copy: same entries, same layout, no shared state
+// (eager, unlike Snapshot's lazy copy-on-write).
 func (t *Table) Clone() *Table {
 	c := *t
 	c.keys = slices.Clone(t.keys)
 	c.vals = slices.Clone(t.vals)
+	c.shared = false
 	return &c
 }
 

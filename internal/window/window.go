@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -77,6 +78,12 @@ type Ring[E any] struct {
 	clock    Clock
 	boundary Boundary
 	onRetire func(E)
+
+	// ver counts state changes (feeds, rotations, adoptions). It is bumped
+	// under mu but read without it (Version), which is what lets a
+	// snapshot-publication layer above the ring check "is my published view
+	// still current?" with one atomic load instead of taking the lock.
+	ver atomic.Uint64
 }
 
 // New returns a ring of k generations (k >= 2); build must return a fresh,
@@ -103,6 +110,35 @@ func New[E any](k int, build func() E, opts ...Option) *Ring[E] {
 	r.gens[0] = mustBuild(build)
 	r.start = r.clock()
 	return r
+}
+
+// NewAdopted returns a ring holding the given live generations (newest
+// first) at the given epoch and edges-in-epoch count, without building a
+// throwaway initial generation — the constructor behind O(1) snapshot views
+// and restores, which already hold the generations they want live. The same
+// invariants as Adopt apply (live == min(epoch+1, k), no nil generations);
+// build is kept for later rotations.
+func NewAdopted[E any](k int, build func() E, gens []E, epoch, edges uint64, opts ...Option) (*Ring[E], error) {
+	if k < 2 {
+		panic(fmt.Sprintf("window: need at least 2 generations, got %d", k))
+	}
+	if build == nil {
+		panic("window: NewAdopted requires a build function")
+	}
+	cfg := config{boundary: Manual{}, clock: time.Now}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r := &Ring[E]{
+		build:    build,
+		k:        k,
+		clock:    cfg.clock,
+		boundary: cfg.boundary,
+	}
+	if err := r.adoptLocked(gens, epoch, edges); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 func mustBuild[E any](build func() E) E {
@@ -167,9 +203,27 @@ func (r *Ring[E]) Feed(n uint64, fn func(current E)) {
 	defer r.mu.Unlock()
 	fn(r.gens[0])
 	r.edges += n
+	r.ver.Add(1)
 	if r.boundary.End(r.edges, r.start, r.clock) {
 		r.rotateLocked()
 	}
+}
+
+// Version returns the ring's state-change counter without taking the lock.
+// Any Feed, rotation, or Adopt advances it, so a published snapshot stamped
+// with the version it was taken at is current exactly while Version still
+// reports that stamp.
+func (r *Ring[E]) Version() uint64 { return r.ver.Load() }
+
+// ViewStamped runs fn on the live generations (newest first) plus the epoch
+// bookkeeping and the current version, all under the ring lock — the hook a
+// snapshot builder uses to freeze a consistent (generations, epoch, edges)
+// triple stamped with the version to publish it under. The same caveats as
+// View apply: fn must not retain the slice or call back into the ring.
+func (r *Ring[E]) ViewStamped(fn func(gens []E, epoch, edges, ver uint64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.gens, r.epoch, r.edges, r.ver.Load())
 }
 
 // View runs fn on the live generations, newest first, under the ring lock.
@@ -225,6 +279,7 @@ func (r *Ring[E]) rotateLocked() {
 	r.epoch++
 	r.edges = 0
 	r.start = r.clock()
+	r.ver.Add(1)
 }
 
 // Adopt replaces the ring's live generations (newest first), epoch, and
@@ -235,6 +290,12 @@ func (r *Ring[E]) rotateLocked() {
 // restore, since the original start instant is not meaningful across a
 // process restart.
 func (r *Ring[E]) Adopt(gens []E, epoch, edges uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.adoptLocked(gens, epoch, edges)
+}
+
+func (r *Ring[E]) adoptLocked(gens []E, epoch, edges uint64) error {
 	want := uint64(r.k)
 	if epoch < uint64(r.k)-1 {
 		want = epoch + 1
@@ -248,11 +309,10 @@ func (r *Ring[E]) Adopt(gens []E, epoch, edges uint64) error {
 			return errors.New("window: Adopt of a nil generation")
 		}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.gens = append(r.gens[:0:0], gens...)
 	r.epoch = epoch
 	r.edges = edges
 	r.start = r.clock()
+	r.ver.Add(1)
 	return nil
 }

@@ -3,6 +3,7 @@ package streamcard
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hashing"
 	"repro/internal/stream"
@@ -21,11 +22,32 @@ import (
 // expectation).
 //
 // The memory budget given to the constructor is split evenly across shards.
+//
+// Reads are snapshot-isolated: when the shard estimators support
+// copy-on-write snapshots (FreeBS, FreeRS, Windowed over either), every
+// query method is served from an atomically published, epoch-consistent
+// frozen view (see Snapshot and ShardedView in snapshot.go), so queries,
+// user enumerations, top-k scans, and checkpoints never hold the shard
+// locks — the write path (Observe/ObserveBatch/Rotate) is the only lock
+// domain. Other estimator types fall back to the locked read paths.
 type Sharded struct {
 	shards  []shard
 	seed    uint64
 	name    string
 	scratch sync.Pool // *batchScratch, reused across ObserveBatch calls
+
+	// snapshottable is fixed at construction: every shard supports O(1)
+	// copy-on-write snapshots, so the read methods route through Snapshot.
+	snapshottable bool
+	// set is the published epoch-consistent view of all shards; stale (any
+	// shard's version moved on, or an epoch race was caught) views are
+	// rebuilt incrementally by Snapshot.
+	set atomic.Pointer[ShardedView]
+	// rotMu serializes whole rotation fan-outs against the fully locked
+	// snapshot cut (collectLocked), so an all-locks view can never
+	// interleave a rotation and both sides stay deadlock-free by taking
+	// rotMu before any shard lock. The ingest paths never touch it.
+	rotMu sync.Mutex
 }
 
 // batchScratch holds the per-call buffers of ObserveBatch so concurrent
@@ -46,6 +68,12 @@ type runSpan struct {
 type shard struct {
 	mu  sync.Mutex
 	est Estimator
+
+	// ver counts mutations (bumped under mu, read without it): the
+	// freshness stamp published snapshots are checked against.
+	ver atomic.Uint64
+	// snap is the shard's published frozen snapshot; nil until first use.
+	snap atomic.Pointer[shardSnap]
 }
 
 // NewSharded returns a sharded wrapper with n shards; build(i) must return
@@ -63,12 +91,16 @@ func NewSharded(n int, build func(shard int) Estimator) *Sharded {
 		seed:   hashing.Mix64(uint64(n) ^ 0x3779c0ffee),
 	}
 	s.scratch.New = func() any { return &batchScratch{offsets: make([]int, n+1)} }
+	s.snapshottable = true
 	for i := range s.shards {
 		est := build(i)
 		if est == nil {
 			panic("streamcard: build returned nil estimator")
 		}
 		s.shards[i].est = est
+		if !estSnapshottable(est) {
+			s.snapshottable = false
+		}
 	}
 	s.name = fmt.Sprintf("Sharded(%s,%d)", s.shards[0].est.Name(), n)
 	return s
@@ -91,6 +123,7 @@ func (s *Sharded) Observe(user, item uint64) {
 	sh := s.shardFor(user)
 	sh.mu.Lock()
 	sh.est.Observe(user, item)
+	sh.ver.Add(1)
 	sh.mu.Unlock()
 }
 
@@ -111,6 +144,7 @@ func (s *Sharded) ObserveBatch(edges []Edge) {
 		sh := &s.shards[0]
 		sh.mu.Lock()
 		sh.est.ObserveBatch(edges)
+		sh.ver.Add(1)
 		sh.mu.Unlock()
 		return
 	}
@@ -146,6 +180,7 @@ func (s *Sharded) ObserveBatch(edges []Edge) {
 			sh := &s.shards[t]
 			sh.mu.Lock()
 			sh.est.ObserveBatch(grouped[start:end])
+			sh.ver.Add(1)
 			sh.mu.Unlock()
 		}
 		start = end
@@ -158,16 +193,24 @@ func (s *Sharded) ObserveBatch(edges []Edge) {
 	s.scratch.Put(sc)
 }
 
-// Estimate implements Estimator; safe for concurrent use.
+// Estimate implements Estimator; safe for concurrent use. Served from the
+// published snapshot when available: no shard lock is held for the read.
 func (s *Sharded) Estimate(user uint64) float64 {
+	if v := s.Snapshot(); v != nil {
+		return v.Estimate(user)
+	}
 	sh := s.shardFor(user)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.est.Estimate(user)
 }
 
-// TotalDistinct implements Estimator (sum across shards).
+// TotalDistinct implements Estimator (sum across shards; snapshot-served
+// when available).
 func (s *Sharded) TotalDistinct() float64 {
+	if v := s.Snapshot(); v != nil {
+		return v.TotalDistinct()
+	}
 	total := 0.0
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -201,10 +244,15 @@ func (s *Sharded) MemoryBits() int64 {
 // ErrIncompatible — fall back to TotalDistinct, which sums shard totals and
 // needs no compatibility. Windowed shards additionally require every shard
 // to sit at the same epoch (ErrIncompatible otherwise), which Rotate
-// guarantees as long as rotations go through it. Safe for concurrent use;
-// shards are snapshotted one at a time, so edges racing in mid-call land in
-// either reading, as with TotalDistinct.
+// guarantees as long as rotations go through it. Safe for concurrent use.
+// When snapshots are available the merge runs on the published frozen view
+// with no shard lock held, and the result is cached on that view until the
+// next write publishes a fresh one — repeated totals over an unchanged
+// stack pay a single merge.
 func (s *Sharded) TotalDistinctMerged() (float64, error) {
+	if v := s.Snapshot(); v != nil {
+		return v.TotalDistinctMerged()
+	}
 	switch s.shards[0].est.(type) {
 	case *FreeBS:
 		return mergeShards(s, func(e Estimator) (*FreeBS, bool) { f, ok := e.(*FreeBS); return f, ok })
@@ -302,7 +350,15 @@ func mergeShards[T mergeable[T]](s *Sharded, cast func(Estimator) (T, bool)) (fl
 // AnytimeEstimator enumeration contract) — so /users-style output is
 // reproducible across runs and restarts. RangeUsers skips the per-shard
 // sort when order does not matter.
+//
+// Snapshot-served when available: the enumeration then runs on a frozen
+// view with no shard lock held, so fn may be slow (or call back into s)
+// without stalling ingest.
 func (s *Sharded) Users(fn func(user uint64, estimate float64)) {
+	if v := s.Snapshot(); v != nil {
+		v.Users(fn)
+		return
+	}
 	s.eachShardUsers(func(a AnytimeEstimator) { a.Users(fn) }, "Users")
 }
 
@@ -310,6 +366,10 @@ func (s *Sharded) Users(fn func(user uint64, estimate float64)) {
 // (users partition across shards), each shard iterated through its
 // unordered allocation-free surface. Same locking caveats as Users.
 func (s *Sharded) RangeUsers(fn func(user uint64, estimate float64)) {
+	if v := s.Snapshot(); v != nil {
+		v.RangeUsers(fn)
+		return
+	}
 	s.eachShardUsers(func(a AnytimeEstimator) { rangeUsers(a, fn) }, "RangeUsers")
 }
 
@@ -333,8 +393,12 @@ func (s *Sharded) eachShardUsers(visit func(AnytimeEstimator), method string) {
 
 // NumUsers implements AnytimeEstimator: the total number of users with a
 // nonzero estimate, the sum of the per-shard counts (exact, since users
-// partition across shards). Same requirements as Users.
+// partition across shards). Same requirements as Users; snapshot-served
+// when available.
 func (s *Sharded) NumUsers() int {
+	if v := s.Snapshot(); v != nil {
+		return v.NumUsers()
+	}
 	total := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -370,19 +434,38 @@ type Rotator interface {
 // concurrent runs bit-identical to a sequential twin rotated at the same
 // stream positions. It panics if the shard estimators do not implement
 // Rotator.
+//
+// Rotation publishes instead of quiescing: each shard's fresh snapshot
+// (the new epoch) is published while its lock is still held, and readers
+// assembling a cross-shard view mid-fan-out simply retry until every shard
+// reports the same epoch (Snapshot) — no reader is ever blocked for the
+// whole fan-out. The fan-out runs under rotMu so the fully locked snapshot
+// cut can exclude it.
 func (s *Sharded) Rotate() {
+	s.rotMu.Lock()
+	defer s.rotMu.Unlock()
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		r, ok := sh.est.(Rotator)
 		if ok {
 			r.Rotate()
+			sh.ver.Add(1)
+			if s.snapshottable {
+				sh.publishLocked()
+			}
 		}
 		sh.mu.Unlock()
 		if !ok {
 			panic(fmt.Sprintf("streamcard: %s shards do not rotate (wrap a Windowed estimator)", sh.est.Name()))
 		}
 	}
+	// Drop the assembled pre-rotation view: it references every shard's
+	// pre-rotation generations — including the ones this rotation just
+	// retired — and nothing else would release them until the next query
+	// happened to republish. The next Snapshot reassembles from the
+	// per-shard snapshots published above.
+	s.set.Store(nil)
 }
 
 // Name implements Estimator.

@@ -1,0 +1,407 @@
+package streamcard
+
+// The sharded read path. Every query surface of Sharded — Estimate, totals,
+// user enumeration, top-k, checkpointing — is served from a ShardedView: a
+// set of per-shard frozen snapshots published through atomic pointers and
+// assembled into one epoch-consistent cut. Queries never hold the shard
+// locks while they read; the locks are held only by writers (Observe,
+// ObserveBatch, Rotate) and, briefly, by the O(1) per-shard snapshot
+// refresh. This is the architecture time-series storage engines use for
+// cardinality serving — immutable snapshots so reads never stall writes —
+// and it makes the write path the only lock domain in the stack.
+//
+// Consistency: a view's shards are always each a valid frozen prefix of
+// their own sub-stream (users partition across shards, so there is no
+// cross-shard ordering to tear), and when the shards are windowed the view
+// additionally freezes ONE epoch: assembly re-reads shards until all report
+// the same epoch, escalating after a few lock-free attempts to a fully
+// locked cut (all shard locks, ordered, under the same rotation mutex
+// Sharded.Rotate holds), so a rotation in flight can delay a query by
+// microseconds but can never leak a torn pre/post-rotation mix into it.
+// Stacks whose shards rotate themselves independently (per-shard ByEdges /
+// ByDuration boundaries) have no common epoch to freeze; their views are
+// marked epoch-inconsistent and the merged total reports ErrIncompatible,
+// exactly as the locked aggregation always has for such stacks.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// shardSnap is one shard's published snapshot: a frozen estimator stamped
+// with the shard's mutation version, plus the window epoch it froze (when
+// the shard is windowed).
+type shardSnap struct {
+	view     Estimator
+	ver      uint64
+	epoch    uint64
+	windowed bool
+}
+
+// estSnapshottable reports whether a shard estimator supports O(1)
+// copy-on-write snapshots.
+func estSnapshottable(e Estimator) bool {
+	switch t := e.(type) {
+	case *FreeBS, *FreeRS:
+		return true
+	case *Windowed:
+		return t.canSnap
+	}
+	return false
+}
+
+// publishLocked refreshes the shard's published snapshot. Caller holds
+// sh.mu; the shard estimator must be snapshottable.
+func (sh *shard) publishLocked() *shardSnap {
+	if p := sh.snap.Load(); p != nil && p.ver == sh.ver.Load() {
+		return p // another reader refreshed while we waited for the lock
+	}
+	view := sh.est.(Snapshotter).SnapshotView()
+	p := &shardSnap{view: view, ver: sh.ver.Load()}
+	if w, ok := view.(*Windowed); ok {
+		p.epoch = uint64(w.Epoch())
+		p.windowed = true
+	}
+	sh.snap.Store(p)
+	return p
+}
+
+// shardView returns shard i's current snapshot: the published one when its
+// version stamp is still current (one atomic load, no lock), refreshed
+// under a brief shard-lock hold otherwise. The refresh is O(1) — snapshots
+// are copy-on-write forks, so nothing is copied here; the writer pays a
+// lazy array copy on its next write instead, amortized over every edge it
+// absorbs until the snapshot goes stale.
+func (s *Sharded) shardView(i int) *shardSnap {
+	sh := &s.shards[i]
+	if p := sh.snap.Load(); p != nil && p.ver == sh.ver.Load() {
+		return p
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.publishLocked()
+}
+
+// ShardedView is one epoch-consistent frozen cut across every shard — the
+// unit all sharded queries are answered from. It implements the full read
+// side of AnytimeEstimator/UserRanger (the mutating methods panic), so it
+// drops into TopK, SpreaderDetector, and the HTTP handlers unchanged.
+// Reads of a view are lock-free and safe from any number of goroutines.
+type ShardedView struct {
+	parent     *Sharded
+	views      []Estimator
+	vers       []uint64
+	epoch      uint64
+	windowed   bool
+	consistent bool
+	// settled marks an epoch-inconsistent view produced with rotations
+	// excluded (the fully locked cut): the inconsistency is genuine drift
+	// (shards rotating themselves on per-shard boundaries), not a rotation
+	// caught mid-fan-out, so there is no better cut to wait for.
+	settled bool
+
+	// The merged union total is cached on the view: repeated /total queries
+	// against the same published cut merge once. A new publication is a new
+	// ShardedView, so invalidation is automatic.
+	mergedOnce sync.Once
+	merged     float64
+	mergedErr  error
+}
+
+// fresh reports whether the view still reflects every shard's current
+// version (and froze a consistent epoch, when that is achievable at all —
+// a settled-inconsistent view of a genuinely drifting stack stays fresh
+// until a version moves, since epochs cannot change without one).
+func (v *ShardedView) fresh(s *Sharded) bool {
+	if v.windowed && !v.consistent && !v.settled {
+		return false
+	}
+	for i := range v.vers {
+		if v.vers[i] != s.shards[i].ver.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotRetries is how many lock-free assembly attempts Snapshot makes
+// before escalating to the fully locked cut. A rotation fan-out completes
+// in microseconds, so lock-free retries almost always win first.
+const snapshotRetries = 4
+
+// Snapshot returns the current epoch-consistent view of all shards, or nil
+// when the shard estimators do not support snapshots (callers fall back to
+// locked reads). While no shard has been written, repeated calls return the
+// same published view — which is what makes the per-view caches (the merged
+// total) effective — and a call after a completed write always reflects it
+// (read-your-writes: the ?wait=1 ingestion contract).
+func (s *Sharded) Snapshot() *ShardedView {
+	if !s.snapshottable {
+		return nil
+	}
+	prev := s.set.Load()
+	if prev != nil && prev.fresh(s) {
+		return prev
+	}
+	for attempt := 0; ; attempt++ {
+		v, ok := s.collect()
+		switch {
+		case ok:
+			// One consistent epoch, assembled lock-free.
+		case prev != nil && prev.windowed && !prev.consistent:
+			// The stack is already diagnosed as genuinely drifting
+			// (per-shard self-rotation — only collectLocked stores an
+			// inconsistent view, and it marks the diagnosis settled):
+			// epoch mixes are its permanent condition, so serve the
+			// lock-free cut instead of paying the locked assembly on
+			// every read.
+			v.settled = true
+		case attempt < snapshotRetries:
+			runtime.Gosched() // a rotation is mid-fan-out; let it finish
+			continue
+		default:
+			// Distinguish a slow rotation from genuine drift: with
+			// rotations excluded, a lockstep stack must settle on one
+			// epoch; what still disagrees is truthfully inconsistent.
+			v = s.collectLocked()
+		}
+		s.set.Store(v)
+		return v
+	}
+}
+
+// assemble builds a view by reading each shard's snapshot through get,
+// tracking the windowed-epoch consistency bookkeeping shared by the
+// lock-free and fully locked assembly paths.
+func (s *Sharded) assemble(get func(i int) *shardSnap) *ShardedView {
+	n := len(s.shards)
+	v := &ShardedView{
+		parent:     s,
+		views:      make([]Estimator, n),
+		vers:       make([]uint64, n),
+		consistent: true,
+	}
+	first := true
+	for i := range s.shards {
+		p := get(i)
+		v.views[i], v.vers[i] = p.view, p.ver
+		if p.windowed {
+			v.windowed = true
+			if first {
+				v.epoch, first = p.epoch, false
+			} else if p.epoch != v.epoch {
+				v.consistent = false
+			}
+		}
+	}
+	return v
+}
+
+// collect assembles a view lock-free (per-shard fast paths; a brief shard
+// lock only where a shard's snapshot is stale). ok is false when windowed
+// shards reported different epochs — a rotation was caught mid-fan-out.
+func (s *Sharded) collect() (v *ShardedView, ok bool) {
+	v = s.assemble(s.shardView)
+	return v, v.consistent
+}
+
+// collectLocked assembles a view under the rotation mutex plus every shard
+// lock (ascending order — no other path holds two shard locks, so this
+// cannot deadlock): with rotations excluded, a lockstep stack always yields
+// one consistent epoch. Only independently self-rotating shards can still
+// disagree here, and then the view is marked settled: truthfully
+// inconsistent with nothing to wait for, so later reads of the unchanged
+// stack reuse it instead of re-escalating.
+func (s *Sharded) collectLocked() *ShardedView {
+	s.rotMu.Lock()
+	defer s.rotMu.Unlock()
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range s.shards {
+			s.shards[i].mu.Unlock()
+		}
+	}()
+	v := s.assemble(func(i int) *shardSnap { return s.shards[i].publishLocked() })
+	if !v.consistent {
+		v.settled = true
+	}
+	return v
+}
+
+// NumShards returns the number of per-shard views.
+func (v *ShardedView) NumShards() int { return len(v.views) }
+
+// ShardView returns shard i's frozen estimator — the checkpoint writer
+// serializes these in shard order. Treat it as read-only.
+func (v *ShardedView) ShardView(i int) Estimator { return v.views[i] }
+
+// Epoch returns the window epoch this view froze (0 for non-windowed
+// shards). Meaningful when EpochConsistent reports true.
+func (v *ShardedView) Epoch() int { return int(v.epoch) }
+
+// EpochConsistent reports whether every windowed shard froze the same epoch
+// in this view. It is always true for views of lockstep stacks (rotations
+// issued through Sharded.Rotate) and for non-windowed shards; only shards
+// rotating themselves independently can make it false.
+func (v *ShardedView) EpochConsistent() bool { return !v.windowed || v.consistent }
+
+// Observe implements Estimator; a view is read-only and panics.
+func (v *ShardedView) Observe(user, item uint64) {
+	panic("streamcard: ShardedView is a read-only snapshot; Observe on the Sharded instead")
+}
+
+// ObserveBatch implements Estimator; a view is read-only and panics.
+func (v *ShardedView) ObserveBatch(edges []Edge) {
+	panic("streamcard: ShardedView is a read-only snapshot; ObserveBatch on the Sharded instead")
+}
+
+// Estimate implements Estimator: the queried user's shard view answers.
+func (v *ShardedView) Estimate(user uint64) float64 {
+	return v.views[v.parent.ShardIndex(user)].Estimate(user)
+}
+
+// TotalDistinct implements Estimator (sum of the frozen shard totals).
+func (v *ShardedView) TotalDistinct() float64 {
+	total := 0.0
+	for _, e := range v.views {
+		total += e.TotalDistinct()
+	}
+	return total
+}
+
+// MemoryBits implements Estimator (sum across the frozen shards).
+func (v *ShardedView) MemoryBits() int64 {
+	var m int64
+	for _, e := range v.views {
+		m += e.MemoryBits()
+	}
+	return m
+}
+
+// Name implements Estimator.
+func (v *ShardedView) Name() string { return v.parent.name }
+
+// anytime narrows shard i's view, panicking with the aggregate method's
+// name on estimators that keep no per-user estimates (same contract as the
+// locked Sharded aggregations).
+func (v *ShardedView) anytime(i int, method string) AnytimeEstimator {
+	a, ok := v.views[i].(AnytimeEstimator)
+	if !ok {
+		panic(fmt.Sprintf("streamcard: ShardedView.%s needs AnytimeEstimator shards (FreeBS/FreeRS/Windowed), not %s", method, v.views[i].Name()))
+	}
+	return a
+}
+
+// Users implements AnytimeEstimator: every user exactly once (users
+// partition across shards), shards in index order and ascending user IDs
+// within each — the same fully deterministic order as Sharded.Users, but
+// with no lock held for the duration of the stream: fn may be arbitrarily
+// slow, or even call back into the parent Sharded, without stalling ingest.
+func (v *ShardedView) Users(fn func(user uint64, estimate float64)) {
+	for i := range v.views {
+		v.anytime(i, "Users").Users(fn)
+	}
+}
+
+// RangeUsers implements UserRanger: the unordered allocation-free
+// counterpart of Users, same exactly-once fan-out.
+func (v *ShardedView) RangeUsers(fn func(user uint64, estimate float64)) {
+	for i := range v.views {
+		rangeUsers(v.anytime(i, "RangeUsers"), fn)
+	}
+}
+
+// NumUsers implements AnytimeEstimator (sum of per-shard counts; exact,
+// since users partition across shards).
+func (v *ShardedView) NumUsers() int {
+	total := 0
+	for i := range v.views {
+		total += v.anytime(i, "NumUsers").NumUsers()
+	}
+	return total
+}
+
+// TotalDistinctMerged merges the frozen shard sketches into one union
+// sketch and returns its array-derived total — the low-variance reading
+// TotalDistinctMerged on the Sharded serves. The merge runs entirely on the
+// frozen views (no shard lock is ever taken) and the result is cached on
+// the view: as long as no shard is written, repeated calls pay one merge
+// total. Requirements are unchanged: identically built shards (shared
+// seed), and for windowed shards one common epoch — a view of an
+// epoch-inconsistent stack reports ErrIncompatible, as the locked
+// aggregation did.
+func (v *ShardedView) TotalDistinctMerged() (float64, error) {
+	v.mergedOnce.Do(func() {
+		if v.windowed && !v.consistent {
+			v.mergedErr = fmt.Errorf("streamcard: shards at different epochs: %w", ErrIncompatible)
+			return
+		}
+		v.merged, v.mergedErr = mergeEstimators(v.views)
+	})
+	return v.merged, v.mergedErr
+}
+
+// mergeEstimators clones the first estimator and folds the rest in — the
+// same clone-then-fold aggregation as the locked shard merge, over an
+// already frozen slice.
+func mergeEstimators(views []Estimator) (float64, error) {
+	switch views[0].(type) {
+	case *FreeBS:
+		return mergeViewsTyped(views, func(e Estimator) (*FreeBS, bool) { f, ok := e.(*FreeBS); return f, ok })
+	case *FreeRS:
+		return mergeViewsTyped(views, func(e Estimator) (*FreeRS, bool) { f, ok := e.(*FreeRS); return f, ok })
+	case *Windowed:
+		return mergeWindowedViews(views)
+	default:
+		return 0, fmt.Errorf("streamcard: %s shards are not mergeable: %w",
+			views[0].Name(), ErrIncompatible)
+	}
+}
+
+// mergeViewsTyped is mergeShards' frozen-slice twin: no locks, same
+// clone-then-fold shape, generic over the shared mergeable constraint.
+func mergeViewsTyped[T mergeable[T]](views []Estimator, cast func(Estimator) (T, bool)) (float64, error) {
+	var combined T
+	for i, e := range views {
+		est, ok := cast(e)
+		if !ok {
+			return 0, fmt.Errorf("streamcard: shard %d is not %T: %w", i, combined, ErrIncompatible)
+		}
+		if i == 0 {
+			combined = est.Clone()
+		} else if err := combined.Merge(est); err != nil {
+			return 0, err
+		}
+	}
+	return combined.TotalDistinct(), nil
+}
+
+// mergeWindowedViews folds frozen windowed shard views generation by
+// generation into a private clone of the first (foldFrom: no per-fold
+// atomicity cost — on error the accumulator is discarded whole).
+func mergeWindowedViews(views []Estimator) (float64, error) {
+	var combined *Windowed
+	for i, e := range views {
+		w, ok := e.(*Windowed)
+		if !ok {
+			return 0, fmt.Errorf("streamcard: shard %d is not *Windowed: %w", i, ErrIncompatible)
+		}
+		if i == 0 {
+			combined = w.Clone()
+			continue
+		}
+		if err := combined.foldFrom(w); err != nil {
+			return 0, err
+		}
+	}
+	return combined.TotalDistinct(), nil
+}
+
+var (
+	_ Estimator        = (*ShardedView)(nil)
+	_ AnytimeEstimator = (*ShardedView)(nil)
+	_ UserRanger       = (*ShardedView)(nil)
+)

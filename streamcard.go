@@ -98,6 +98,29 @@ type AnytimeEstimator interface {
 	NumUsers() int
 }
 
+// Snapshotter is the read side of the snapshot-isolated serving
+// architecture: estimators that can produce an O(1), logically frozen,
+// read-only view of their current state. Reads of the view — Estimate,
+// TotalDistinct, Users, TopK, MarshalBinary — need no synchronization with
+// ongoing ingestion, because the view shares its backing arrays with the
+// live estimator copy-on-write: the writer detaches onto private arrays
+// before its first post-snapshot write, so a long enumeration or a slow
+// checkpoint never holds the sketch locks.
+//
+// FreeBS, FreeRS, and Windowed over either implement it (Sharded publishes
+// whole snapshot sets through its own Snapshot method). A Windowed over a
+// non-snapshottable underlying estimator (CSE, vHLL, per-user baselines)
+// returns nil from SnapshotView, and callers fall back to locked reads.
+type Snapshotter interface {
+	Estimator
+	// SnapshotView returns a frozen read-only view of the current state, or
+	// nil if the estimator's composition cannot produce one. The call must
+	// be serialized with writers (it is O(1), so callers take it under the
+	// same lock that guards Observe); reads of the returned view are then
+	// lock-free.
+	SnapshotView() Estimator
+}
+
 // UserRanger is the unordered counterpart of AnytimeEstimator's Users: fn
 // is called once per user with a nonzero estimate, in the estimate table's
 // layout order — allocation-free and without Users' sort. The order is
@@ -199,6 +222,17 @@ func (f *FreeBS) Merge(other *FreeBS) error {
 // Clone returns an independent deep copy of f.
 func (f *FreeBS) Clone() *FreeBS { return &FreeBS{inner: f.inner.Clone()} }
 
+// Snapshot returns an O(1) copy-on-write fork of f, logically frozen at the
+// current state: every read on it (estimates, totals, Users, TopK,
+// checkpointing) behaves exactly like a deep Clone taken at the same
+// instant, but nothing is copied until the parent's next write touches a
+// shared array. Serialize the call with writers; reads of the snapshot are
+// then lock-free.
+func (f *FreeBS) Snapshot() *FreeBS { return &FreeBS{inner: f.inner.Snapshot()} }
+
+// SnapshotView implements Snapshotter.
+func (f *FreeBS) SnapshotView() Estimator { return f.Snapshot() }
+
 // Estimate implements Estimator.
 func (f *FreeBS) Estimate(user uint64) float64 { return f.inner.Estimate(user) }
 
@@ -262,6 +296,13 @@ func (f *FreeRS) Merge(other *FreeRS) error {
 
 // Clone returns an independent deep copy of f.
 func (f *FreeRS) Clone() *FreeRS { return &FreeRS{inner: f.inner.Clone()} }
+
+// Snapshot returns an O(1) copy-on-write fork of f, logically frozen at the
+// current state; see FreeBS.Snapshot for the contract.
+func (f *FreeRS) Snapshot() *FreeRS { return &FreeRS{inner: f.inner.Snapshot()} }
+
+// SnapshotView implements Snapshotter.
+func (f *FreeRS) SnapshotView() Estimator { return f.Snapshot() }
 
 // Estimate implements Estimator.
 func (f *FreeRS) Estimate(user uint64) float64 { return f.inner.Estimate(user) }
@@ -455,6 +496,8 @@ var (
 	_ AnytimeEstimator = (*FreeRS)(nil)
 	_ UserRanger       = (*FreeBS)(nil)
 	_ UserRanger       = (*FreeRS)(nil)
+	_ Snapshotter      = (*FreeBS)(nil)
+	_ Snapshotter      = (*FreeRS)(nil)
 	_ Estimator        = (*CSE)(nil)
 	_ Estimator        = (*VHLL)(nil)
 	_ Estimator        = (*PerUserLPC)(nil)

@@ -3,6 +3,7 @@ package streamcard
 import (
 	"encoding"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -35,6 +36,15 @@ import (
 // scaling wrap it per shard — Sharded(Windowed(...)) — and advance all
 // shards together with Sharded.Rotate.
 //
+// The write path is the only lock domain: when the underlying estimator is
+// FreeBS or FreeRS, every read (Estimate, TotalDistinct, Users, NumUsers,
+// TopK over the window) is served from an atomically published snapshot —
+// all live generations forked copy-on-write, logically frozen as one
+// consistent (generations, epoch) cut — so a long user enumeration never
+// holds the ring lock, and a rotation publishes the next epoch's snapshot
+// set instead of quiescing readers. See Snapshot for the mechanism and the
+// freshness contract.
+//
 // When the underlying estimator is FreeBS or FreeRS, Windowed additionally
 // supports Users/NumUsers (so TopK and SpreaderDetector run on windows),
 // generation-wise Merge/Clone, and MarshalBinary/UnmarshalBinary
@@ -44,6 +54,25 @@ type Windowed struct {
 	ring  *window.Ring[Estimator]
 	cfg   windowedConfig
 	name  string
+
+	// canSnap reports whether the generations support O(1) copy-on-write
+	// snapshots (FreeBS/FreeRS). When true, every read routes through the
+	// published snapshot below instead of holding the ring lock for the
+	// duration of the read.
+	canSnap bool
+	// pub is the published snapshot: a frozen *Windowed stamped with the
+	// ring version it was taken at. Readers reuse it while the stamp still
+	// matches ring.Version() (one atomic load, no lock) and refresh it —
+	// O(k) generation snapshots under a brief ring-lock hold — when a write
+	// has advanced the version. A frozen view's pub points at itself, so
+	// reads on views resolve in one hop.
+	pub atomic.Pointer[windowedPub]
+}
+
+// windowedPub pairs a frozen view with the ring version it freezes.
+type windowedPub struct {
+	win *Windowed
+	ver uint64
 }
 
 type windowedConfig struct {
@@ -132,8 +161,111 @@ func newWindowed(build func() Estimator, cfg windowedConfig) *Windowed {
 	}
 	w.ring.View(func(live []Estimator) {
 		w.name = fmt.Sprintf("Windowed(%s,k=%d)", live[0].Name(), cfg.k)
+		w.canSnap = genSnapshottable(live[0])
 	})
 	return w
+}
+
+// genSnapshottable reports whether a generation supports O(1) copy-on-write
+// snapshots, without taking one (marking a fresh generation shared would
+// make its first write pay a pointless full-array copy).
+func genSnapshottable(e Estimator) bool {
+	switch e.(type) {
+	case *FreeBS, *FreeRS:
+		return true
+	}
+	return false
+}
+
+// snapshotGen forks one generation copy-on-write. Callers have checked
+// genSnapshottable.
+func snapshotGen(e Estimator) Estimator {
+	switch g := e.(type) {
+	case *FreeBS:
+		return g.Snapshot()
+	case *FreeRS:
+		return g.Snapshot()
+	}
+	panic(fmt.Sprintf("streamcard: %s generations do not support Snapshot", e.Name()))
+}
+
+// adoptWindowed assembles a Windowed directly around existing generations —
+// no throwaway initial generation is built — at the given epoch
+// bookkeeping. It is the constructor behind Snapshot and Clone.
+func adoptWindowed(build func() Estimator, cfg windowedConfig, name string, gens []Estimator, epoch, edges uint64) (*Windowed, error) {
+	ring, err := window.NewAdopted(cfg.k, build, gens, epoch, edges,
+		window.WithBoundary(cfg.boundary), window.WithClock(cfg.clock))
+	if err != nil {
+		return nil, err
+	}
+	w := &Windowed{build: build, ring: ring, cfg: cfg, name: name, canSnap: true}
+	if cfg.onRetire != nil {
+		ring.OnRetire(cfg.onRetire)
+	}
+	return w, nil
+}
+
+// Snapshot returns an O(1), logically frozen view of the whole window — all
+// live generations forked copy-on-write, plus the epoch bookkeeping — or
+// nil when the underlying estimator does not support snapshots (CSE, vHLL,
+// per-user baselines). The view is itself a *Windowed, so every read
+// surface (Estimate, TotalDistinct, Users, TopK, MarshalBinary, Merge
+// sources) works on it unchanged, with no synchronization against ongoing
+// ingestion: the writer detaches onto private arrays before its first
+// post-snapshot write, and old generations are never written at all, so
+// only the current generation's arrays are ever re-copied.
+//
+// Snapshots are published: while no write has advanced the ring, repeated
+// calls return the same view via one atomic load, and a view taken after a
+// write always reflects every Feed and Rotate that completed before the
+// call — the read-your-writes contract the serving layer's ?wait=1 relies
+// on. Rotation therefore publishes a fresh snapshot set (the next Snapshot
+// call observes the new epoch) instead of quiescing readers.
+func (w *Windowed) Snapshot() *Windowed {
+	if !w.canSnap {
+		return nil
+	}
+	if p := w.pub.Load(); p != nil && p.ver == w.ring.Version() {
+		return p.win
+	}
+	var (
+		frozen *Windowed
+		ver    uint64
+		err    error
+	)
+	w.ring.ViewStamped(func(gens []Estimator, epoch, edges, v uint64) {
+		// Re-check under the lock: a concurrent reader may have already
+		// rebuilt the view for this exact version while we waited.
+		if p := w.pub.Load(); p != nil && p.ver == v {
+			frozen, ver = p.win, v
+			return
+		}
+		snaps := make([]Estimator, len(gens))
+		for i, g := range gens {
+			snaps[i] = snapshotGen(g)
+		}
+		ver = v
+		frozen, err = adoptWindowed(w.build, w.cfg, w.name, snaps, epoch, edges)
+		if err == nil {
+			// A view answers Snapshot with itself (its ring never moves),
+			// so reads routed through Snapshot resolve in one hop on
+			// views.
+			frozen.pub.Store(&windowedPub{win: frozen, ver: frozen.ring.Version()})
+			w.pub.Store(&windowedPub{win: frozen, ver: ver})
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("streamcard: Windowed.Snapshot: %v", err)) // ring invariants guarantee this cannot happen
+	}
+	return frozen
+}
+
+// SnapshotView implements Snapshotter.
+func (w *Windowed) SnapshotView() Estimator {
+	if v := w.Snapshot(); v != nil {
+		return v
+	}
+	return nil
 }
 
 // Observe implements Estimator (feeds the newest generation).
@@ -152,8 +284,14 @@ func (w *Windowed) ObserveBatch(edges []Edge) {
 	w.ring.Feed(uint64(len(edges)), func(e Estimator) { e.ObserveBatch(edges) })
 }
 
-// Estimate implements Estimator: the sum over live generations.
+// Estimate implements Estimator: the sum over live generations. When the
+// underlying estimator supports snapshots, the sum is taken over the
+// published frozen view — the ring lock is held (if at all) only for the
+// O(k) snapshot refresh, never for the read itself.
 func (w *Windowed) Estimate(user uint64) float64 {
+	if v := w.Snapshot(); v != nil && v != w {
+		return v.Estimate(user)
+	}
 	sum := 0.0
 	w.ring.View(func(live []Estimator) {
 		for _, g := range live {
@@ -163,8 +301,12 @@ func (w *Windowed) Estimate(user uint64) float64 {
 	return sum
 }
 
-// TotalDistinct implements Estimator (same windowed semantics).
+// TotalDistinct implements Estimator (same windowed semantics and the same
+// snapshot routing as Estimate).
 func (w *Windowed) TotalDistinct() float64 {
+	if v := w.Snapshot(); v != nil && v != w {
+		return v.TotalDistinct()
+	}
 	sum := 0.0
 	w.ring.View(func(live []Estimator) {
 		for _, g := range live {
@@ -218,7 +360,14 @@ func (w *Windowed) LiveGenerations() int { return w.ring.Live() }
 // otherwise. Cost is O(users log users) time and O(users) memory (a flat
 // merge table plus its sort, since one user may appear in several
 // generations); RangeUsers skips the sort.
+// The per-user fold itself (O(users)) runs over the frozen view when
+// snapshots are available, holding no lock at all — a slow consumer of fn
+// can no longer stall ingestion.
 func (w *Windowed) Users(fn func(user uint64, estimate float64)) {
+	if v := w.Snapshot(); v != nil && v != w {
+		v.Users(fn)
+		return
+	}
 	w.userSums().SortedRange(fn)
 }
 
@@ -227,13 +376,22 @@ func (w *Windowed) Users(fn func(user uint64, estimate float64)) {
 // sorted). The fold across generations still costs O(users); only Users'
 // sort is skipped.
 func (w *Windowed) RangeUsers(fn func(user uint64, estimate float64)) {
+	if v := w.Snapshot(); v != nil && v != w {
+		v.RangeUsers(fn)
+		return
+	}
 	w.userSums().Range(fn)
 }
 
 // NumUsers implements AnytimeEstimator: the number of users with a nonzero
 // estimate in any live generation. Costs a full O(users) generation fold;
 // UserEntries is the O(k) upper bound for cheap occupancy gauges.
-func (w *Windowed) NumUsers() int { return w.userSums().Len() }
+func (w *Windowed) NumUsers() int {
+	if v := w.Snapshot(); v != nil && v != w {
+		return v.NumUsers()
+	}
+	return w.userSums().Len()
+}
 
 // UserEntries returns the total number of per-user estimate entries across
 // live generations — a user active in g generations contributes g entries,
@@ -241,6 +399,10 @@ func (w *Windowed) NumUsers() int { return w.userSums().Len() }
 // instead of NumUsers' O(users) merge map. Occupancy gauges scraped every
 // few seconds want this reading; exact distinct-user counts want NumUsers.
 // Same AnytimeEstimator requirement as Users.
+// Deliberately NOT snapshot-routed: the whole point of this reading is
+// that a periodic scrape costs O(k) counter loads — forcing a snapshot
+// refresh here would make every scrape re-mark the live arrays shared and
+// bill the writer a fresh copy-on-write detach for a gauge.
 func (w *Windowed) UserEntries() int {
 	total := 0
 	w.ring.View(func(live []Estimator) {
@@ -259,16 +421,22 @@ func (w *Windowed) UserEntries() int {
 // table, generation order outermost — the same summation order Estimate
 // uses for a single user, so the folded value matches Estimate bit for bit.
 // The fold reads each generation through its unordered allocation-free
-// iterator; only the result table is allocated.
+// iterator; only the result table is allocated, pre-sized to the entry
+// upper bound (Σ per-generation entries) so the fold never rehashes.
 func (w *Windowed) userSums() *usertab.Table {
-	merged := usertab.New()
+	var merged *usertab.Table
 	w.ring.View(func(live []Estimator) {
+		entries := 0
 		for _, g := range live {
 			a, ok := g.(AnytimeEstimator)
 			if !ok {
 				panic(fmt.Sprintf("streamcard: Windowed.Users needs an AnytimeEstimator underlying (FreeBS/FreeRS), not %s", g.Name()))
 			}
-			rangeUsers(a, func(u uint64, e float64) { merged.Add(u, e) })
+			entries += a.NumUsers()
+		}
+		merged = usertab.NewWithCapacity(entries)
+		for _, g := range live {
+			rangeUsers(g.(AnytimeEstimator), func(u uint64, e float64) { merged.Add(u, e) })
 		}
 	})
 	return merged
@@ -402,8 +570,8 @@ func (w *Windowed) Clone() *Windowed {
 			panic(fmt.Sprintf("streamcard: %s generations do not support Clone", g.Name()))
 		}
 	}
-	c := newWindowed(w.build, w.cfg)
-	if err := c.ring.Adopt(clones, epoch, edges); err != nil {
+	c, err := adoptWindowed(w.build, w.cfg, w.name, clones, epoch, edges)
+	if err != nil {
 		panic(fmt.Sprintf("streamcard: Windowed.Clone: %v", err)) // ring invariants guarantee this cannot happen
 	}
 	return c
