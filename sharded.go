@@ -29,7 +29,10 @@ import (
 // frozen view (see Snapshot and ShardedView in snapshot.go), so queries,
 // user enumerations, top-k scans, and checkpoints never hold the shard
 // locks — the write path (Observe/ObserveBatch/Rotate) is the only lock
-// domain. Other estimator types fall back to the locked read paths.
+// domain, and once a reader exists it also publishes each shard's fresh
+// snapshot as it releases the lock, so queries stay fast (atomic loads)
+// even while large batches are absorbing. Other estimator types fall back
+// to the locked read paths.
 type Sharded struct {
 	shards  []shard
 	seed    uint64
@@ -39,6 +42,13 @@ type Sharded struct {
 	// snapshottable is fixed at construction: every shard supports O(1)
 	// copy-on-write snapshots, so the read methods route through Snapshot.
 	snapshottable bool
+	// readers arms writer-side snapshot publication; it is set (once, never
+	// cleared) by the first Snapshot call. While unset, writes skip the
+	// per-batch publish entirely — a pure-ingest stack (bulk load, spool
+	// replay, a benchmark's fill phase) pays nothing for a read path nobody
+	// is using. Correctness never depends on the flag: shardView's locked
+	// refresh covers any shard written before its publication was armed.
+	readers atomic.Bool
 	// set is the published epoch-consistent view of all shards; stale (any
 	// shard's version moved on, or an epoch race was caught) views are
 	// rebuilt incrementally by Snapshot.
@@ -118,12 +128,21 @@ func (s *Sharded) ShardIndex(user uint64) int {
 	return hashing.UniformIndex(hashing.HashU64(user, s.seed), len(s.shards))
 }
 
-// Observe implements Estimator; safe for concurrent use.
+// Observe implements Estimator; safe for concurrent use. Once a reader has
+// armed publication, the write publishes the shard's fresh snapshot before
+// releasing the lock, so concurrent queries never wait on the write path.
+// Note that per-edge Observe on a stack that is being queried makes the
+// shard's arrays copy-on-write once per edge — the next write pays the
+// detach copy — so hot served stacks should ingest through ObserveBatch,
+// which amortizes one publication (and one detach) over the whole batch.
 func (s *Sharded) Observe(user, item uint64) {
 	sh := s.shardFor(user)
 	sh.mu.Lock()
 	sh.est.Observe(user, item)
 	sh.ver.Add(1)
+	if s.snapshottable && s.readers.Load() {
+		sh.publishLocked()
+	}
 	sh.mu.Unlock()
 }
 
@@ -140,11 +159,20 @@ func (s *Sharded) ObserveBatch(edges []Edge) {
 	if n == 0 {
 		return
 	}
+	// With publication armed (a reader exists), every touched shard's fresh
+	// snapshot is published before its lock is released — the inversion that
+	// keeps query latency flat under batch ingest: a reader assembling a
+	// view mid-batch finds current snapshots waiting instead of queueing
+	// behind the absorb for a locked refresh.
+	pub := s.snapshottable && s.readers.Load()
 	if len(s.shards) == 1 {
 		sh := &s.shards[0]
 		sh.mu.Lock()
 		sh.est.ObserveBatch(edges)
 		sh.ver.Add(1)
+		if pub {
+			sh.publishLocked()
+		}
 		sh.mu.Unlock()
 		return
 	}
@@ -181,6 +209,9 @@ func (s *Sharded) ObserveBatch(edges []Edge) {
 			sh.mu.Lock()
 			sh.est.ObserveBatch(grouped[start:end])
 			sh.ver.Add(1)
+			if pub {
+				sh.publishLocked()
+			}
 			sh.mu.Unlock()
 		}
 		start = end

@@ -4,11 +4,17 @@ package streamcard
 // user enumeration, top-k, checkpointing — is served from a ShardedView: a
 // set of per-shard frozen snapshots published through atomic pointers and
 // assembled into one epoch-consistent cut. Queries never hold the shard
-// locks while they read; the locks are held only by writers (Observe,
-// ObserveBatch, Rotate) and, briefly, by the O(1) per-shard snapshot
-// refresh. This is the architecture time-series storage engines use for
-// cardinality serving — immutable snapshots so reads never stall writes —
-// and it makes the write path the only lock domain in the stack.
+// locks: the write path (Observe, ObserveBatch, Rotate) publishes each
+// shard's fresh snapshot as it releases the shard lock, so view assembly is
+// pure atomic loads even while a 65k-edge batch is mid-absorb. (An earlier
+// design made the *reader* refresh a stale snapshot under the shard lock,
+// which queued every query issued during a large ObserveBatch behind the
+// whole batch — tens of milliseconds per query under continuous ingest.
+// That locked refresh survives only as shardView's fallback for shards that
+// were mutated before any reader existed, or out of band.) This is the
+// architecture time-series storage engines use for cardinality serving —
+// immutable snapshots so reads never stall writes — and it makes the write
+// path the only lock domain in the stack.
 //
 // Consistency: a view's shards are always each a valid frozen prefix of
 // their own sub-stream (users partition across shards, so there is no
@@ -37,6 +43,22 @@ type shardSnap struct {
 	ver      uint64
 	epoch    uint64
 	windowed bool
+
+	// src/srcVer guard against mutations that bypass the shard lock: a
+	// windowed shard rotated (or fed) directly, not through the Sharded,
+	// advances its ring version without touching sh.ver, and the shard's
+	// version stamp alone would keep serving the pre-mutation snapshot as
+	// fresh. srcVer is the ring version read before the snapshot was taken
+	// (conservative: a racing out-of-band write makes the stamp stale, never
+	// wrongly fresh). src is nil for non-windowed shards.
+	src    *Windowed
+	srcVer uint64
+}
+
+// srcFresh reports whether the snapshot's source ring (if any) is still at
+// the version the snapshot froze.
+func (p *shardSnap) srcFresh() bool {
+	return p.src == nil || p.src.ring.Version() == p.srcVer
 }
 
 // estSnapshottable reports whether a shard estimator supports O(1)
@@ -52,13 +74,22 @@ func estSnapshottable(e Estimator) bool {
 }
 
 // publishLocked refreshes the shard's published snapshot. Caller holds
-// sh.mu; the shard estimator must be snapshottable.
+// sh.mu; the shard estimator must be snapshottable. It is called by the
+// write path as it releases the lock (so readers find a fresh snapshot
+// waiting) and by shardView's fallback for snapshots staled out of band.
 func (sh *shard) publishLocked() *shardSnap {
-	if p := sh.snap.Load(); p != nil && p.ver == sh.ver.Load() {
-		return p // another reader refreshed while we waited for the lock
+	if p := sh.snap.Load(); p != nil && p.ver == sh.ver.Load() && p.srcFresh() {
+		return p // already current — nothing was written since
+	}
+	var src *Windowed
+	var srcVer uint64
+	if w, ok := sh.est.(*Windowed); ok {
+		// Stamp before snapshotting: an out-of-band write racing in between
+		// makes the stamp stale, which is the safe direction.
+		src, srcVer = w, w.ring.Version()
 	}
 	view := sh.est.(Snapshotter).SnapshotView()
-	p := &shardSnap{view: view, ver: sh.ver.Load()}
+	p := &shardSnap{view: view, ver: sh.ver.Load(), src: src, srcVer: srcVer}
 	if w, ok := view.(*Windowed); ok {
 		p.epoch = uint64(w.Epoch())
 		p.windowed = true
@@ -67,15 +98,18 @@ func (sh *shard) publishLocked() *shardSnap {
 	return p
 }
 
-// shardView returns shard i's current snapshot: the published one when its
-// version stamp is still current (one atomic load, no lock), refreshed
-// under a brief shard-lock hold otherwise. The refresh is O(1) — snapshots
-// are copy-on-write forks, so nothing is copied here; the writer pays a
-// lazy array copy on its next write instead, amortized over every edge it
-// absorbs until the snapshot goes stale.
+// shardView returns shard i's current snapshot. On the serving path this is
+// one atomic load: the write path published a fresh snapshot as it released
+// the shard lock, so the stamp check succeeds even while another batch is
+// absorbing. The locked refresh below is the fallback for snapshots that
+// went stale without a publication — a shard written before any reader
+// armed publication (Sharded.Snapshot arms it on first use), or a windowed
+// shard mutated out of band (srcFresh) — and costs one brief lock hold; the
+// snapshot itself is an O(1) copy-on-write fork either way, with the writer
+// paying the lazy array copy on its next write.
 func (s *Sharded) shardView(i int) *shardSnap {
 	sh := &s.shards[i]
-	if p := sh.snap.Load(); p != nil && p.ver == sh.ver.Load() {
+	if p := sh.snap.Load(); p != nil && p.ver == sh.ver.Load() && p.srcFresh() {
 		return p
 	}
 	sh.mu.Lock()
@@ -89,9 +123,13 @@ func (s *Sharded) shardView(i int) *shardSnap {
 // drops into TopK, SpreaderDetector, and the HTTP handlers unchanged.
 // Reads of a view are lock-free and safe from any number of goroutines.
 type ShardedView struct {
-	parent     *Sharded
-	views      []Estimator
-	vers       []uint64
+	parent *Sharded
+	views  []Estimator
+	// snaps are the per-shard snapshots the view was assembled from, kept
+	// for freshness checks (version stamp plus the out-of-band srcFresh
+	// guard); views duplicates their estimators so the read hot path skips
+	// one indirection.
+	snaps      []*shardSnap
 	epoch      uint64
 	windowed   bool
 	consistent bool
@@ -117,8 +155,8 @@ func (v *ShardedView) fresh(s *Sharded) bool {
 	if v.windowed && !v.consistent && !v.settled {
 		return false
 	}
-	for i := range v.vers {
-		if v.vers[i] != s.shards[i].ver.Load() {
+	for i := range v.snaps {
+		if p := v.snaps[i]; p.ver != s.shards[i].ver.Load() || !p.srcFresh() {
 			return false
 		}
 	}
@@ -139,6 +177,15 @@ const snapshotRetries = 4
 func (s *Sharded) Snapshot() *ShardedView {
 	if !s.snapshottable {
 		return nil
+	}
+	if !s.readers.Load() {
+		// First reader arms writer-side publication: from here on every
+		// write publishes its shard's fresh snapshot as it releases the
+		// lock, so assembly below is pure atomic loads. Pure-ingest stacks
+		// (never queried) skip publication entirely. The load-then-store
+		// keeps the common case a read of an already-set flag instead of a
+		// contended write.
+		s.readers.Store(true)
 	}
 	prev := s.set.Load()
 	if prev != nil && prev.fresh(s) {
@@ -166,9 +213,30 @@ func (s *Sharded) Snapshot() *ShardedView {
 			// epoch; what still disagrees is truthfully inconsistent.
 			v = s.collectLocked()
 		}
-		s.set.Store(v)
+		return s.publishView(prev, v)
+	}
+}
+
+// publishView installs v as the published cross-shard view, guarding
+// against the last-writer-wins race: two assemblers can both find the set
+// view stale, collect, and store — and with a plain Store the slower (and
+// possibly staler) assembler would overwrite the faster one's view,
+// discarding its cached merged total and, worse, publishing a cut that
+// predates writes the overwritten view already reflected. CompareAndSwap
+// against the prev pointer the assembler started from means only one of the
+// racers installs; the loser checks whether the winner's view is fresh and
+// adopts it, and otherwise returns its own view unpublished — v was
+// collected after the caller's own writes, so read-your-writes holds for
+// the caller either way, and no retry loop is needed (a livelock under
+// heavy write traffic, for a cache whose next reader rebuilds anyway).
+func (s *Sharded) publishView(prev, v *ShardedView) *ShardedView {
+	if s.set.CompareAndSwap(prev, v) {
 		return v
 	}
+	if cur := s.set.Load(); cur != nil && cur.fresh(s) {
+		return cur
+	}
+	return v
 }
 
 // assemble builds a view by reading each shard's snapshot through get,
@@ -179,13 +247,13 @@ func (s *Sharded) assemble(get func(i int) *shardSnap) *ShardedView {
 	v := &ShardedView{
 		parent:     s,
 		views:      make([]Estimator, n),
-		vers:       make([]uint64, n),
+		snaps:      make([]*shardSnap, n),
 		consistent: true,
 	}
 	first := true
 	for i := range s.shards {
 		p := get(i)
-		v.views[i], v.vers[i] = p.view, p.ver
+		v.views[i], v.snaps[i] = p.view, p
 		if p.windowed {
 			v.windowed = true
 			if first {

@@ -1,0 +1,263 @@
+package streamcard
+
+// Tests for writer-side snapshot publication: query latency must stay flat
+// while large batches absorb (the reader never takes a shard lock on the
+// serving path), read-your-writes must survive the inversion, and the
+// cross-shard view publication must never let a slower assembler overwrite
+// a fresher view (the CompareAndSwap in publishView).
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/hashing"
+)
+
+func freshTestStack(shards, gens, mbits int) *Sharded {
+	per := mbits / shards
+	return NewSharded(shards, func(int) Estimator {
+		return NewWindowed(func() Estimator {
+			return NewFreeRS(per, WithSeed(1))
+		}, WithGenerations(gens))
+	})
+}
+
+func freshTestBatch(seed uint64, n, users int) []Edge {
+	rng := hashing.NewRNG(seed)
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{User: uint64(rng.Intn(users) + 1), Item: rng.Uint64()}
+	}
+	return edges
+}
+
+// TestSnapshotFreshUnderWritePressure asserts the core serving property of
+// writer-side publication: a query issued while 65k-edge batches are
+// absorbing does not queue behind the batch. It measures every batch
+// absorb and every query, then requires the queries' p90 to sit far below
+// the median batch — under the old reader-pays design the snapshot was
+// stale on essentially every query, so queries waited out whole batches
+// and query latency tracked batch latency instead.
+func TestSnapshotFreshUnderWritePressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive torture test")
+	}
+	s := freshTestStack(4, 4, 1<<22)
+	batch := freshTestBatch(1, 65536, 50_000)
+	s.ObserveBatch(batch)
+	if s.Snapshot() == nil { // warm the view and arm writer publication
+		t.Fatal("stack is not snapshottable")
+	}
+
+	var (
+		stop     sync.WaitGroup
+		done     = make(chan struct{})
+		batchMu  sync.Mutex
+		batchDur []float64
+	)
+	for w := 0; w < 2; w++ {
+		stop.Add(1)
+		go func(seed uint64) {
+			defer stop.Done()
+			b := freshTestBatch(seed, 65536, 50_000)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				t0 := time.Now()
+				s.ObserveBatch(b)
+				d := time.Since(t0).Seconds()
+				batchMu.Lock()
+				batchDur = append(batchDur, d)
+				batchMu.Unlock()
+			}
+		}(uint64(2 + w))
+	}
+
+	var queryDur []float64
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		t0 := time.Now()
+		v := s.Snapshot()
+		_ = v.Estimate(uint64(len(queryDur)%50_000 + 1))
+		queryDur = append(queryDur, time.Since(t0).Seconds())
+	}
+	close(done)
+	stop.Wait()
+
+	if len(queryDur) < 100 || len(batchDur) < 4 {
+		t.Fatalf("degenerate run: %d queries, %d batches", len(queryDur), len(batchDur))
+	}
+	sort.Float64s(queryDur)
+	sort.Float64s(batchDur)
+	q90 := queryDur[len(queryDur)*9/10]
+	batchMed := batchDur[len(batchDur)/2]
+	// Queries are atomic-load assembly (microseconds); batches are
+	// millisecond-scale absorbs. Allow generous scheduler noise with an
+	// absolute floor, but a reader-pays regression — where q90 rises to
+	// roughly a batch absorb — must fail.
+	bound := batchMed / 4
+	if floor := 2e-3; bound < floor {
+		bound = floor
+	}
+	if q90 > bound {
+		t.Fatalf("query p90 %.3fms vs median batch %.3fms: queries are waiting out batch absorbs",
+			q90*1e3, batchMed*1e3)
+	}
+}
+
+// TestSnapshotReadYourWritesAfterBatch pins the ?wait=1 contract under
+// writer publication: once ObserveBatch returns, a Snapshot taken by any
+// goroutine reflects the batch with no extra synchronization.
+func TestSnapshotReadYourWritesAfterBatch(t *testing.T) {
+	s := freshTestStack(4, 3, 1<<18)
+	s.ObserveBatch(freshTestBatch(7, 20_000, 5_000))
+	_ = s.Snapshot() // arm publication
+
+	const user = 999_999_937 // fresh user, not in the workload range
+	batch := make([]Edge, 64)
+	for i := range batch {
+		batch[i] = Edge{User: user, Item: uint64(i)}
+	}
+	s.ObserveBatch(batch)
+	if got := s.Snapshot().Estimate(user); got <= 0 {
+		t.Fatalf("estimate %v for a user whose batch already returned", got)
+	}
+	// And per-edge writes publish too. (Several items: a single observation
+	// can legitimately estimate 0 when it lands on an already-set shared
+	// register — the sketch property, not a publication question.)
+	const user2 = 999_999_991
+	for i := 0; i < 64; i++ {
+		s.Observe(user2, uint64(i))
+	}
+	if got := s.Snapshot().Estimate(user2); got <= 0 {
+		t.Fatalf("estimate %v for a user whose Observe calls already returned", got)
+	}
+}
+
+// TestPublishViewLoserNeverOverwrites drives the publishView CAS through
+// its three deterministic outcomes. The regression it pins: with a plain
+// Store, a slow assembler that collected before a newer write could
+// overwrite the fresher published view — later readers would re-assemble
+// (correct but wasted work) and the fresher view's cached merged total
+// would be discarded.
+func TestPublishViewLoserNeverOverwrites(t *testing.T) {
+	s := freshTestStack(2, 2, 1<<16)
+	s.ObserveBatch(freshTestBatch(11, 5_000, 1_000))
+
+	vOld := s.Snapshot()
+	s.Observe(42, 42) // vOld is now stale
+	vFresh := s.Snapshot()
+	if vFresh == vOld {
+		t.Fatal("Snapshot reused a stale view")
+	}
+	if got := s.set.Load(); got != vFresh {
+		t.Fatalf("fresh view not published: %p != %p", got, vFresh)
+	}
+
+	// A slow assembler replays: it had loaded prev=vOld and assembled the
+	// pre-write cut (vOld itself stands in for it). CAS(vOld->vOld) must
+	// fail against the published vFresh, and since vFresh is fresh the
+	// loser adopts it; the published pointer must not move.
+	if got := s.publishView(vOld, vOld); got != vFresh {
+		t.Fatalf("loser did not adopt the fresh winner: %p != %p", got, vFresh)
+	}
+	if got := s.set.Load(); got != vFresh {
+		t.Fatal("stale view overwrote the fresh published one")
+	}
+
+	// Now the winner itself goes stale: a losing assembler holding a view
+	// collected AFTER the staling write must return its own view (its cut
+	// reflects the caller's writes; the stale winner does not) and still
+	// must not dislodge the published pointer with a plain store.
+	s.Observe(43, 43) // vFresh is now stale
+	vNew, ok := s.collect()
+	if !ok {
+		t.Fatal("collect failed on a quiescent stack")
+	}
+	if got := s.publishView(vOld, vNew); got != vNew {
+		t.Fatalf("loser with the freshest cut did not return it: %p != %p", got, vNew)
+	}
+	if got := s.set.Load(); got != vFresh {
+		t.Fatal("publishView stored through a failed CAS")
+	}
+
+	// The straight win: CAS from the current published pointer installs.
+	if got := s.publishView(vFresh, vNew); got != vNew || s.set.Load() != vNew {
+		t.Fatal("CAS from the current published view did not install")
+	}
+}
+
+// TestPublishViewRaceStorm hammers Snapshot from many goroutines against
+// concurrent writers and rotations — the -race regression test for the
+// publication CAS — and then checks the system settles on a stable fresh
+// view once writes stop.
+func TestPublishViewRaceStorm(t *testing.T) {
+	s := freshTestStack(4, 3, 1<<18)
+	s.ObserveBatch(freshTestBatch(13, 10_000, 2_000))
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			b := freshTestBatch(seed, 2_048, 2_000)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					s.ObserveBatch(b)
+				}
+			}
+		}(uint64(17 + w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+				s.Rotate()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := hashing.NewRNG(seed)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					v := s.Snapshot()
+					_ = v.Estimate(uint64(rng.Intn(2_000) + 1))
+					if rng.Intn(8) == 0 {
+						_, _ = v.TotalDistinctMerged()
+					}
+				}
+			}
+		}(uint64(31 + r))
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(done)
+	wg.Wait()
+
+	final := s.Snapshot()
+	if final == nil || !final.fresh(s) {
+		t.Fatal("settled stack does not publish a fresh view")
+	}
+	if again := s.Snapshot(); again != final {
+		t.Fatal("repeated Snapshot of an unwritten stack did not reuse the published view")
+	}
+}

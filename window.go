@@ -221,6 +221,14 @@ func adoptWindowed(build func() Estimator, cfg windowedConfig, name string, gens
 // call — the read-your-writes contract the serving layer's ?wait=1 relies
 // on. Rotation therefore publishes a fresh snapshot set (the next Snapshot
 // call observes the new epoch) instead of quiescing readers.
+//
+// On a standalone Windowed the refresh after a write is paid by whichever
+// reader calls Snapshot first (a brief ring-lock hold); per-edge ingest
+// stays cheap because nothing is forked until somebody asks. Inside a
+// Sharded(Windowed(...)) serving stack the roles invert: the shard's write
+// path calls Snapshot itself right after mutating — while it still holds
+// the shard lock, so the ring is uncontended — and publishes the result, so
+// serving-path readers never pay the refresh (see snapshot.go).
 func (w *Windowed) Snapshot() *Windowed {
 	if !w.canSnap {
 		return nil
