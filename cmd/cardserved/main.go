@@ -64,8 +64,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		ckEvery  = fs.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on shutdown)")
 		spool    = fs.String("spool", "", "checkpoint spool directory (empty = no persistence)")
 		retain   = fs.Int("retain", 3, "checkpoint history files kept in the spool (newest N; current.ckpt is always the newest)")
-		workers  = fs.Int("workers", 4, "ingest pipeline workers")
-		queue    = fs.Int("queue", 64, "ingest pipeline queue depth (full queue = backpressure)")
+		workers  = fs.Int("workers", 0, "deprecated and ignored: the pipeline runs one executor per shard (-shards)")
+		queue    = fs.Int("queue", 64, "per-shard executor queue depth (full queue = backpressure)")
 		maxBody  = fs.Int64("max-body", 8<<20, "max ingest request body bytes")
 		drainFor = fs.Duration("drain", 10*time.Second, "shutdown grace for in-flight HTTP requests")
 		writeTO  = fs.Duration("write-timeout", 2*time.Minute, "per-response write deadline (0 = none); bounds how long a stalled reader of a streaming endpoint like /users can hold the sketch locks")
@@ -104,13 +104,13 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		s.Close()
 		return err
 	}
-	// The write deadline is load-bearing, not hygiene: /users streams under
-	// the quiesce read-lock plus one shard lock at a time, so a client that
-	// stops reading would otherwise hold those locks until its connection
-	// dies — and a pending rotation's write-lock would then queue every
-	// other request behind it. The streaming handler arms its own deadline
-	// from Config.StreamWriteTimeout (plumbed from the same flag above);
-	// the server-level WriteTimeout backstops every other endpoint.
+	// The write deadline is connection hygiene: /users streams from a
+	// published snapshot and holds no sketch lock, but a client that stops
+	// reading would still pin the handler goroutine and the snapshot's
+	// copy-on-write arrays until its connection dies. The streaming handler
+	// arms its own deadline from Config.StreamWriteTimeout (plumbed from
+	// the same flag above); the server-level WriteTimeout backstops every
+	// other endpoint.
 	httpSrv := &http.Server{Handler: s.Handler(), WriteTimeout: *writeTO}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

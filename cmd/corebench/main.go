@@ -61,10 +61,13 @@ type MethodResult struct {
 
 // Result is the JSON document corebench emits.
 type Result struct {
-	Edges      int          `json:"edges"`
-	Users      int          `json:"users"`
-	MemoryBits int          `json:"memory_bits"`
-	BatchSize  int          `json:"batch_size"`
+	Edges      int `json:"edges"`
+	Users      int `json:"users"`
+	MemoryBits int `json:"memory_bits"`
+	BatchSize  int `json:"batch_size"`
+	// Host parallelism, so stored BENCH files are comparable across runners.
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
 	FreeBS     MethodResult `json:"freebs"`
 	FreeRS     MethodResult `json:"freers"`
 }
@@ -97,7 +100,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	stream := coverageBurstEdges(*edges, *users, *seed)
-	res := Result{Edges: *edges, Users: *users, MemoryBits: *mbits, BatchSize: *batch}
+	res := Result{Edges: *edges, Users: *users, MemoryBits: *mbits, BatchSize: *batch,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 	var err error
 	if res.FreeBS, err = benchMethod("freebs", stream, *mbits, *seed, *batch); err != nil {

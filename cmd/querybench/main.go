@@ -73,6 +73,11 @@ type Result struct {
 	Queriers      int     `json:"queriers"`
 	TargetQPS     int     `json:"target_qps"`
 	RotateEveryMs int     `json:"rotate_every_ms"`
+	// The host's parallelism, recorded so a stored BENCH file is
+	// interpretable: every throughput and scaling number below is a
+	// function of how many cores the run actually had.
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 
 	BaselineEdgesPerSec  float64 `json:"baseline_edges_per_sec"`
 	ContendedEdgesPerSec float64 `json:"contended_edges_per_sec"`
@@ -88,6 +93,21 @@ type Result struct {
 	WireTextEdgesPerSec   float64 `json:"wire_text_edges_per_sec"`
 	WireBinaryEdgesPerSec float64 `json:"wire_binary_edges_per_sec"`
 	WireSpeedup           float64 `json:"wire_speedup"`
+
+	// Ingest scaling: the same decode→partition→absorb pipeline executed by
+	// ONE goroutine (partition a batch, absorb every shard's sub-batch
+	// sequentially — the executors=1 reference) versus by one executor
+	// goroutine per shard fed from per-shard queues (the cardserved
+	// structure). The ratio is what shard-parallel ingest buys on this
+	// host; on a single-core runner it is ≈1 by construction, which is why
+	// the gate skips below 4 CPUs (see IngestScalingGateSkipped).
+	IngestScalingShards       int     `json:"ingest_scaling_shards"`
+	IngestSerialEdgesPerSec   float64 `json:"ingest_serial_edges_per_sec"`
+	IngestParallelEdgesPerSec float64 `json:"ingest_parallel_edges_per_sec"`
+	IngestScalingX            float64 `json:"ingest_scaling_x"`
+	// Non-empty when -min-ingest-scaling was requested but not enforced,
+	// with the reason (e.g. too few CPUs to certify parallel speedup).
+	IngestScalingGateSkipped string `json:"ingest_scaling_gate_skipped,omitempty"`
 
 	// Snapshot publication cost: bytes allocated by one Snapshot call on a
 	// loaded stack after a write made the published view stale, at the
@@ -122,9 +142,12 @@ func run(args []string, stdout io.Writer) error {
 		rotatems  = fs.Int("rotate", 50, "rotate every this many milliseconds during both phases (0 = never)")
 		out       = fs.String("out", "BENCH_query.json", "output file (- = stdout)")
 
+		scalingShards = fs.Int("scaling-shards", 8, "shard count of the ingest-scaling phase (one executor per shard in the parallel leg)")
+
 		maxEstP50   = fs.Float64("max-estimate-p50-us", 0, "fail if estimate p50 exceeds this many microseconds (0 = no gate)")
 		maxTotalP50 = fs.Float64("max-total-p50-us", 0, "fail if total p50 exceeds this many microseconds (0 = no gate)")
 		minSpeedup  = fs.Float64("min-wire-speedup", 0, "fail if binary/text wire-to-sketch speedup falls below this (0 = no gate)")
+		minScaling  = fs.Float64("min-ingest-scaling", 0, "fail if shard-parallel/serial ingest throughput falls below this (0 = no gate; skipped with a logged reason on hosts with fewer than 4 CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -143,6 +166,8 @@ func run(args []string, stdout io.Writer) error {
 		Edges:        *edges, MemoryBits: *mbits, Shards: *shards, Generations: *gens,
 		BatchSize: *batch, Ingesters: *ingesters, Queriers: *queriers,
 		TargetQPS: *qps, RotateEveryMs: *rotatems,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		IngestScalingShards: *scalingShards,
 	}
 
 	cfg := phaseConfig{
@@ -165,6 +190,18 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	res.WireSpeedup = res.WireBinaryEdgesPerSec / res.WireTextEdgesPerSec
+
+	res.IngestSerialEdgesPerSec, res.IngestParallelEdgesPerSec =
+		ingestScalingPhase(cfg, batches, *scalingShards)
+	res.IngestScalingX = res.IngestParallelEdgesPerSec / res.IngestSerialEdgesPerSec
+	if *minScaling > 0 && res.NumCPU < 4 {
+		// One or two cores cannot certify parallel speedup: the executors
+		// time-slice the same cores the serial leg had, so the ratio is ≈1
+		// by construction, not by regression. Record the skip in the JSON so
+		// a stored BENCH file says why the gate did not run.
+		res.IngestScalingGateSkipped = fmt.Sprintf(
+			"host has %d CPUs; certifying shard-parallel scaling needs at least 4", res.NumCPU)
+	}
 
 	// The O(1)-publication assertion, at M and 4M.
 	small, err := snapshotPublishBytes(*mbits, *shards, *gens)
@@ -203,6 +240,9 @@ func run(args []string, stdout io.Writer) error {
 		res.QueryLatency["estimate"].P99Us, res.QueryLatency["total"].P50Us)
 	fmt.Fprintf(stdout, "querybench: wire-to-sketch %.1fM edges/s text, %.1fM binary (%.1fx)\n",
 		res.WireTextEdgesPerSec/1e6, res.WireBinaryEdgesPerSec/1e6, res.WireSpeedup)
+	fmt.Fprintf(stdout, "querybench: ingest scaling at %d shards: %.1fM edges/s serial, %.1fM shard-parallel (%.2fx on %d CPUs)\n",
+		*scalingShards, res.IngestSerialEdgesPerSec/1e6, res.IngestParallelEdgesPerSec/1e6,
+		res.IngestScalingX, res.NumCPU)
 	fmt.Fprintf(stdout, "querybench: snapshot publication %.0f B at M, %.0f B at 4M (o1_ok=%v)\n",
 		small, large, res.SnapshotPublishO1OK)
 	if *out != "-" {
@@ -235,6 +275,15 @@ func run(args []string, stdout io.Writer) error {
 	if *minSpeedup > 0 && res.WireSpeedup < *minSpeedup {
 		violations = append(violations,
 			fmt.Sprintf("wire speedup %.2fx < limit %.2fx", res.WireSpeedup, *minSpeedup))
+	}
+	if *minScaling > 0 {
+		if res.IngestScalingGateSkipped != "" {
+			fmt.Fprintf(stdout, "querybench: ingest-scaling gate skipped: %s\n", res.IngestScalingGateSkipped)
+		} else if res.IngestScalingX < *minScaling {
+			violations = append(violations,
+				fmt.Sprintf("ingest scaling %.2fx < limit %.2fx at %d shards on %d CPUs",
+					res.IngestScalingX, *minScaling, *scalingShards, res.NumCPU))
+		}
 	}
 	if len(violations) > 0 {
 		return fmt.Errorf("gates failed: %s", strings.Join(violations, "; "))
@@ -294,6 +343,107 @@ func wireToSketch(cfg phaseConfig, seconds float64, bodies [][]byte, decode func
 		edges += int64(len(b))
 	}
 	return float64(edges) / time.Since(start).Seconds(), nil
+}
+
+// scalingSecondsCap bounds each leg of the ingest-scaling phase; like the
+// wire phase, the ratio stabilizes well before the full phase duration.
+const scalingSecondsCap = 1.5
+
+// ingestScalingPhase measures what the shard-executor pipeline buys over a
+// single ingest thread, on identical work: both legs run the same
+// partition-then-absorb-via-ObserveShardBatch path over the same batch
+// pool against a fresh stack each.
+//
+// The serial leg is executors=1: one goroutine splits each batch and
+// absorbs every shard's sub-batch in shard order. The parallel leg is the
+// cardserved structure in miniature: the same goroutine splits and fans
+// sub-batches out to per-shard bounded queues, one executor goroutine per
+// shard absorbs, and a per-batch refcount returns the partition buffers to
+// the pool when the last shard finishes. Identical instructions, identical
+// per-shard sub-streams — the legs differ only in how many cores may work
+// at once, so the ratio isolates the pipeline's parallel speedup.
+func ingestScalingPhase(cfg phaseConfig, batches [][]streamcard.Edge, shards int) (serialEPS, parEPS float64) {
+	seconds := cfg.seconds
+	if seconds > scalingSecondsCap {
+		seconds = scalingSecondsCap
+	}
+	dur := time.Duration(seconds * float64(time.Second))
+
+	// Serial leg.
+	s := buildStack(cfg.mbits, shards, cfg.gens)
+	part := stream.NewPartitioner(shards, s.ShardIndex)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	var edges int64
+	for i := 0; time.Now().Before(deadline); i++ {
+		src := batches[i%len(batches)]
+		b := part.Split(src)
+		for t := 0; t < shards; t++ {
+			if sub := b.Shard(t); len(sub) > 0 {
+				s.ObserveShardBatch(t, sub)
+			}
+		}
+		b.Release()
+		edges += int64(len(src))
+	}
+	serialEPS = float64(edges) / time.Since(start).Seconds()
+
+	// Parallel leg.
+	type scaleBatch struct {
+		part      *stream.Partitioned
+		remaining atomic.Int32
+	}
+	type scaleItem struct {
+		sub []streamcard.Edge
+		b   *scaleBatch
+	}
+	s = buildStack(cfg.mbits, shards, cfg.gens)
+	part = stream.NewPartitioner(shards, s.ShardIndex)
+	queues := make([]chan scaleItem, shards)
+	var wg sync.WaitGroup
+	for i := range queues {
+		queues[i] = make(chan scaleItem, 64)
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for it := range queues[idx] {
+				s.ObserveShardBatch(idx, it.sub)
+				if it.b.remaining.Add(-1) == 0 {
+					it.b.part.Release()
+				}
+			}
+		}(i)
+	}
+	deadline = time.Now().Add(dur)
+	start = time.Now()
+	edges = 0
+	for i := 0; time.Now().Before(deadline); i++ {
+		src := batches[i%len(batches)]
+		b := &scaleBatch{part: part.Split(src)}
+		touched := 0
+		for t := 0; t < shards; t++ {
+			if len(b.part.Shard(t)) > 0 {
+				touched++
+			}
+		}
+		if touched == 0 {
+			b.part.Release()
+			continue
+		}
+		b.remaining.Store(int32(touched))
+		for t := 0; t < shards; t++ {
+			if sub := b.part.Shard(t); len(sub) > 0 {
+				queues[t] <- scaleItem{sub: sub, b: b}
+			}
+		}
+		edges += int64(len(src))
+	}
+	for _, q := range queues {
+		close(q)
+	}
+	wg.Wait() // throughput counts the tail drain: all submitted edges absorbed
+	parEPS = float64(edges) / time.Since(start).Seconds()
+	return serialEPS, parEPS
 }
 
 func buildStack(mbits, shards, gens int) *streamcard.Sharded {

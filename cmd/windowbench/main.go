@@ -34,6 +34,9 @@ type Result struct {
 	PlainNsPerEdge    float64 `json:"plain_ns_per_edge"`
 	WindowedNsPerEdge float64 `json:"windowed_ns_per_edge"`
 	BatchSize         int     `json:"batch_size"`
+	// Host parallelism, so stored BENCH files are comparable across runners.
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 
 	// Snapshot publication on the loaded window: nanoseconds and allocated
 	// bytes per Windowed.Snapshot call taken right after a write (the
@@ -132,6 +135,8 @@ func run(args []string, stdout io.Writer) error {
 		PlainNsPerEdge:    plainSec / n * 1e9,
 		WindowedNsPerEdge: windowSec / n * 1e9,
 		BatchSize:         *batch,
+		NumCPU:            runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		NsPerSnapshot:     snapNs / snaps,
 		BytesPerSnapshot:  snapBytes / snaps,
 	}

@@ -1,0 +1,275 @@
+package server
+
+// The shard-parallel ingest pipeline (decode-time partitioning, one
+// single-writer executor per shard, drain coalescing, gate-based quiesce
+// cuts) is a performance structure, not a semantic one: these tests pin
+// that it changes NOTHING observable — async fan-out absorption is
+// bit-identical to waited sequential ingestion, coalescing happens and is
+// invisible, and the whole machine survives a -race torture of concurrent
+// submitters, rotations, checkpoints, and a query storm with exact
+// accounting.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// TestServerPipelineBitIdenticalToSequentialTwin: one client submits a
+// batch schedule asynchronously (202 mode, executors absorbing and
+// coalescing concurrently across shards, rotations interleaved), a twin
+// server takes the identical schedule fully synchronously (?wait=1 each).
+// Every per-user estimate, the merged total, and the epoch must agree
+// exactly — per-shard FIFO plus order-preserving coalescing make the
+// parallel pipeline indistinguishable from the sequential one.
+func TestServerPipelineBitIdenticalToSequentialTwin(t *testing.T) {
+	async, tsAsync := newTestServer(t, testConfig(""))
+	seq, tsSeq := newTestServer(t, testConfig(""))
+
+	edges := zipfEdges(29, 60000, 300, 3000)
+	const batch = 1000
+	for i := 0; i < len(edges); i += batch {
+		end := i + batch
+		if end > len(edges) {
+			end = len(edges)
+		}
+		chunk := edges[i:end]
+		if code, body := post(t, tsAsync.URL+"/ingest", edgeLines(chunk)); code != http.StatusAccepted {
+			t.Fatalf("async ingest returned %d: %s", code, body)
+		}
+		ingest(t, tsSeq.URL, chunk, true)
+		if (i/batch)%13 == 12 { // rotate mid-stream on both, same schedule
+			post(t, tsAsync.URL+"/rotate", "")
+			post(t, tsSeq.URL+"/rotate", "")
+		}
+	}
+	if code, _ := post(t, tsAsync.URL+"/flush", ""); code != http.StatusOK {
+		t.Fatal("flush failed")
+	}
+
+	if async.Epoch() != seq.Epoch() {
+		t.Fatalf("epochs %d vs %d", async.Epoch(), seq.Epoch())
+	}
+	want := make(map[uint64]float64)
+	seq.Estimator().Users(func(u uint64, e float64) { want[u] = e })
+	got := make(map[uint64]float64)
+	async.Estimator().Users(func(u uint64, e float64) { got[u] = e })
+	if len(got) != len(want) {
+		t.Fatalf("user sets differ: %d vs %d", len(got), len(want))
+	}
+	for u, w := range want {
+		if g, ok := got[u]; !ok || g != w {
+			t.Fatalf("user %d: async pipeline %v, sequential twin %v", u, got[u], w)
+		}
+	}
+	aTotal, errA := async.Estimator().TotalDistinctMerged()
+	sTotal, errS := seq.Estimator().TotalDistinctMerged()
+	if errA != nil || errS != nil {
+		t.Fatalf("merged totals: %v, %v", errA, errS)
+	}
+	if aTotal != sTotal {
+		t.Fatalf("merged totals %v vs %v", aTotal, sTotal)
+	}
+}
+
+// TestServerExecutorCoalescing: under a backlog the executor must absorb
+// multiple queued sub-batches in one call — the coalesced counter moves —
+// and coalescing must be invisible: after the drain the edge accounting is
+// exact. A single shard funnels every batch onto one executor; each round
+// submits a large head batch (sketch work that keeps the executor busy)
+// and then a tight burst of small async batches with no yields in between,
+// so the queue piles up behind the head batch. Scheduling is still the
+// kernel's, so rounds repeat until a coalesce is observed — in practice
+// the first round does it.
+func TestServerExecutorCoalescing(t *testing.T) {
+	cfg := testConfig("")
+	cfg.Shards = 1
+	cfg.QueueDepth = 256
+	s, ts := newTestServer(t, cfg)
+
+	totalEdges := uint64(0)
+	deadline := time.Now().Add(30 * time.Second)
+	for round := 0; s.coalesced.Value() == 0; round++ {
+		if time.Now().After(deadline) {
+			t.Fatal("no coalesced absorption after 30s of bursts")
+		}
+		head := make([]stream.Edge, 50000)
+		for i := range head {
+			head[i] = stream.Edge{User: uint64(i % 997), Item: uint64(round)<<32 | uint64(i)}
+		}
+		if err := s.submit(head, false); err != nil {
+			t.Fatal(err)
+		}
+		totalEdges += uint64(len(head))
+		for b := 0; b < 64; b++ {
+			small := make([]stream.Edge, 50)
+			for i := range small {
+				small[i] = stream.Edge{User: uint64(b), Item: uint64(round)<<32 | uint64(b*50+i)}
+			}
+			if err := s.submit(small, false); err != nil {
+				t.Fatal(err)
+			}
+			totalEdges += uint64(len(small))
+		}
+		s.Drain()
+	}
+	// Coalescing changed batching, not accounting.
+	if got := s.edgesIngested.Value(); got != totalEdges {
+		t.Fatalf("ingested %d edges, want %d", got, totalEdges)
+	}
+	if _, body := get(t, ts.URL+"/metrics"); !strings.Contains(body, "cardserved_coalesced_batches_total") {
+		t.Fatalf("coalesce counter missing from /metrics:\n%s", body)
+	}
+}
+
+// TestServerTorture is the pipeline's -race acceptance test: concurrent
+// submitters on BOTH protocols mixing ?wait=1 and async 202 mode, a
+// rotator forcing epoch cuts, checkpoint writers, and a query storm
+// (estimate/total/topk/users/metrics) — all at once, against the live
+// shard executors. After the storm: the edge accounting is exact to the
+// last edge, the epoch equals the rotation count, and every shard agrees
+// on it (no torn rotation).
+func TestServerTorture(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	s, ts := newTestServer(t, cfg)
+	const (
+		clients = 6
+		batches = 25
+		perB    = 400
+		rotes   = 8
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := uint64(c) << 32
+			binary := c%2 == 0 // half the clients speak CWB1
+			for b := 0; b < batches; b++ {
+				edges := make([]stream.Edge, perB)
+				for i := range edges {
+					edges[i] = stream.Edge{User: base | uint64(i%40), Item: uint64(b*perB + i)}
+				}
+				url := ts.URL + "/ingest"
+				if b%3 == 0 {
+					url += "?wait=1"
+				}
+				var resp *http.Response
+				var err error
+				if binary {
+					resp, err = http.Post(url, stream.WireContentType,
+						bytes.NewReader(stream.AppendWire(nil, edges)))
+				} else {
+					resp, err = http.Post(url, "text/plain", strings.NewReader(edgeLines(edges)))
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+					t.Errorf("client %d batch %d: status %d", c, b, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	// The rotator: epoch cuts while batches are mid-flight on the executors.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rotes; i++ {
+			post(t, ts.URL+"/rotate", "")
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Checkpoint writers racing the rotator and the executors.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			post(t, ts.URL+"/checkpoint", "")
+		}
+	}()
+	// The query storm: every read endpoint, continuously, from several
+	// goroutines — all snapshot reads, so none of this may block or be torn
+	// by the write pipeline.
+	stormDone := make(chan struct{})
+	var stormWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		stormWG.Add(1)
+		go func(g int) {
+			defer stormWG.Done()
+			paths := []string{"/estimate?user=42", "/total", "/total?method=merged",
+				"/topk?k=5", "/users?limit=10", "/metrics", "/healthz"}
+			for i := 0; ; i++ {
+				select {
+				case <-stormDone:
+					return
+				default:
+				}
+				code, body := get(t, ts.URL+paths[(g+i)%len(paths)])
+				if code != http.StatusOK {
+					t.Errorf("query %s returned %d: %s", paths[(g+i)%len(paths)], code, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stormDone)
+	stormWG.Wait()
+
+	if code, _ := post(t, ts.URL+"/flush", ""); code != http.StatusOK {
+		t.Fatal("flush failed")
+	}
+	if got := s.edgesIngested.Value(); got != clients*batches*perB {
+		t.Fatalf("ingested %d edges, want %d", got, clients*batches*perB)
+	}
+	if got := s.batches.Value(); got != clients*batches {
+		t.Fatalf("absorbed %d batches, want %d", got, clients*batches)
+	}
+	if s.Epoch() != rotes {
+		t.Fatalf("epoch %d after %d rotations", s.Epoch(), rotes)
+	}
+	// No torn rotation: every shard's window sits at the same epoch.
+	for i, w := range s.wins {
+		if w.Epoch() != rotes {
+			t.Fatalf("shard %d at epoch %d, others at %d", i, w.Epoch(), rotes)
+		}
+	}
+	// And a final checkpoint still writes cleanly after the storm.
+	if code, body := post(t, ts.URL+"/checkpoint", ""); code != http.StatusOK {
+		t.Fatalf("post-storm checkpoint returned %d: %s", code, body)
+	}
+}
+
+// TestServerShardQueueMetrics pins the pipeline observability surface:
+// per-shard queue-depth gauges and the imbalance gauge exist for every
+// shard and read 0/idle values on a drained pipeline.
+func TestServerShardQueueMetrics(t *testing.T) {
+	s, ts := newTestServer(t, testConfig(""))
+	ingest(t, ts.URL, []stream.Edge{{User: 1, Item: 1}}, true)
+	post(t, ts.URL+"/flush", "")
+	_, body := get(t, ts.URL+"/metrics")
+	for i := 0; i < s.cfg.Shards; i++ {
+		want := fmt.Sprintf(`cardserved_shard_queue_depth{shard="%d"} 0`, i)
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, "cardserved_shard_queue_imbalance 0") {
+		t.Fatalf("idle pipeline should report imbalance 0:\n%s", body)
+	}
+	if !strings.Contains(body, "cardserved_queue_depth 0") {
+		t.Fatalf("drained pipeline should report total depth 0:\n%s", body)
+	}
+}

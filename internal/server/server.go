@@ -17,15 +17,22 @@
 // (stream.AppendWire/DecodeWire: length-prefixed fixed-width u64 pairs
 // behind a CRC, decoded zero-copy into the edge batch), which removes the
 // per-edge decimal parse that dominates text ingest at service rates. The
-// handler decodes the body into an edge batch and hands it to a bounded
-// worker pipeline, so network framing and parsing never serialize the
-// sketch's hot path — concurrent posts parse in parallel and only the
-// O(1)-per-edge sketch updates contend on shard locks. A batch containing
-// any malformed line (or a binary frame failing validation) is refused
-// atomically with 400: either every edge of a batch is ingested or none
-// is, so a client can always retry a rejected batch verbatim without
-// double counting concerns beyond the sketch's built-in duplicate
-// tolerance.
+// handler decodes the body into an edge batch, partitions it by shard at
+// decode time (stream.Partitioner over Sharded.ShardIndex — one run-aware
+// counting sort per batch, on the handler goroutine), and enqueues each
+// shard-pure sub-batch on that shard's bounded queue. One executor
+// goroutine per shard drains its queue and absorbs through the
+// shard-direct fast path (Sharded.ObserveShardBatch), so within a single
+// batch all touched shards absorb concurrently and each shard's mutex is
+// uncontended by construction — adding shards adds ingest parallelism
+// instead of lock contention. Executors coalesce: everything queued is
+// drained and absorbed as one call, so per-run hoisting and writer-side
+// snapshot publication amortize over multiple wire batches under load. A
+// batch containing any malformed line (or a binary frame failing
+// validation) is refused atomically with 400: either every edge of a
+// batch is ingested or none is, so a client can always retry a rejected
+// batch verbatim without double counting concerns beyond the sketch's
+// built-in duplicate tolerance.
 //
 // Reads are snapshot-isolated: every query handler (/estimate, /total,
 // /topk, /users), the /metrics gauges, and the checkpoint writer serve
@@ -33,10 +40,13 @@
 // (streamcard.Sharded.Snapshot) instead of taking the sketch locks — a
 // stalled /users reader or a slow checkpoint fsync cannot hold any sketch
 // lock at all, and ingest throughput is unaffected by concurrent query
-// load (cmd/querybench measures exactly this). The write path — ingest
-// workers and epoch rotation — is the only lock domain left: the quiesce
-// barrier below now orders only ingestion against rotation, so a batch is
-// never attributed astride an epoch boundary, while queries run through
+// load (cmd/querybench measures exactly this). The write path — shard
+// executors and epoch rotation — is the only lock domain left: rotation
+// is a quiesce cut over the whole pipeline (the ingest gate excludes new
+// submissions, then the cut waits for every submitted batch to be fully
+// absorbed across all of its shards before the epoch advances), so a
+// batch is never attributed astride an epoch boundary — not even when its
+// sub-batches sit on different shard queues — while queries run through
 // rotations (each one sees a single consistent epoch, never a torn
 // pre/post-rotation mix).
 //
@@ -61,6 +71,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	streamcard "repro"
@@ -105,9 +116,15 @@ type Config struct {
 	// default (3); at least one history entry is always kept, since the
 	// newest is a free hard link to current.ckpt.
 	Retain int
-	// Workers is the ingest pipeline's worker count. Default 4.
+	// Workers is accepted for configuration compatibility but no longer
+	// sizes anything: the ingest pipeline runs exactly one executor per
+	// shard (decode-time partitioning makes each shard's queue a
+	// single-writer sub-stream, so extra workers could only contend).
+	// Negative values are still rejected.
+	//
+	// Deprecated: set Shards to size ingest parallelism.
 	Workers int
-	// QueueDepth bounds the pipeline's batch queue; a full queue blocks
+	// QueueDepth bounds each shard's sub-batch queue; a full queue blocks
 	// ingest handlers, which is the service's backpressure. Default 64.
 	QueueDepth int
 	// MaxBodyBytes bounds one ingest request body. Default 8 MiB.
@@ -154,9 +171,6 @@ func (c *Config) fillDefaults() error {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	if c.Workers == 0 {
-		c.Workers = 4
-	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 64
 	}
@@ -164,8 +178,9 @@ func (c *Config) fillDefaults() error {
 		c.MaxBodyBytes = 8 << 20
 	}
 	if c.Workers < 0 || c.QueueDepth < 0 || c.MaxBodyBytes < 0 {
-		// Zero workers would accept ingest and never absorb it; a negative
-		// queue panics make(chan); refuse all of them as config errors.
+		// A negative queue panics make(chan); a negative worker count was
+		// always nonsense (the field is vestigial but still validated so a
+		// config that was wrong before stays wrong).
 		return errors.New("server: Workers, QueueDepth, and MaxBodyBytes must be positive")
 	}
 	if c.Retain == 0 {
@@ -180,11 +195,30 @@ func (c *Config) fillDefaults() error {
 	return nil
 }
 
-// job is one parsed ingest batch moving through the pipeline.
-type job struct {
-	edges []stream.Edge
-	done  chan struct{} // non-nil for ?wait=1 requests
+// ingestBatch tracks one decoded wire batch across the shard queues its
+// sub-batches fanned out to. The batch is "absorbed" — its edges counted,
+// its waiter released, its partition buffers pooled — only when the LAST
+// shard executor finishes its sub-batch, so the ?wait=1 contract and the
+// Drain barrier still mean the whole batch, not a lucky shard of it.
+type ingestBatch struct {
+	part      *stream.Partitioned
+	edges     int
+	remaining atomic.Int32  // shard sub-batches not yet absorbed
+	done      chan struct{} // non-nil for ?wait=1 requests
 }
+
+// shardItem is one shard-pure sub-batch queued for a shard executor.
+type shardItem struct {
+	edges []stream.Edge
+	batch *ingestBatch
+}
+
+// coalesceMaxEdges caps how many edges one executor drain may merge into a
+// single absorb call. Coalescing amortizes the shard lock, the per-run
+// hoisting, and the snapshot publication over every wire batch that queued
+// up during the previous absorb; the cap keeps the executor's append
+// buffer bounded (16 B/edge) no matter how deep the backlog grows.
+const coalesceMaxEdges = 1 << 18
 
 // Server is a runnable cardinality service. Create with New, expose with
 // Handler (mount it on any http.Server or httptest), and stop with Close.
@@ -195,23 +229,33 @@ type Server struct {
 	wins []*streamcard.Windowed // per-shard windows, for checkpointing
 	sh   *streamcard.Sharded    // the serving stack over wins
 
-	// quiesce orders the WRITE path only: ingest workers hold it shared,
-	// rotation holds it exclusively, so an epoch advance is a clean cut (no
-	// batch is attributed astride the boundary and all shards rotate as
-	// one). Queries and checkpoints do not touch it — they read from the
-	// stack's published snapshot (s.view), which freezes one consistent
-	// epoch on its own.
-	quiesce sync.RWMutex
+	// part splits each decoded batch into shard-pure sub-batches once, on
+	// the handler goroutine (decode-time partitioning), routed exactly as
+	// the stack itself routes (Sharded.ShardIndex).
+	part *stream.Partitioner
+	// queues is the pipeline: one bounded sub-batch queue per shard, each
+	// drained by exactly one executor goroutine, so every shard's
+	// sub-stream has a single writer and the shard mutex is uncontended by
+	// construction. A full queue blocks submitters — backpressure.
+	queues []chan shardItem
+	execWG sync.WaitGroup
 
-	jobs     chan job
-	workerWG sync.WaitGroup
-	// submitMu lets Close wait out in-flight submissions before closing the
-	// jobs channel: submitters hold it shared across the channel send,
-	// Close flips closed under the exclusive lock.
-	submitMu sync.RWMutex
-	closed   bool
-	// pending counts batches submitted but not yet absorbed; Drain waits on
-	// it reaching zero (queued batches AND batches a worker is mid-absorb).
+	// gate orders submissions against the two whole-pipeline cuts: a
+	// submitter holds it shared from the closed check through its last
+	// queue send, so when rotate (or Close) acquires it exclusively, no
+	// batch is half-fanned-out — every submitted batch sits entirely in the
+	// queues. Rotation then drains pending to zero before advancing the
+	// epoch: the cut that guarantees no batch is ever attributed astride an
+	// epoch boundary, even though its sub-batches absorb on different
+	// executors. Queries and checkpoints never touch the gate — they read
+	// the stack's published snapshot, which freezes one consistent epoch on
+	// its own.
+	gate   sync.RWMutex
+	closed bool
+	// pending counts batches submitted but not yet fully absorbed (queued
+	// sub-batches AND sub-batches an executor is mid-absorb, across all
+	// shards of the batch); Drain and the rotation cut wait on it reaching
+	// zero.
 	pendMu   sync.Mutex
 	pendCond *sync.Cond
 	pending  int
@@ -234,6 +278,7 @@ type Server struct {
 	reg            *metrics.Registry
 	edgesIngested  *metrics.Counter
 	batches        *metrics.Counter
+	coalesced      *metrics.Counter
 	batchesRefused *metrics.Counter
 	rotations      *metrics.Counter
 	checkpoints    *metrics.Counter
@@ -255,10 +300,13 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		start:      time.Now(),
-		jobs:       make(chan job, cfg.QueueDepth),
+		queues:     make([]chan shardItem, cfg.Shards),
 		stopTicker: make(chan struct{}),
 		reg:        metrics.NewRegistry(),
 		latency:    make(map[string]*metrics.Histogram),
+	}
+	for i := range s.queues {
+		s.queues[i] = make(chan shardItem, cfg.QueueDepth)
 	}
 	s.pendCond = sync.NewCond(&s.pendMu)
 	s.initMetrics()
@@ -285,8 +333,14 @@ func New(cfg Config) (*Server, error) {
 		next++
 		return w
 	})
+	// Decode-time partitioning routes exactly as the stack does: the same
+	// hash, the same shard, so ObserveShardBatch never re-groups.
+	s.part = stream.NewPartitioner(cfg.Shards, s.sh.ShardIndex)
 	for i := range s.wins {
 		i := i
+		s.reg.Gauge("cardserved_shard_queue_depth", fmt.Sprintf(`shard="%d"`, i),
+			"Sub-batches waiting on this shard's executor queue.",
+			func() float64 { return float64(len(s.queues[i])) })
 		// UserEntries, not NumUsers: a scrape must not pay an O(users)
 		// merge map per shard every few seconds. Entries upper-bound users
 		// (one per generation a user is active in). UserEntries is the one
@@ -321,9 +375,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.routes()
 
-	for w := 0; w < cfg.Workers; w++ {
-		s.workerWG.Add(1)
-		go s.worker()
+	for i := 0; i < cfg.Shards; i++ {
+		s.execWG.Add(1)
+		go s.shardExecutor(i)
 	}
 	if cfg.Epoch > 0 {
 		s.tickerWG.Add(1)
@@ -341,6 +395,8 @@ func (s *Server) initMetrics() {
 		"Edges absorbed into the sketch.")
 	s.batches = s.reg.Counter("cardserved_batches_total", "",
 		"Ingest batches absorbed.")
+	s.coalesced = s.reg.Counter("cardserved_coalesced_batches_total", "",
+		"Sub-batches absorbed piggybacked on another sub-batch's lock hold (executor drain coalescing).")
 	s.batchesRefused = s.reg.Counter("cardserved_batches_refused_total", "",
 		"Ingest batches refused atomically for malformed lines.")
 	s.rotations = s.reg.Counter("cardserved_rotations_total", "",
@@ -352,8 +408,30 @@ func (s *Server) initMetrics() {
 	s.retiredPairs = s.reg.Counter("cardserved_retired_pairs_total", "",
 		"Estimated distinct pairs held by retired generations (rounded).")
 	s.reg.Gauge("cardserved_queue_depth", "",
-		"Parsed batches waiting in the ingest pipeline.",
-		func() float64 { return float64(len(s.jobs)) })
+		"Sub-batches waiting across all shard executor queues.",
+		func() float64 {
+			total := 0
+			for _, q := range s.queues {
+				total += len(q)
+			}
+			return float64(total)
+		})
+	s.reg.Gauge("cardserved_shard_queue_imbalance", "",
+		"Max/mean shard queue occupancy (1 = perfectly balanced, 0 = idle): a hot-shard skew detector.",
+		func() float64 {
+			total, max := 0, 0
+			for _, q := range s.queues {
+				n := len(q)
+				total += n
+				if n > max {
+					max = n
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			return float64(max) * float64(len(s.queues)) / float64(total)
+		})
 	for _, h := range []string{"/ingest", "/estimate", "/total", "/topk", "/users"} {
 		s.latency[h] = s.reg.Histogram("cardserved_http_request_seconds",
 			fmt.Sprintf(`handler="%s"`, h),
@@ -374,58 +452,126 @@ func (s *Server) Epoch() int { return s.wins[0].Epoch() }
 // Restored reports whether New found and restored a spool checkpoint.
 func (s *Server) Restored() bool { return s.restored }
 
-// worker drains parsed batches into the sketch. Absorption happens under
-// the shared side of the quiesce barrier: batches from different workers
-// only contend per shard, while rotation excludes all of them so no batch
-// is attributed astride an epoch boundary. (Checkpoints and queries read
-// published snapshots and never block here.)
-func (s *Server) worker() {
-	defer s.workerWG.Done()
-	for j := range s.jobs {
-		s.quiesce.RLock()
-		s.sh.ObserveBatch(j.edges)
-		s.quiesce.RUnlock()
-		s.edgesIngested.Add(uint64(len(j.edges)))
-		s.batches.Inc()
-		if j.done != nil {
-			close(j.done)
+// shardExecutor is shard idx's single writer: it drains the shard's queue
+// and absorbs each sub-batch through the shard-direct fast path
+// (ObserveShardBatch — no re-partitioning, a mutex no other goroutine
+// takes on the ingest path). Before absorbing it coalesces: every
+// sub-batch already queued (up to coalesceMaxEdges) is drained and
+// absorbed as ONE call, so under backlog the shard lock, the estimator's
+// per-run hoisting, and the writer-side snapshot publication amortize over
+// all the wire batches that arrived during the previous absorb, and the
+// pipeline speeds up under load instead of thrashing. Per-shard FIFO is
+// preserved — the queue is drained in order and the coalesced slice
+// concatenates in that order — which is what keeps every shard's
+// sub-stream, and therefore every estimate, bit-identical to a sequential
+// twin.
+func (s *Server) shardExecutor(idx int) {
+	defer s.execWG.Done()
+	q := s.queues[idx]
+	var buf []stream.Edge
+	items := make([]shardItem, 0, 8)
+	for it := range q {
+		items = append(items[:0], it)
+		total := len(it.edges)
+	drain:
+		for total < coalesceMaxEdges {
+			select {
+			case more, ok := <-q:
+				if !ok {
+					break drain // closed and empty; absorb what we hold
+				}
+				items = append(items, more)
+				total += len(more.edges)
+			default:
+				break drain
+			}
 		}
-		s.pendMu.Lock()
-		s.pending--
-		if s.pending == 0 {
-			s.pendCond.Broadcast()
+		edges := it.edges
+		if len(items) > 1 {
+			buf = buf[:0]
+			for _, x := range items {
+				buf = append(buf, x.edges...)
+			}
+			edges = buf
+			s.coalesced.Add(uint64(len(items) - 1))
 		}
-		s.pendMu.Unlock()
+		s.sh.ObserveShardBatch(idx, edges)
+		for i := range items {
+			s.finishShardItem(items[i].batch)
+			items[i] = shardItem{} // drop the sub-batch reference
+		}
 	}
 }
 
-// submit hands a parsed batch to the pipeline, optionally waiting for it to
-// be absorbed (the ?wait=1 contract: when the response arrives, queries
-// reflect the batch).
+// finishShardItem marks one shard's sub-batch absorbed; the batch's LAST
+// sub-batch settles the whole batch — counters move, the ?wait=1 waiter is
+// released, the partition buffers return to the pool, and pending drops.
+func (s *Server) finishShardItem(b *ingestBatch) {
+	if b.remaining.Add(-1) != 0 {
+		return
+	}
+	s.edgesIngested.Add(uint64(b.edges))
+	s.batches.Inc()
+	b.part.Release()
+	if b.done != nil {
+		close(b.done)
+	}
+	s.pendMu.Lock()
+	s.pending--
+	if s.pending == 0 {
+		s.pendCond.Broadcast()
+	}
+	s.pendMu.Unlock()
+}
+
+// submit partitions a decoded batch into shard-pure sub-batches (the one
+// counting sort of the batch's life) and fans them out to the shard
+// queues, optionally waiting for the whole batch to be absorbed (the
+// ?wait=1 contract: when the response arrives, queries reflect the batch).
+// The fan-out runs under the shared side of the ingest gate, so a rotation
+// or Close can never observe — or interleave into — a half-submitted
+// batch.
 func (s *Server) submit(edges []stream.Edge, wait bool) error {
-	s.submitMu.RLock()
-	defer s.submitMu.RUnlock()
+	s.gate.RLock()
 	if s.closed {
+		s.gate.RUnlock()
 		return ErrClosed
 	}
-	j := job{edges: edges}
-	if wait {
-		j.done = make(chan struct{})
+	b := &ingestBatch{part: s.part.Split(edges), edges: len(edges)}
+	touched := 0
+	for t := 0; t < s.cfg.Shards; t++ {
+		if len(b.part.Shard(t)) > 0 {
+			touched++
+		}
 	}
+	if touched == 0 {
+		b.part.Release()
+		s.gate.RUnlock()
+		return nil
+	}
+	if wait {
+		b.done = make(chan struct{})
+	}
+	b.remaining.Store(int32(touched))
 	s.pendMu.Lock()
 	s.pending++
 	s.pendMu.Unlock()
-	s.jobs <- j
+	for t := 0; t < s.cfg.Shards; t++ {
+		if sub := b.part.Shard(t); len(sub) > 0 {
+			s.queues[t] <- shardItem{edges: sub, batch: b}
+		}
+	}
+	s.gate.RUnlock()
 	if wait {
-		<-j.done
+		<-b.done
 	}
 	return nil
 }
 
 // Drain blocks until the ingest pipeline is empty: every batch submitted
-// so far — queued or mid-absorption on a worker — has landed in the
-// sketch. Concurrent submitters extend the wait; Drain returns at the
-// first lull.
+// so far — queued or mid-absorption on an executor, on every shard it
+// fanned out to — has landed in the sketch. Concurrent submitters extend
+// the wait; Drain returns at the first lull.
 func (s *Server) Drain() {
 	s.pendMu.Lock()
 	for s.pending > 0 {
@@ -448,12 +594,21 @@ func (s *Server) rotateLoop() {
 	}
 }
 
-// rotate advances every shard one epoch under the exclusive barrier, so no
-// batch lands astride the boundary and all shards stay in lockstep.
+// rotate advances every shard one epoch behind a whole-pipeline quiesce
+// cut: the exclusive gate first excludes new submissions (and, because
+// submitters hold the gate across their whole fan-out, guarantees no batch
+// is half-enqueued), then the drain waits for every already-submitted
+// batch to finish absorbing on every shard it touched. Only then does the
+// epoch advance — so a batch's sub-batches can never straddle a rotation
+// even though they absorb on independent executors, and all shards stay in
+// lockstep. The cut costs one queue drain (milliseconds at service depth),
+// paid at epoch cadence; queries never wait on it (they read published
+// snapshots).
 func (s *Server) rotate() {
-	s.quiesce.Lock()
+	s.gate.Lock()
+	s.Drain()
 	s.sh.Rotate()
-	s.quiesce.Unlock()
+	s.gate.Unlock()
 	s.rotations.Inc()
 }
 
@@ -544,11 +699,16 @@ func (s *Server) restore() (bool, error) {
 // call more than once.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
-		s.submitMu.Lock()
+		s.gate.Lock()
 		s.closed = true
-		s.submitMu.Unlock()
-		close(s.jobs) // no submitter can be in flight now
-		s.workerWG.Wait()
+		s.gate.Unlock()
+		// No submitter can be mid-fan-out now (fan-outs run entirely under
+		// the shared gate), so the queues hold only whole batches: closing
+		// them lets each executor drain to empty and exit.
+		for _, q := range s.queues {
+			close(q)
+		}
+		s.execWG.Wait()
 		close(s.stopTicker)
 		s.tickerWG.Wait()
 		s.closeErr = s.Checkpoint()

@@ -478,8 +478,10 @@ func TestServerCorruptSpoolRefused(t *testing.T) {
 }
 
 // TestServerConcurrentIngestAndRotation hammers the pipeline from many
-// clients while epochs rotate — under -race this proves the quiesce
-// discipline, and the edges-ingested counter must account for every edge.
+// clients while epochs rotate — under -race this proves the ingest gate's
+// quiesce-cut discipline, and the edges-ingested counter must account for
+// every edge. (TestServerTorture is the heavier sibling: both protocols,
+// wait and async, a query storm, and checkpoints in the mix.)
 func TestServerConcurrentIngestAndRotation(t *testing.T) {
 	s, ts := newTestServer(t, testConfig(""))
 	const (

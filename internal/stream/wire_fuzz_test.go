@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"testing"
+)
+
+// FuzzDecodeWire hardens the CWB1 frame decoder against hostile or damaged
+// payloads: for arbitrary input bytes, DecodeWire must either reject with an
+// error and nil edges, or accept — and an accepted frame must decode to the
+// same edges through the copying slow path as through the zero-copy aliasing
+// fast path, and must be the byte-for-byte canonical encoding of those edges
+// (CWB1 has exactly one encoding per batch: fixed-width fields, mandated
+// endianness, no padding — so accept implies re-encode identity).
+//
+// The corpus is seeded with genuine AppendWire frames (empty, single-edge,
+// bursty) plus truncations, CRC corruptions, count-field inflations, and
+// magic flips of them.
+func FuzzDecodeWire(f *testing.F) {
+	seedBatches := [][]Edge{
+		nil,
+		{{User: 1, Item: 1}},
+		{{User: ^uint64(0), Item: ^uint64(0)}, {User: 0, Item: 0}},
+		burstyEdges(100, 17, 5),
+	}
+	for _, edges := range seedBatches {
+		frame := AppendWire(nil, edges)
+		f.Add(frame) // pristine
+		f.Add(frame[:len(frame)-1])
+		f.Add(frame[:len(frame)/2])
+		f.Add(frame[:wireHeaderLen]) // header only, no trailer
+		crcFlip := append([]byte{}, frame...)
+		crcFlip[len(crcFlip)-1] ^= 0xff
+		f.Add(crcFlip)
+		payloadFlip := append([]byte{}, frame...)
+		payloadFlip[len(payloadFlip)/2] ^= 0x01
+		f.Add(payloadFlip)
+		magicFlip := append([]byte{}, frame...)
+		magicFlip[3] ^= 0x01 // "CWB1" -> "CWB0"
+		f.Add(magicFlip)
+		// Count field lies: claims more pairs than the body holds.
+		countLie := append([]byte{}, frame...)
+		countLie[4], countLie[5], countLie[6], countLie[7] = 0xff, 0xff, 0xff, 0xff
+		f.Add(countLie)
+		// One stray byte appended after the trailer.
+		f.Add(append(append([]byte{}, frame...), 0x00))
+		// One extra pair of garbage between payload and trailer.
+		padded := append([]byte{}, frame[:len(frame)-wireTrailerLen]...)
+		padded = append(padded, make([]byte, wirePairLen)...)
+		f.Add(append(padded, frame[len(frame)-wireTrailerLen:]...))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("CWB1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, err := DecodeWire(data)
+		// Force the copying decode path too: shift the frame by one byte so
+		// the pair payload cannot be 8-byte aligned. Alignment is an
+		// implementation detail — accept/reject and the decoded edges must
+		// not depend on it.
+		shifted := append(make([]byte, 1, 1+len(data)), data...)
+		edges2, err2 := DecodeWire(shifted[1:])
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("alignment changed the verdict: aligned err=%v, shifted err=%v", err, err2)
+		}
+		if err != nil {
+			if edges != nil {
+				t.Fatalf("rejected frame returned edges (err %v)", err)
+			}
+			return
+		}
+		if len(edges) != len(edges2) {
+			t.Fatalf("alignment changed edge count: %d vs %d", len(edges), len(edges2))
+		}
+		for i := range edges {
+			if edges[i] != edges2[i] {
+				t.Fatalf("edge %d: aliased decode %v != copied decode %v", i, edges[i], edges2[i])
+			}
+		}
+		// Canonical-encoding identity: re-encoding an accepted frame's edges
+		// must reproduce the input bytes exactly.
+		out := AppendWire(nil, edges)
+		if len(out) != len(data) {
+			t.Fatalf("re-encode length %d != input length %d", len(out), len(data))
+		}
+		for i := range out {
+			if out[i] != data[i] {
+				t.Fatalf("re-encode diverges at byte %d", i)
+			}
+		}
+	})
+}

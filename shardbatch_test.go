@@ -1,0 +1,130 @@
+package streamcard
+
+// ObserveShardBatch is the shard-direct fast path the server's ingest
+// pipeline absorbs through: the caller partitions a batch once (with the
+// same routing ObserveBatch uses) and feeds each shard its pure sub-batch
+// directly. The contract is the same bit-identical one every other batch
+// path carries — as long as each shard receives its sub-batches in batch
+// order, it does not matter which goroutine delivers them or how the
+// shards interleave with each other.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestObserveShardBatchMatchesObserveBatch: partition + per-shard
+// ObserveShardBatch (shards visited in reverse, to prove cross-shard order
+// is free) == ObserveBatch == sequential Observe, exactly.
+func TestObserveShardBatchMatchesObserveBatch(t *testing.T) {
+	build := func() *Sharded { return newShardedFreeRS(8) }
+	seq, bat, direct := build(), build(), build()
+	part := stream.NewPartitioner(direct.NumShards(), direct.ShardIndex)
+
+	edges := burstStream(12000, 77)
+	for _, e := range edges {
+		seq.Observe(e.User, e.Item)
+	}
+	for i, chunks := 0, []int{1, 9, 512, 83, 2048}; i < len(edges); {
+		c := chunks[i%len(chunks)]
+		if i+c > len(edges) {
+			c = len(edges) - i
+		}
+		chunk := edges[i : i+c]
+		bat.ObserveBatch(chunk)
+		b := part.Split(chunk)
+		for s := direct.NumShards() - 1; s >= 0; s-- {
+			if sub := b.Shard(s); len(sub) > 0 {
+				direct.ObserveShardBatch(s, sub)
+			}
+		}
+		b.Release()
+		i += c
+	}
+
+	seen := map[uint64]struct{}{}
+	for _, e := range edges {
+		if _, ok := seen[e.User]; ok {
+			continue
+		}
+		seen[e.User] = struct{}{}
+		want := seq.Estimate(e.User)
+		if got := bat.Estimate(e.User); got != want {
+			t.Fatalf("user %d: ObserveBatch %v != sequential %v", e.User, got, want)
+		}
+		if got := direct.Estimate(e.User); got != want {
+			t.Fatalf("user %d: ObserveShardBatch %v != sequential %v", e.User, got, want)
+		}
+	}
+	if got, want := direct.TotalDistinct(), seq.TotalDistinct(); got != want {
+		t.Fatalf("TotalDistinct: shard-direct %v != sequential %v", got, want)
+	}
+}
+
+// TestObserveShardBatchConcurrentExecutors models the server's pipeline in
+// miniature: one goroutine per shard draining a FIFO of shard-pure
+// sub-batches. Per-shard FIFO is the only ordering — under -race this
+// proves the single-writer discipline, and the exact-equality check proves
+// it is enough for bit-identical results.
+func TestObserveShardBatchConcurrentExecutors(t *testing.T) {
+	const shards = 8
+	seq := newShardedFreeRS(shards)
+	conc := newShardedFreeRS(shards)
+	part := stream.NewPartitioner(shards, conc.ShardIndex)
+
+	queues := make([]chan []Edge, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		queues[s] = make(chan []Edge, 4)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for sub := range queues[s] {
+				conc.ObserveShardBatch(s, sub)
+			}
+		}(s)
+	}
+
+	edges := burstStream(20000, 13)
+	for _, e := range edges {
+		seq.Observe(e.User, e.Item)
+	}
+	for i := 0; i < len(edges); i += 731 {
+		end := min(i+731, len(edges))
+		b := part.Split(edges[i:end])
+		for s := 0; s < shards; s++ {
+			if sub := b.Shard(s); len(sub) > 0 {
+				// Copy: the executor may still be reading when b is released.
+				queues[s] <- append([]Edge(nil), sub...)
+			}
+		}
+		b.Release()
+	}
+	for s := range queues {
+		close(queues[s])
+	}
+	wg.Wait()
+
+	seen := map[uint64]struct{}{}
+	for _, e := range edges {
+		if _, ok := seen[e.User]; ok {
+			continue
+		}
+		seen[e.User] = struct{}{}
+		if got, want := conc.Estimate(e.User), seq.Estimate(e.User); got != want {
+			t.Fatalf("user %d: concurrent executors %v != sequential %v", e.User, got, want)
+		}
+	}
+	if got, want := conc.TotalDistinct(), seq.TotalDistinct(); got != want {
+		t.Fatalf("TotalDistinct: %v != %v", got, want)
+	}
+}
+
+func TestObserveShardBatchPanicsOutOfRange(t *testing.T) {
+	s := newShardedFreeRS(4)
+	edges := []Edge{{User: 1, Item: 1}}
+	mustPanic(t, func() { s.ObserveShardBatch(-1, edges) })
+	mustPanic(t, func() { s.ObserveShardBatch(4, edges) })
+}

@@ -34,10 +34,15 @@ import (
 // even while large batches are absorbing. Other estimator types fall back
 // to the locked read paths.
 type Sharded struct {
-	shards  []shard
-	seed    uint64
-	name    string
-	scratch sync.Pool // *batchScratch, reused across ObserveBatch calls
+	shards []shard
+	seed   uint64
+	name   string
+	// part is the run-aware counting-sort partitioner ObserveBatch splits
+	// batches with — the same stream.Partitioner pre-partitioning pipelines
+	// (the server's shard executors, a cluster router) build over
+	// ShardIndex, so there is exactly one grouping implementation and any
+	// path through it yields bit-identical per-shard sub-streams.
+	part *stream.Partitioner
 
 	// snapshottable is fixed at construction: every shard supports O(1)
 	// copy-on-write snapshots, so the read methods route through Snapshot.
@@ -58,21 +63,6 @@ type Sharded struct {
 	// interleave a rotation and both sides stay deadlock-free by taking
 	// rotMu before any shard lock. The ingest paths never touch it.
 	rotMu sync.Mutex
-}
-
-// batchScratch holds the per-call buffers of ObserveBatch so concurrent
-// batches neither allocate per call nor share state.
-type batchScratch struct {
-	runs    []runSpan
-	grouped []Edge
-	offsets []int
-}
-
-// runSpan is one maximal run of consecutive same-user edges in a batch; the
-// whole run routes to one shard, so the shard hash is computed once per run.
-type runSpan struct {
-	run   []Edge
-	shard int
 }
 
 type shard struct {
@@ -100,7 +90,7 @@ func NewSharded(n int, build func(shard int) Estimator) *Sharded {
 		shards: make([]shard, n),
 		seed:   hashing.Mix64(uint64(n) ^ 0x3779c0ffee),
 	}
-	s.scratch.New = func() any { return &batchScratch{offsets: make([]int, n+1)} }
+	s.part = stream.NewPartitioner(n, s.ShardIndex)
 	s.snapshottable = true
 	for i := range s.shards {
 		est := build(i)
@@ -155,8 +145,7 @@ func (s *Sharded) Observe(user, item uint64) {
 // whole batch. Within each shard the batch's edge order is preserved, which
 // keeps Sharded.ObserveBatch bit-identical to the per-edge Observe loop.
 func (s *Sharded) ObserveBatch(edges []Edge) {
-	n := len(edges)
-	if n == 0 {
+	if len(edges) == 0 {
 		return
 	}
 	// With publication armed (a reader exists), every touched shard's fresh
@@ -165,63 +154,49 @@ func (s *Sharded) ObserveBatch(edges []Edge) {
 	// view mid-batch finds current snapshots waiting instead of queueing
 	// behind the absorb for a locked refresh.
 	pub := s.snapshottable && s.readers.Load()
-	if len(s.shards) == 1 {
-		sh := &s.shards[0]
-		sh.mu.Lock()
-		sh.est.ObserveBatch(edges)
-		sh.ver.Add(1)
-		if pub {
-			sh.publishLocked()
+	b := s.part.Split(edges)
+	for t := range s.shards {
+		if sub := b.Shard(t); len(sub) > 0 {
+			s.absorbShard(t, sub, pub)
 		}
-		sh.mu.Unlock()
+	}
+	b.Release()
+}
+
+// ObserveShardBatch absorbs a shard-pure batch directly into shard idx,
+// taking only that shard's mutex — the fast path for pipelines that
+// partitioned upstream (stream.Partitioner over ShardIndex, typically at
+// decode time) and so need no re-grouping here: with one feeder goroutine
+// per shard the mutex is uncontended by construction, and all touched
+// shards of a wire batch absorb concurrently. Every edge MUST route to idx
+// per ShardIndex; edges that belong elsewhere silently corrupt per-user
+// routing (a user's state splits across shards), which is why only
+// partitioner output should ever reach this method. Within one shard,
+// feeding the sub-batches of successive batches in order keeps the shard's
+// sub-stream — and therefore every estimate — bit-identical to a
+// sequential ObserveBatch twin. Safe for concurrent use; same writer-side
+// snapshot publication as ObserveBatch.
+func (s *Sharded) ObserveShardBatch(idx int, edges []Edge) {
+	if idx < 0 || idx >= len(s.shards) {
+		panic(fmt.Sprintf("streamcard: shard %d out of range [0,%d)", idx, len(s.shards)))
+	}
+	if len(edges) == 0 {
 		return
 	}
-	sc := s.scratch.Get().(*batchScratch)
-	runs := sc.runs[:0]
-	offsets := sc.offsets
-	for i := range offsets {
-		offsets[i] = 0
+	s.absorbShard(idx, edges, s.snapshottable && s.readers.Load())
+}
+
+// absorbShard feeds one shard-pure sub-batch to shard t under its lock,
+// publishing the shard's fresh snapshot before release when pub is set.
+func (s *Sharded) absorbShard(t int, sub []Edge, pub bool) {
+	sh := &s.shards[t]
+	sh.mu.Lock()
+	sh.est.ObserveBatch(sub)
+	sh.ver.Add(1)
+	if pub {
+		sh.publishLocked()
 	}
-	stream.ForEachRun(edges, func(u uint64, run []Edge) {
-		t := s.ShardIndex(u)
-		runs = append(runs, runSpan{run: run, shard: t})
-		offsets[t+1] += len(run)
-	})
-	// Prefix sums turn per-shard counts (offsets[t+1]) into start offsets
-	// (offsets[t]); the scatter then advances them to end offsets.
-	for t := 1; t < len(offsets); t++ {
-		offsets[t] += offsets[t-1]
-	}
-	if cap(sc.grouped) < n {
-		sc.grouped = make([]Edge, n)
-	}
-	grouped := sc.grouped[:n]
-	for _, r := range runs {
-		off := offsets[r.shard]
-		copy(grouped[off:], r.run)
-		offsets[r.shard] = off + len(r.run)
-	}
-	start := 0
-	for t := range s.shards {
-		end := offsets[t]
-		if end > start {
-			sh := &s.shards[t]
-			sh.mu.Lock()
-			sh.est.ObserveBatch(grouped[start:end])
-			sh.ver.Add(1)
-			if pub {
-				sh.publishLocked()
-			}
-			sh.mu.Unlock()
-		}
-		start = end
-	}
-	// Zero the spans before pooling: their run subslices point into the
-	// caller's edge slice, and stale entries past the next batch's run count
-	// would keep that whole array reachable from the pool.
-	clear(runs)
-	sc.runs = runs
-	s.scratch.Put(sc)
+	sh.mu.Unlock()
 }
 
 // Estimate implements Estimator; safe for concurrent use. Served from the
