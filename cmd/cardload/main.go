@@ -22,6 +22,11 @@
 // the replayed stream and exits nonzero if the server's /total estimate is
 // off by more than the fraction t — only meaningful against a freshly
 // started, unrotated server that receives this workload alone.
+//
+// With -progress FILE (requires -c 1) the driver atomically rewrites FILE
+// with the cumulative acked edge count after every acked batch, so a
+// crash-recovery harness that kills the server mid-replay knows the exact
+// acked prefix to assert against after the WAL replay.
 package main
 
 import (
@@ -69,12 +74,16 @@ func run(args []string, out io.Writer) error {
 		wait    = fs.Bool("wait", false, "use ?wait=1 (response only after the batch is absorbed)")
 		check   = fs.Float64("check", 0, "fail if /total deviates from exact truth by more than this fraction (0 = report only)")
 		proto   = fs.String("proto", "text", "ingest protocol: text|binary")
+		prog    = fs.String("progress", "", "file atomically rewritten with the cumulative acked edge count after every acked batch (requires -c 1); a crash-recovery harness reads it to learn exactly how much the server acked before dying")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *batch <= 0 || *conc <= 0 {
 		return errors.New("-batch and -c must be positive")
+	}
+	if *prog != "" && *conc != 1 {
+		return errors.New("-progress needs -c 1: with concurrent spans the acked count is not a stream prefix")
 	}
 	if *proto != "text" && *proto != "binary" {
 		return fmt.Errorf("-proto %q: want text or binary", *proto)
@@ -116,6 +125,7 @@ func run(args []string, out io.Writer) error {
 			defer wg.Done()
 			var sb strings.Builder
 			var frame []byte
+			acked := 0 // per-span; -progress forces a single span, so it is the total
 			for i := 0; i < len(span); i += *batch {
 				end := i + *batch
 				if end > len(span) {
@@ -144,6 +154,21 @@ func run(args []string, out io.Writer) error {
 				mu.Lock()
 				batches++
 				mu.Unlock()
+				acked += end - i
+				if *prog != "" {
+					// Atomic replace: a kill mid-update leaves the previous
+					// complete count, never a torn file. The count can lag the
+					// server's ack by at most the one batch between its 200 and
+					// this write — the crash harness's tolerance window.
+					if err := writeProgress(*prog, acked); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
 			}
 		}(span)
 	}
@@ -181,6 +206,15 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeProgress atomically replaces path with the decimal edge count.
+func writeProgress(path string, n int) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("%d\n", n)), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func splitSpans(edges []stream.Edge, n int) [][]stream.Edge {

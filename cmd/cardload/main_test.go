@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -77,6 +80,35 @@ func TestCardloadConcurrentSenders(t *testing.T) {
 	}
 }
 
+// TestCardloadProgressFile: -progress tracks the acked prefix exactly —
+// the final value equals the full replayed stream, and the file is the
+// bare decimal a shell harness can read after killing the server.
+func TestCardloadProgressFile(t *testing.T) {
+	ts := startBackend(t)
+	prog := filepath.Join(t.TempDir(), "acked")
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL,
+		"-dataset", "chicago", "-scale", "0.0002",
+		"-edges", "4000", "-batch", "500",
+		"-progress", prog,
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	b, err := os.ReadFile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(\d+) edges to replay`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no edge count in report:\n%s", out.String())
+	}
+	if got := strings.TrimSpace(string(b)); got != m[1] {
+		t.Fatalf("progress file reads %q after a fully acked replay of %s edges", got, m[1])
+	}
+}
+
 func TestCardloadBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-dataset", "nope"}, &out); err == nil {
@@ -90,6 +122,9 @@ func TestCardloadBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-proto", "grpc"}, &out); err == nil {
 		t.Fatal("unknown protocol accepted")
+	}
+	if err := run([]string{"-progress", "p", "-c", "4"}, &out); err == nil {
+		t.Fatal("-progress with concurrent senders accepted")
 	}
 }
 

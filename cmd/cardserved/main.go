@@ -22,6 +22,14 @@
 // On SIGINT/SIGTERM the daemon stops accepting work, drains the ingest
 // pipeline, writes a final checkpoint, and exits; a restart with the same
 // configuration and spool directory resumes in bit-identical lockstep.
+//
+// With -wal-dir set, every acked batch is also appended to a write-ahead
+// log before the ack, so even kill -9 loses nothing acked: the restart
+// replays the log tail on top of the newest checkpoint. -wal-sync picks
+// the fsync policy (always|interval|never — how much POWER loss can take;
+// process crashes are covered under all three), -wal-flush-interval the
+// group-commit cadence, and each checkpoint truncates the log's
+// fully-covered segments.
 package main
 
 import (
@@ -63,6 +71,10 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		epoch    = fs.Duration("epoch", 0, "wall-clock epoch length (0 = rotate only via POST /rotate)")
 		ckEvery  = fs.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on shutdown)")
 		spool    = fs.String("spool", "", "checkpoint spool directory (empty = no persistence)")
+		walDir   = fs.String("wal-dir", "", "write-ahead log directory (empty = no WAL); with a WAL, every acked batch survives kill -9 and a restart replays the log tail on top of the newest checkpoint")
+		walSync  = fs.String("wal-sync", "interval", "WAL fsync policy: always|interval|never (power-loss durability; process crashes are covered under all three)")
+		walFlush = fs.Duration("wal-flush-interval", 50*time.Millisecond, "WAL group-commit fsync cadence for -wal-sync interval")
+		walSeg   = fs.Int64("wal-segment-bytes", 64<<20, "WAL segment file size bound (checkpoints delete fully-covered segments whole)")
 		retain   = fs.Int("retain", 3, "checkpoint history files kept in the spool (newest N; current.ckpt is always the newest)")
 		workers  = fs.Int("workers", 0, "deprecated and ignored: the pipeline runs one executor per shard (-shards)")
 		queue    = fs.Int("queue", 64, "per-shard executor queue depth (full queue = backpressure)")
@@ -89,6 +101,10 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		Epoch:              *epoch,
 		CheckpointEvery:    *ckEvery,
 		SpoolDir:           *spool,
+		WALDir:             *walDir,
+		WALSync:            *walSync,
+		WALFlushInterval:   *walFlush,
+		WALSegmentBytes:    *walSeg,
 		Retain:             *retain,
 		Workers:            *workers,
 		QueueDepth:         *queue,
@@ -117,8 +133,12 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	if s.Restored() {
 		fmt.Fprintf(out, "cardserved: restored checkpoint from %s (epoch=%d)\n", *spool, s.Epoch())
 	}
-	fmt.Fprintf(out, "cardserved: listening on %s (method=%s mbits=%d shards=%d gens=%d epoch=%v spool=%q)\n",
-		ln.Addr(), *method, *mbits, *shards, *gens, *epoch, *spool)
+	if recs, edges := s.WALReplayed(); recs > 0 {
+		fmt.Fprintf(out, "cardserved: replayed %d WAL records (%d edges) from %s (epoch=%d)\n",
+			recs, edges, *walDir, s.Epoch())
+	}
+	fmt.Fprintf(out, "cardserved: listening on %s (method=%s mbits=%d shards=%d gens=%d epoch=%v spool=%q wal=%q)\n",
+		ln.Addr(), *method, *mbits, *shards, *gens, *epoch, *spool, *walDir)
 
 	select {
 	case got := <-sig:

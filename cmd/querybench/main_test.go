@@ -46,6 +46,16 @@ func TestQueryBenchEmitsJSON(t *testing.T) {
 		t.Fatalf("snapshot publication not O(1): %v B at M, %v B at 4M",
 			res.SnapshotPublishBytes, res.SnapshotPublishBytes4x)
 	}
+	// All three WAL legs ran against a real log; the always leg pays an
+	// fsync per batch, so it can never beat the interval leg by more than
+	// noise.
+	if res.WALOffEdgesPerSec <= 0 || res.WALIntervalEdgesPerSec <= 0 || res.WALAlwaysEdgesPerSec <= 0 {
+		t.Fatalf("WAL phase legs missing: %+v", res)
+	}
+	if res.WALAlwaysOverheadPct < res.WALIntervalOverheadPct-10 {
+		t.Fatalf("fsync-per-batch measured cheaper than group commit: interval +%.1f%%, always +%.1f%%",
+			res.WALIntervalOverheadPct, res.WALAlwaysOverheadPct)
+	}
 }
 
 func TestQueryBenchStdout(t *testing.T) {

@@ -12,11 +12,22 @@ package server
 //
 // Layout (all integers uvarint unless noted):
 //
-//	magic "CSP1"
+//	magic "CSP2"
 //	method byte ('R' FreeRS, 'B' FreeBS)
 //	memoryBits, shards, generations, seed
+//	walSeq, epochEdges
 //	per shard: payload length, payload
 //	crc32-IEEE of everything before it (4 bytes big-endian)
+//
+// walSeq is the newest WAL sequence number this checkpoint covers (0 when
+// the WAL is disabled or empty): on restart, replay applies only records
+// above it, and a successful checkpoint truncates the log through it.
+// epochEdges is the number of edges logged to the WAL during the current
+// (unfinished) epoch at the moment of the cut — the baseline replay needs
+// to cross-check rotation records against. The envelope magic moved from
+// CSP1 to CSP2 when these fields were added; the service has no deployed
+// CSP1 spools to migrate, so an old magic is simply a corrupt-checkpoint
+// error.
 //
 // Files are written through the atomic-write helper, so a crash mid-write
 // leaves the previous complete checkpoint in place; the trailing CRC
@@ -51,7 +62,7 @@ import (
 )
 
 const (
-	spoolMagic = "CSP1"
+	spoolMagic = "CSP2"
 
 	// spoolHistPrefix/Suffix frame history file names: ckpt-<seq>.ckpt,
 	// zero-padded so lexical and numeric order agree.
@@ -72,7 +83,10 @@ func methodByte(method string) byte {
 // view: an epoch-consistent frozen cut, so no sketch lock is needed while
 // the (potentially large) payloads are marshaled. Shard order in the view
 // matches s.wins by construction (NewSharded consumed the builds in order).
-func (s *Server) marshalSpool(view *streamcard.ShardedView) ([]byte, error) {
+// walSeq/epochEdges tie the snapshot to a WAL position (both 0 when the
+// WAL is off); with the WAL on, the caller captured view and position
+// under one quiesce cut so they describe the same instant.
+func (s *Server) marshalSpool(view *streamcard.ShardedView, walSeq, epochEdges uint64) ([]byte, error) {
 	var buf bytes.Buffer
 	buf.WriteString(spoolMagic)
 	buf.WriteByte(methodByte(s.cfg.Method))
@@ -82,6 +96,8 @@ func (s *Server) marshalSpool(view *streamcard.ShardedView) ([]byte, error) {
 	putUvarint(uint64(s.cfg.Shards))
 	putUvarint(uint64(s.cfg.Generations))
 	putUvarint(s.cfg.Seed)
+	putUvarint(walSeq)
+	putUvarint(epochEdges)
 	for i := 0; i < view.NumShards(); i++ {
 		w, ok := view.ShardView(i).(*streamcard.Windowed)
 		if !ok {
@@ -101,23 +117,24 @@ func (s *Server) marshalSpool(view *streamcard.ShardedView) ([]byte, error) {
 }
 
 // unmarshalSpool validates data and restores it into the freshly built
-// stack. Called before the server takes traffic; on error the stack keeps
-// whatever state it had (a fresh build: empty).
-func (s *Server) unmarshalSpool(data []byte) error {
+// stack, returning the checkpoint's WAL position (walSeq) and in-epoch
+// logged-edge baseline. Called before the server takes traffic; on error
+// the stack keeps whatever state it had (a fresh build: empty).
+func (s *Server) unmarshalSpool(data []byte) (walSeq, epochEdges uint64, err error) {
 	if len(data) < len(spoolMagic)+1+4 {
-		return fmt.Errorf("%w: %d bytes", errSpoolCorrupt, len(data))
+		return 0, 0, fmt.Errorf("%w: %d bytes", errSpoolCorrupt, len(data))
 	}
 	body, crc := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
 	if crc32.ChecksumIEEE(body) != crc {
-		return fmt.Errorf("%w: checksum mismatch", errSpoolCorrupt)
+		return 0, 0, fmt.Errorf("%w: checksum mismatch", errSpoolCorrupt)
 	}
 	if string(body[:len(spoolMagic)]) != spoolMagic {
-		return fmt.Errorf("%w: bad magic %q", errSpoolCorrupt, body[:len(spoolMagic)])
+		return 0, 0, fmt.Errorf("%w: bad magic %q", errSpoolCorrupt, body[:len(spoolMagic)])
 	}
 	r := bytes.NewReader(body[len(spoolMagic):])
 	method, err := r.ReadByte()
 	if err != nil {
-		return fmt.Errorf("%w: truncated header", errSpoolCorrupt)
+		return 0, 0, fmt.Errorf("%w: truncated header", errSpoolCorrupt)
 	}
 	readUvarint := func(field string) (uint64, error) {
 		v, err := binary.ReadUvarint(r)
@@ -128,26 +145,32 @@ func (s *Server) unmarshalSpool(data []byte) error {
 	}
 	mbits, err := readUvarint("memoryBits")
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	shards, err := readUvarint("shards")
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	gens, err := readUvarint("generations")
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	seed, err := readUvarint("seed")
 	if err != nil {
-		return err
+		return 0, 0, err
+	}
+	if walSeq, err = readUvarint("walSeq"); err != nil {
+		return 0, 0, err
+	}
+	if epochEdges, err = readUvarint("epochEdges"); err != nil {
+		return 0, 0, err
 	}
 	if method != methodByte(s.cfg.Method) ||
 		mbits != uint64(s.cfg.MemoryBits) ||
 		shards != uint64(s.cfg.Shards) ||
 		gens != uint64(s.cfg.Generations) ||
 		seed != s.cfg.Seed {
-		return fmt.Errorf("server: checkpoint of a method=%c mbits=%d shards=%d gens=%d seed=%d service "+
+		return 0, 0, fmt.Errorf("server: checkpoint of a method=%c mbits=%d shards=%d gens=%d seed=%d service "+
 			"cannot restore into method=%c mbits=%d shards=%d gens=%d seed=%d — "+
 			"match the configuration or move the spool aside",
 			method, mbits, shards, gens, seed,
@@ -156,23 +179,23 @@ func (s *Server) unmarshalSpool(data []byte) error {
 	for i := 0; i < int(shards); i++ {
 		n, err := readUvarint("shard payload length")
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
 		if n > uint64(r.Len()) {
-			return fmt.Errorf("%w: shard %d claims %d bytes, %d remain", errSpoolCorrupt, i, n, r.Len())
+			return 0, 0, fmt.Errorf("%w: shard %d claims %d bytes, %d remain", errSpoolCorrupt, i, n, r.Len())
 		}
 		payload := make([]byte, n)
 		if _, err := r.Read(payload); err != nil {
-			return fmt.Errorf("%w: shard %d payload", errSpoolCorrupt, i)
+			return 0, 0, fmt.Errorf("%w: shard %d payload", errSpoolCorrupt, i)
 		}
 		if err := s.wins[i].UnmarshalBinary(payload); err != nil {
-			return fmt.Errorf("server: restoring shard %d: %w", i, err)
+			return 0, 0, fmt.Errorf("server: restoring shard %d: %w", i, err)
 		}
 	}
 	if r.Len() != 0 {
-		return fmt.Errorf("%w: %d trailing bytes", errSpoolCorrupt, r.Len())
+		return 0, 0, fmt.Errorf("%w: %d trailing bytes", errSpoolCorrupt, r.Len())
 	}
-	return nil
+	return walSeq, epochEdges, nil
 }
 
 // writeSpool persists one checkpoint atomically.

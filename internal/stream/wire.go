@@ -35,10 +35,15 @@ const WireContentType = "application/x-streamcard-batch"
 
 const (
 	wireMagic      = "CWB1"
-	wireHeaderLen  = 8  // magic + pair count
-	wireTrailerLen = 4  // CRC-32
-	wirePairLen    = 16 // two uint64s
+	wireHeaderLen  = 8 // magic + pair count
+	wireTrailerLen = 4 // CRC-32
+	wirePairLen    = PairBytes
 )
+
+// PairBytes is the fixed wire width of one edge: user uint64 LE, item
+// uint64 LE. Shared by the CWB1 ingest frame and the WAL record format
+// (internal/wal), which reuse the same pair payload encoding.
+const PairBytes = 16
 
 // WireSize returns the encoded size of a CWB1 frame holding n edges.
 func WireSize(n int) int { return wireHeaderLen + n*wirePairLen + wireTrailerLen }
@@ -58,16 +63,49 @@ func AppendWire(dst []byte, edges []Edge) []byte {
 	start := len(dst)
 	dst = append(dst, wireMagic...)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(edges)))
-	if hostLittleEndian && len(edges) > 0 {
-		pairs := unsafe.Slice((*byte)(unsafe.Pointer(&edges[0])), len(edges)*wirePairLen)
-		dst = append(dst, pairs...)
-	} else {
-		for _, e := range edges {
-			dst = binary.LittleEndian.AppendUint64(dst, e.User)
-			dst = binary.LittleEndian.AppendUint64(dst, e.Item)
-		}
-	}
+	dst = AppendPairs(dst, edges)
 	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// AppendPairs appends the fixed-width pair payload of edges (PairBytes per
+// edge, no framing) to dst. On little-endian hosts the payload is one bulk
+// copy of the edge memory. This is the shared payload codec behind both the
+// CWB1 ingest frame and the WAL batch record.
+func AppendPairs(dst []byte, edges []Edge) []byte {
+	if hostLittleEndian && len(edges) > 0 {
+		pairs := unsafe.Slice((*byte)(unsafe.Pointer(&edges[0])), len(edges)*PairBytes)
+		return append(dst, pairs...)
+	}
+	for _, e := range edges {
+		dst = binary.LittleEndian.AppendUint64(dst, e.User)
+		dst = binary.LittleEndian.AppendUint64(dst, e.Item)
+	}
+	return dst
+}
+
+// DecodePairs decodes n fixed-width pairs from the front of data (which
+// must hold at least n*PairBytes bytes). Like DecodeWire, on little-endian
+// hosts with an aligned payload the returned edges ALIAS data — the caller
+// must neither modify data while the edges are in use nor modify the edges;
+// misaligned or big-endian decodes fall back to a copying loop.
+func DecodePairs(data []byte, n int) ([]Edge, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if len(data) < n*PairBytes {
+		return nil, fmt.Errorf("wire: %d pairs need %d bytes, have %d", n, n*PairBytes, len(data))
+	}
+	pairs := data[:n*PairBytes]
+	if hostLittleEndian && uintptr(unsafe.Pointer(&pairs[0]))%unsafe.Alignof(Edge{}) == 0 {
+		return unsafe.Slice((*Edge)(unsafe.Pointer(&pairs[0])), n), nil
+	}
+	edges := make([]Edge, n)
+	for i := range edges {
+		off := i * PairBytes
+		edges[i].User = binary.LittleEndian.Uint64(pairs[off:])
+		edges[i].Item = binary.LittleEndian.Uint64(pairs[off+8:])
+	}
+	return edges, nil
 }
 
 // DecodeWire decodes one CWB1 frame. On little-endian hosts with an aligned
@@ -93,20 +131,7 @@ func DecodeWire(data []byte) ([]Edge, error) {
 	if want := wireHeaderLen + n*wirePairLen; len(body) != want {
 		return nil, fmt.Errorf("wire: %d pairs need %d body bytes, have %d", n, want, len(body))
 	}
-	if n == 0 {
-		return nil, nil
-	}
-	pairs := body[wireHeaderLen:]
-	if hostLittleEndian && uintptr(unsafe.Pointer(&pairs[0]))%unsafe.Alignof(Edge{}) == 0 {
-		return unsafe.Slice((*Edge)(unsafe.Pointer(&pairs[0])), n), nil
-	}
-	edges := make([]Edge, n)
-	for i := range edges {
-		off := i * wirePairLen
-		edges[i].User = binary.LittleEndian.Uint64(pairs[off:])
-		edges[i].Item = binary.LittleEndian.Uint64(pairs[off+8:])
-	}
-	return edges, nil
+	return DecodePairs(body[wireHeaderLen:], n)
 }
 
 // ParseTextBatch decodes the ingest text line protocol strictly: exactly

@@ -1,0 +1,52 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// benchAppend measures the appender-side cost of logging one 65536-edge
+// batch (1 MiB of record) under a policy — the per-batch price cardserved's
+// submit path pays before acking.
+func benchAppend(b *testing.B, policy Policy, flush time.Duration) {
+	edges := make([]stream.Edge, 65536)
+	for i := range edges {
+		edges[i] = stream.Edge{User: uint64(i % 500), Item: uint64(i)}
+	}
+	w, err := Open(Options{Dir: b.TempDir(), Fingerprint: []byte("bench"),
+		Policy: policy, FlushInterval: flush})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	b.SetBytes(int64(len(edges) * stream.PairBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq, err := w.AppendBatch(edges)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Commit(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendBatch(b *testing.B) {
+	for _, c := range []struct {
+		name   string
+		policy Policy
+		flush  time.Duration
+	}{
+		{"never", SyncNever, time.Hour},
+		{"interval-50ms", SyncInterval, 50 * time.Millisecond},
+		{"always", SyncAlways, time.Hour},
+	} {
+		b.Run(fmt.Sprintf("policy=%s", c.name), func(b *testing.B) {
+			benchAppend(b, c.policy, c.flush)
+		})
+	}
+}

@@ -1,0 +1,47 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// fdatasync flushes file data plus only the metadata needed to read it
+// back. Segments are preallocated to their full size up front, so the
+// group-commit path never extends the file and fdatasync skips the journal
+// commit a size-changing fsync would pay — the difference is most of an
+// fsync's cost on ext4.
+func fdatasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+// preallocate reserves size bytes for f (extending its length), so that
+// appends overwrite reserved extents instead of allocating blocks and
+// growing i_size under the group-commit fdatasync. Filesystems without
+// fallocate support just fall back to growing writes.
+func preallocate(f *os.File, size int64) error {
+	err := syscall.Fallocate(int(f.Fd()), 0, 0, size)
+	if err == syscall.EOPNOTSUPP || err == syscall.ENOSYS {
+		return nil
+	}
+	return err
+}
+
+// writebackHint asks the kernel to start writing back [off, off+n) without
+// waiting and without a journal commit. The WAL drops a hint each time the
+// active segment crosses a chunk boundary so the pages drain continuously;
+// the policy fsync that later makes them durable then orders very little
+// data inside its jbd2 commit — and it is that commit, which blocks every
+// concurrent append needing a journal handle, that sets the appender-side
+// cost of durability on ext4. Purely advisory: errors are ignored because
+// a real I/O failure will resurface at the next fsync, which is latched.
+func writebackHint(f *os.File, off, n int64) {
+	// SYNC_FILE_RANGE_WRITE: submit the dirty pages, do not wait on them.
+	_ = syscall.SyncFileRange(int(f.Fd()), off, n, 0x2)
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// fdatasync falls back to a full fsync where the data-only syscall is not
+// available.
+func fdatasync(f *os.File) error { return f.Sync() }
+
+// preallocate is a no-op off Linux; segments grow write by write.
+func preallocate(f *os.File, size int64) error { return nil }
+
+// writebackHint is advisory and has no portable equivalent; the policy
+// fsyncs simply find more dirty pages to flush.
+func writebackHint(f *os.File, off, n int64) {}

@@ -1,0 +1,159 @@
+package wal
+
+// The WAL record format ("CWL1") reuses the CWB1 framing discipline: a
+// magic tag, a uvarint header, a fixed-width u64 LE pair payload, and a
+// CRC-32 (IEEE) trailer in big-endian — the same codec the ingest wire and
+// the spool envelopes speak, so one set of tooling reads all three.
+//
+//	offset  size  field
+//	0       4     magic "CWL1"
+//	4       1     type: 'B' (ingest batch) or 'R' (epoch rotation)
+//	5       ...   seq, uvarint (monotonic, +1 per record across segments)
+//	        ...   payload:
+//	                'B': edge count n uvarint, then n pairs
+//	                     (user uint64 LE, item uint64 LE — stream.PairBytes each)
+//	                'R': closing epoch uvarint, edges appended this epoch uvarint
+//	end-4   4     CRC-32 (IEEE) over all preceding record bytes, big-endian
+//
+// Records are written back-to-back in a segment with no outer framing: the
+// header is self-delimiting and the CRC rejects torn or corrupted tails.
+// The encoding is canonical — uvarints are minimal — so DecodeRecord
+// followed by AppendRecord reproduces the consumed bytes exactly, which is
+// what FuzzWALRecord pins.
+//
+// The rotation record exists because replay must reproduce generation
+// boundaries exactly, not just the edge multiset: a Windowed sketch's state
+// depends on WHERE the epoch cuts fell in the stream. The record carries
+// the closing epoch and that epoch's appended-edge count so replay can
+// cross-check its position before rotating — a mismatch means the log and
+// the checkpoint disagree about history and must be a loud error.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/stream"
+)
+
+const (
+	recordMagic      = "CWL1"
+	recordTrailerLen = 4 // CRC-32
+
+	// TypeBatch marks a record carrying one accepted ingest batch.
+	TypeBatch = byte('B')
+	// TypeRotation marks an epoch-rotation cut.
+	TypeRotation = byte('R')
+)
+
+// ErrInvalidRecord is wrapped by every DecodeRecord failure: short data
+// (a torn tail), bad magic, unknown type, a non-minimal uvarint, or a CRC
+// mismatch. Segment scans treat any of these at the tail as the end of the
+// durable log.
+var ErrInvalidRecord = errors.New("wal: invalid record")
+
+// Record is one WAL entry. Batch records carry Edges; rotation records
+// carry Epoch (the epoch being closed) and EpochEdges (edges logged while
+// it was current). Seq is the global position, continuous across segments.
+type Record struct {
+	Seq        uint64
+	Type       byte
+	Edges      []stream.Edge // TypeBatch
+	Epoch      uint64        // TypeRotation: the epoch this rotation closes
+	EpochEdges uint64        // TypeRotation: edges appended during that epoch
+}
+
+// AppendRecord appends the canonical encoding of rec to dst and returns
+// the extended slice (append-style, so the WAL reuses one buffer across
+// appends).
+func AppendRecord(dst []byte, rec Record) []byte {
+	start := len(dst)
+	dst = append(dst, recordMagic...)
+	dst = append(dst, rec.Type)
+	dst = binary.AppendUvarint(dst, rec.Seq)
+	switch rec.Type {
+	case TypeBatch:
+		dst = binary.AppendUvarint(dst, uint64(len(rec.Edges)))
+		dst = stream.AppendPairs(dst, rec.Edges)
+	case TypeRotation:
+		dst = binary.AppendUvarint(dst, rec.Epoch)
+		dst = binary.AppendUvarint(dst, rec.EpochEdges)
+	default:
+		panic(fmt.Sprintf("wal: unknown record type %q", rec.Type))
+	}
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// uvarint reads a minimally encoded uvarint from data[pos:]. Non-minimal
+// encodings (e.g. 0x80 0x00 for zero) are rejected so that every accepted
+// record re-encodes to its exact input bytes — the canonical-form property
+// the fuzz target relies on, and cheap insurance against two byte strings
+// decoding to the same record.
+func uvarint(data []byte, pos int) (uint64, int, error) {
+	v, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: truncated uvarint", ErrInvalidRecord)
+	}
+	if n > 1 && data[pos+n-1] == 0 {
+		return 0, 0, fmt.Errorf("%w: non-minimal uvarint", ErrInvalidRecord)
+	}
+	return v, pos + n, nil
+}
+
+// DecodeRecord decodes one record from the front of data, returning the
+// record and the number of bytes consumed. Batch edges ALIAS data on
+// little-endian hosts (like stream.DecodeWire): callers must consume them
+// before reusing the buffer. Any malformed prefix — including a torn tail
+// shorter than one whole record — returns an error wrapping
+// ErrInvalidRecord and consumes nothing.
+func DecodeRecord(data []byte) (Record, int, error) {
+	var rec Record
+	headLen := len(recordMagic) + 1
+	if len(data) < headLen+recordTrailerLen {
+		return rec, 0, fmt.Errorf("%w: %d bytes is shorter than any record", ErrInvalidRecord, len(data))
+	}
+	if string(data[:len(recordMagic)]) != recordMagic {
+		return rec, 0, fmt.Errorf("%w: bad magic %q", ErrInvalidRecord, data[:len(recordMagic)])
+	}
+	rec.Type = data[len(recordMagic)]
+	pos := headLen
+	var err error
+	if rec.Seq, pos, err = uvarint(data, pos); err != nil {
+		return Record{}, 0, err
+	}
+	switch rec.Type {
+	case TypeBatch:
+		var count uint64
+		if count, pos, err = uvarint(data, pos); err != nil {
+			return Record{}, 0, err
+		}
+		// Bound the count by the bytes actually present before doing any
+		// arithmetic with it: a corrupt header can claim 2^60 edges.
+		if remaining := len(data) - pos - recordTrailerLen; remaining < 0 ||
+			count > uint64(remaining)/stream.PairBytes {
+			return Record{}, 0, fmt.Errorf("%w: %d edges exceed %d remaining bytes",
+				ErrInvalidRecord, count, len(data)-pos)
+		}
+		if rec.Edges, err = stream.DecodePairs(data[pos:], int(count)); err != nil {
+			return Record{}, 0, fmt.Errorf("%w: %v", ErrInvalidRecord, err)
+		}
+		pos += int(count) * stream.PairBytes
+	case TypeRotation:
+		if rec.Epoch, pos, err = uvarint(data, pos); err != nil {
+			return Record{}, 0, err
+		}
+		if rec.EpochEdges, pos, err = uvarint(data, pos); err != nil {
+			return Record{}, 0, err
+		}
+	default:
+		return Record{}, 0, fmt.Errorf("%w: unknown type %q", ErrInvalidRecord, rec.Type)
+	}
+	if len(data)-pos < recordTrailerLen {
+		return Record{}, 0, fmt.Errorf("%w: torn trailer", ErrInvalidRecord)
+	}
+	if sum := crc32.ChecksumIEEE(data[:pos]); sum != binary.BigEndian.Uint32(data[pos:]) {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch at seq %d", ErrInvalidRecord, rec.Seq)
+	}
+	return rec, pos + recordTrailerLen, nil
+}

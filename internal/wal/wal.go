@@ -1,0 +1,823 @@
+// Package wal is the durability layer between spool checkpoints: a
+// segmented, CRC-framed write-ahead log of accepted ingest batches and
+// epoch rotations, replayed on restart on top of the newest checkpoint so
+// a SIGKILLed service resumes in bit-identical lockstep with an
+// uninterrupted twin.
+//
+// The design follows the segmented-WAL shape of time-series storage
+// engines crossed with an AOF's fsync policy: records (record.go) are
+// appended back-to-back to bounded segment files, each append lands fully
+// in the kernel page cache before it returns, and fsync is batched by a
+// group-commit policy. The durability ladder, from the server's ack
+// contract downward:
+//
+//   - Process crash (SIGKILL, panic): every acked batch survives under
+//     EVERY policy. Each record reaches the kernel page cache before the
+//     ack; the page cache outlives the process.
+//   - Power loss / kernel crash: bounded by the fsync policy. SyncAlways
+//     loses nothing acked; SyncInterval loses at most the last flush
+//     interval; SyncNever loses whatever the OS had not written back.
+//
+// Segments are named wal-<first-seq>.seg; sequence numbers are global and
+// continuous across segments, so the file name states exactly which slice
+// of history a segment holds and checkpoint truncation (TruncateThrough)
+// can delete fully-covered segments by name arithmetic alone. Every open
+// creates a fresh active segment and never appends to files from an
+// earlier process life: old segments are immutable, which is also what the
+// planned replication stream wants to ship.
+//
+// A torn tail — a partial record at the end of the LAST segment, the
+// signature of a crash mid-write — is truncated at the last valid frame
+// and is not an error. Corruption anywhere else (an interior segment, a
+// mid-file record) IS an error: it means history the caller may have acked
+// is gone, and silently skipping it would un-notice data loss.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Edge aliases the stream edge type the log records carry.
+type Edge = stream.Edge
+
+// Policy selects when appends become durable against power loss. Process
+// crashes are covered regardless (see the package comment).
+type Policy int
+
+const (
+	// SyncInterval batches fsyncs: a background group-committer syncs every
+	// Options.FlushInterval when there are unsynced bytes. The default.
+	SyncInterval Policy = iota
+	// SyncAlways fsyncs before an append returns. Group-committed: an
+	// append queued behind a completed sync that already covers its record
+	// does not pay a second fsync.
+	SyncAlways
+	// SyncNever issues no per-ack or per-interval fsync; acked-batch
+	// power-loss exposure is whatever the OS has not written back. Segment
+	// hygiene still holds: the writeback hints (writebackChunk) keep pages
+	// draining and the fsync that seals a rolling segment runs under every
+	// policy, so an immutable segment is always fully durable.
+	SyncNever
+)
+
+// ParsePolicy maps the -wal-sync flag values to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "interval", "":
+		return SyncInterval, nil
+	case "always":
+		return SyncAlways, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or never)", s)
+}
+
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+const (
+	segMagic  = "CWS1"
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+
+	// DefaultSegmentBytes bounds one segment file. Rolling at a bounded
+	// size keeps truncation granular (checkpoints delete whole segments)
+	// and replay memory bounded (segments are read one at a time).
+	DefaultSegmentBytes = 64 << 20
+	// DefaultFlushInterval is the SyncInterval group-commit cadence.
+	DefaultFlushInterval = 50 * time.Millisecond
+)
+
+// Metrics are optional observation hooks; nil funcs are skipped. They are
+// called with the WAL's internal mutex held, so they must not call back
+// into the WAL.
+type Metrics struct {
+	OnAppend   func(records, bytes int)
+	OnFsync    func(seconds float64)
+	OnTruncate func(segments int)
+}
+
+// Options configure Open.
+type Options struct {
+	// Dir is the segment directory, created if missing.
+	Dir string
+	// Fingerprint is an opaque configuration tag written into every
+	// segment header and verified on open: replaying a log written by a
+	// differently configured service would not fail — it would silently
+	// absorb into sketches of the wrong shape — so a mismatch is refused
+	// up front, like the spool envelope's fingerprint.
+	Fingerprint []byte
+	// StartSeq is the newest sequence number already durable elsewhere
+	// (the spool checkpoint's WAL position). Appending continues above
+	// max(StartSeq, newest on-disk record), so sequence numbers never
+	// repeat even after truncation emptied the directory.
+	StartSeq uint64
+	// SegmentBytes bounds one segment; 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+	// FlushInterval is the SyncInterval cadence; 0 means
+	// DefaultFlushInterval.
+	FlushInterval time.Duration
+	// Policy is the fsync policy; the zero value is SyncInterval.
+	Policy Policy
+	// Metrics are optional observation hooks.
+	Metrics Metrics
+}
+
+// WAL is a segmented write-ahead log. All methods are safe for concurrent
+// use. The first write or sync error latches: every later operation
+// returns it, so a caller that stops acking on error can never ack a batch
+// the log silently dropped.
+type WAL struct {
+	opts   Options
+	header []byte // encoded segment header, reused for every new segment
+
+	// Lock order: syncMu before mu. syncMu serializes fsync and
+	// active-file replacement (roll, truncate-roll, close); the group
+	// commit takes mu only to snapshot and to publish, so the fsync itself
+	// — the slow part — runs with appends still flowing. Holding syncMu
+	// across the fsync is what keeps w.f alive under it.
+	syncMu sync.Mutex
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	segStart uint64   // seq the active segment's first record will carry
+	segSize  int64    // bytes written to the active segment, header included
+	nextSeq  uint64   // seq the next append will carry
+	buf      []byte   // append scratch
+	err      error    // sticky failure
+
+	hinted   int64         // offset already handed to writebackHint (see writebackChunk)
+	synced   atomic.Uint64 // newest seq known durable via fsync
+	unsynced atomic.Int64  // bytes written to the active segment since its last fsync
+	segments atomic.Int64  // segment files on disk, active included
+
+	committerWG   sync.WaitGroup
+	stopCommitter chan struct{}
+}
+
+// Open scans dir, verifies every segment against the fingerprint and the
+// global sequence continuity, truncates a torn tail in the last segment at
+// the last valid frame, and starts a fresh active segment above everything
+// found. Records already on disk are NOT consumed by Open — call Replay.
+func Open(opts Options) (*WAL, error) {
+	if opts.SegmentBytes == 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SegmentBytes < 1024 {
+		return nil, fmt.Errorf("wal: SegmentBytes %d is below the 1 KiB floor", opts.SegmentBytes)
+	}
+	if opts.FlushInterval == 0 {
+		opts.FlushInterval = DefaultFlushInterval
+	}
+	if opts.FlushInterval < 0 {
+		return nil, fmt.Errorf("wal: negative FlushInterval")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &WAL{
+		opts:          opts,
+		header:        appendSegHeader(nil, opts.Fingerprint),
+		stopCommitter: make(chan struct{}),
+	}
+
+	segs, err := w.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	last := opts.StartSeq
+	var prevLast uint64
+	havePrev := false
+	for i, seg := range segs {
+		lastSeq, n, err := w.scanSegment(seg, i == len(segs)-1, nil)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			first := lastSeq - uint64(n) + 1
+			if first != seg.firstSeq {
+				return nil, fmt.Errorf("wal: segment %s starts at seq %d, name claims %d",
+					seg.path, first, seg.firstSeq)
+			}
+			if havePrev && first != prevLast+1 {
+				// A hole between segments: records the caller may have acked
+				// are gone. (A deleted PREFIX is fine — that is what
+				// truncation does — and Replay re-checks against StartSeq.)
+				return nil, fmt.Errorf("wal: segment %s starts at seq %d after a gap (previous segment ends at %d)",
+					seg.path, first, prevLast)
+			}
+			prevLast, havePrev = lastSeq, true
+			if lastSeq > last {
+				last = lastSeq
+			}
+		} else if i != len(segs)-1 {
+			// Only the last segment may be empty (a crash right after a
+			// roll); an empty interior segment means files were tampered
+			// with or lost.
+			return nil, fmt.Errorf("wal: empty interior segment %s", seg.path)
+		} else {
+			// An empty trailing segment from an earlier life (a crash right
+			// after a roll, or a torn header truncated above). This process
+			// starts its own fresh active segment — possibly under a
+			// different name — so remove the stale one rather than leave a
+			// headerless or misnamed file for the next scan to choke on.
+			if err := os.Remove(seg.path); err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			segs = segs[:i]
+		}
+	}
+	w.nextSeq = last + 1
+	w.segments.Store(int64(len(segs)))
+	if err := w.openActiveLocked(); err != nil {
+		return nil, err
+	}
+	if opts.Policy == SyncInterval {
+		w.committerWG.Add(1)
+		go w.committer(w.stopCommitter)
+	}
+	return w, nil
+}
+
+func appendSegHeader(dst, fingerprint []byte) []byte {
+	dst = append(dst, segMagic...)
+	dst = binary.AppendUvarint(dst, uint64(len(fingerprint)))
+	return append(dst, fingerprint...)
+}
+
+type segFile struct {
+	path     string
+	firstSeq uint64
+}
+
+// listSegments returns the directory's segments sorted by first sequence
+// number. Files merely resembling segments are ignored.
+func (w *WAL) listSegments() ([]segFile, error) {
+	entries, err := os.ReadDir(w.opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segFile{path: filepath.Join(w.opts.Dir, name), firstSeq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+func (w *WAL) segPath(firstSeq uint64) string {
+	return filepath.Join(w.opts.Dir, fmt.Sprintf("%s%012d%s", segPrefix, firstSeq, segSuffix))
+}
+
+// scanSegment walks one segment's records in order, verifying the header
+// fingerprint, per-record CRCs, and seq continuity, calling fn (if
+// non-nil) for each record. In the last segment a torn or corrupt tail is
+// physically truncated at the last valid frame; anywhere else it is an
+// error. Returns the last record's seq and the record count (0, 0 for an
+// empty segment).
+func (w *WAL) scanSegment(seg segFile, isLast bool, fn func(Record) error) (uint64, int, error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	pos, err := checkSegHeader(data, w.opts.Fingerprint)
+	if err != nil {
+		if isLast && errors.Is(err, errTornHeader) {
+			// Crash while the header itself was in flight: the segment holds
+			// no durable records. Truncate to empty rather than refuse.
+			return 0, 0, truncateSegment(seg.path, 0)
+		}
+		return 0, 0, fmt.Errorf("wal: segment %s: %w", seg.path, err)
+	}
+	var (
+		lastSeq uint64
+		count   int
+	)
+	for pos < len(data) {
+		rec, n, err := DecodeRecord(data[pos:])
+		if err != nil {
+			if isLast {
+				// The torn tail of a crash mid-append: everything before it
+				// is intact, so cut the file there and carry on.
+				return lastSeq, count, truncateSegment(seg.path, int64(pos))
+			}
+			return 0, 0, fmt.Errorf("wal: segment %s offset %d: %w", seg.path, pos, err)
+		}
+		if count > 0 && rec.Seq != lastSeq+1 {
+			return 0, 0, fmt.Errorf("wal: segment %s: seq %d follows %d", seg.path, rec.Seq, lastSeq)
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return 0, 0, err
+			}
+		}
+		lastSeq = rec.Seq
+		count++
+		pos += n
+	}
+	return lastSeq, count, nil
+}
+
+var errTornHeader = errors.New("wal: torn segment header")
+
+// checkSegHeader validates a segment's header and returns the offset of
+// its first record.
+func checkSegHeader(data, fingerprint []byte) (int, error) {
+	if len(data) < len(segMagic)+1 {
+		return 0, errTornHeader
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return 0, fmt.Errorf("bad magic %q", data[:len(segMagic)])
+	}
+	fpLen, n := binary.Uvarint(data[len(segMagic):])
+	if n <= 0 || fpLen > uint64(len(data)-len(segMagic)-n) {
+		return 0, errTornHeader
+	}
+	pos := len(segMagic) + n
+	fp := data[pos : pos+int(fpLen)]
+	if string(fp) != string(fingerprint) {
+		return 0, fmt.Errorf("configuration fingerprint mismatch: log was written by a differently configured service (%x vs %x) — match the configuration or move the WAL aside", fp, fingerprint)
+	}
+	return pos + int(fpLen), nil
+}
+
+func truncateSegment(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: truncating torn tail: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("wal: truncating torn tail: %w", err)
+	}
+	return f.Sync()
+}
+
+// openActiveLocked starts the fresh active segment for this process life
+// at w.nextSeq. The file is preallocated to the full segment size so that
+// appends overwrite reserved space instead of growing the file — which is
+// what lets the group commit use fdatasync without losing data behind an
+// uncommitted size (see fsync_linux.go). The header is written and the
+// file fully synced once, so the segment exists durably — size included —
+// before any record lands in it. Recovery treats the zero-filled
+// preallocated tail exactly like a torn tail: truncated in the newest
+// segment, impossible elsewhere because rolls seal segments back to their
+// data length.
+func (w *WAL) openActiveLocked() error {
+	path := w.segPath(w.nextSeq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := preallocate(f, w.opts.SegmentBytes); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: preallocate: %w", err)
+	}
+	if _, err := f.Write(w.header); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.f = f
+	w.segStart = w.nextSeq
+	w.segSize = int64(len(w.header))
+	w.hinted = 0
+	w.unsynced.Store(0)
+	w.segments.Add(1)
+	return syncDir(w.opts.Dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // best effort; not all platforms allow dir fsync
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// AppendBatch logs one accepted ingest batch and returns its sequence
+// number. The record is fully in the kernel page cache before this
+// returns, so an acked batch survives a process kill under every policy.
+// Power-loss durability is the follow-up Commit call (SyncAlways) or the
+// background committer (SyncInterval) — split out so a caller that must
+// serialize appends for ordering can release its own lock before the
+// fsync, letting concurrent committers group-commit instead of queueing
+// whole fsyncs behind one another.
+func (w *WAL) AppendBatch(edges []Edge) (uint64, error) {
+	return w.append(Record{Type: TypeBatch, Edges: edges})
+}
+
+// Commit applies the fsync policy to the record at seq: under SyncAlways
+// it blocks until seq is durable (group-committed — a sync that already
+// covered seq costs nothing); under SyncInterval and SyncNever it returns
+// immediately. Call it after append, outside any caller-side ordering
+// lock.
+func (w *WAL) Commit(seq uint64) error {
+	if w.opts.Policy != SyncAlways {
+		return nil
+	}
+	return w.SyncTo(seq)
+}
+
+// AppendRotation logs an epoch cut: epoch is the epoch being closed and
+// epochEdges the number of edges logged while it was current — replay's
+// cross-check that it is rotating at exactly the same point in the stream.
+func (w *WAL) AppendRotation(epoch uint64, epochEdges uint64) (uint64, error) {
+	return w.append(Record{Type: TypeRotation, Epoch: epoch, EpochEdges: epochEdges})
+}
+
+// writebackChunk paces the advisory writeback hints: each time the active
+// segment crosses a chunk boundary, the completed chunk is handed to the
+// kernel to start draining (writebackHint). The hint excludes the partial
+// tail the next append will extend, carries no durability, and involves no
+// journal commit — it exists so the policy fsync (and the fsync that seals
+// a rolling segment) finds the pages already in flight and its jbd2
+// commit, which stalls every concurrent append, stays short.
+const writebackChunk = 1 << 20
+
+func (w *WAL) append(rec Record) (uint64, error) {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
+	}
+	rec.Seq = w.nextSeq
+	w.buf = AppendRecord(w.buf[:0], rec)
+	if _, err := w.f.Write(w.buf); err != nil {
+		// A short write may have left a torn record on disk; the latch
+		// stops all further appends, and the next open truncates the tear.
+		w.err = fmt.Errorf("wal: append: %w", err)
+		w.mu.Unlock()
+		return 0, w.err
+	}
+	n := len(w.buf)
+	w.nextSeq++
+	w.segSize += int64(n)
+	w.unsynced.Add(int64(n))
+	if m := w.opts.Metrics.OnAppend; m != nil {
+		m(1, n)
+	}
+	if w.opts.Policy != SyncAlways { // always keeps the dirty set empty itself
+		if boundary := w.segSize / writebackChunk * writebackChunk; boundary > w.hinted {
+			writebackHint(w.f, w.hinted, boundary-w.hinted)
+			w.hinted = boundary
+		}
+	}
+	needRoll := w.segSize >= w.opts.SegmentBytes
+	w.mu.Unlock()
+	if needRoll {
+		if err := w.roll(); err != nil {
+			return 0, err
+		}
+	}
+	return rec.Seq, nil
+}
+
+// roll replaces a full active segment outside the append lock (lock order:
+// file replacement needs syncMu, which append's mu must not wait on).
+// Re-checks under the locks — a concurrent append may have rolled already.
+func (w *WAL) roll() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.segSize < w.opts.SegmentBytes {
+		return nil
+	}
+	return w.rollBothLocked()
+}
+
+// rollBothLocked seals the active segment and opens the next one. Sealing
+// fsyncs the data, cuts the preallocated zero tail back to the data length,
+// and fsyncs again so the final size is committed before any newer segment
+// exists — an immutable segment is always fully durable and never carries
+// padding that a later scan would have to treat as interior corruption.
+// Caller holds syncMu AND mu.
+func (w *WAL) rollBothLocked() error {
+	if err := w.syncBothLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(w.segSize); err != nil {
+		w.err = fmt.Errorf("wal: roll: %w", err)
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: roll: %w", err)
+		return w.err
+	}
+	if err := w.f.Close(); err != nil {
+		w.err = fmt.Errorf("wal: roll: %w", err)
+		return w.err
+	}
+	if err := w.openActiveLocked(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// SyncTo makes the record at seq durable, group-committed: if a sync that
+// covered seq already completed (or completes while waiting for the
+// barrier), this returns without issuing another fsync.
+func (w *WAL) SyncTo(seq uint64) error {
+	if w.synced.Load() >= seq {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced.Load() >= seq {
+		return nil
+	}
+	return w.syncBarrier()
+}
+
+// Sync forces an fsync of the active segment (POST /flush's durability
+// barrier). A no-op when nothing is unsynced.
+func (w *WAL) Sync() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	return w.syncBarrier()
+}
+
+// syncBarrier runs one group commit: snapshot the durability target under
+// mu, fsync OUTSIDE it so appends keep flowing, then publish under mu.
+// The caller holds syncMu, which is what keeps w.f from being rolled or
+// closed while the fsync is in flight. Appends racing the fsync land in
+// the same file and simply stay in unsynced — fsync only guarantees data
+// written before the call, so the barrier never claims them.
+func (w *WAL) syncBarrier() error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	f := w.f
+	target := w.nextSeq - 1
+	pend := w.unsynced.Load()
+	if pend == 0 {
+		// Everything appended is already durable (the last fsync, or a roll
+		// that synced the previous segment); just advance the watermark.
+		if w.synced.Load() < target {
+			w.synced.Store(target)
+		}
+		w.mu.Unlock()
+		return nil
+	}
+	w.mu.Unlock()
+
+	t0 := time.Now()
+	err := fdatasync(f) // size is preallocated; data-only flush suffices
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		if w.err == nil {
+			w.err = fmt.Errorf("wal: fsync: %w", err)
+		}
+		return w.err
+	}
+	if m := w.opts.Metrics.OnFsync; m != nil {
+		m(time.Since(t0).Seconds())
+	}
+	if w.synced.Load() < target {
+		w.synced.Store(target)
+	}
+	w.unsynced.Add(-pend)
+	return nil
+}
+
+// syncBothLocked fsyncs with both locks held — the rare paths (roll,
+// close, truncate-roll) that are about to replace or drop w.f and cannot
+// let appends race it.
+func (w *WAL) syncBothLocked() error {
+	if w.err != nil {
+		return w.err
+	}
+	upto := w.nextSeq - 1
+	if w.unsynced.Load() == 0 {
+		if w.synced.Load() < upto {
+			w.synced.Store(upto)
+		}
+		return nil
+	}
+	t0 := time.Now()
+	if err := fdatasync(w.f); err != nil {
+		w.err = fmt.Errorf("wal: fsync: %w", err)
+		return w.err
+	}
+	if m := w.opts.Metrics.OnFsync; m != nil {
+		m(time.Since(t0).Seconds())
+	}
+	w.synced.Store(upto)
+	w.unsynced.Store(0)
+	return nil
+}
+
+// committer is the SyncInterval group-commit loop.
+func (w *WAL) committer(stop <-chan struct{}) {
+	defer w.committerWG.Done()
+	t := time.NewTicker(w.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if w.unsynced.Load() == 0 {
+				continue
+			}
+			if err := w.Sync(); err != nil {
+				// Latched; appends now fail too. Nothing more to do here.
+				return
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// LastSeq returns the newest appended sequence number (0 before any
+// append). With the caller holding its own pipeline quiescent, this is the
+// checkpoint's WAL position.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq - 1
+}
+
+// SegmentCount reports the number of segment files on disk (gauge).
+func (w *WAL) SegmentCount() int { return int(w.segments.Load()) }
+
+// UnsyncedBytes reports bytes appended to the active segment since its
+// last fsync (gauge; what power loss could take under SyncInterval).
+func (w *WAL) UnsyncedBytes() int64 { return w.unsynced.Load() }
+
+// Err returns the latched failure, if any.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Replay walks every record with seq > after, in order, calling apply for
+// each. The caller replays on top of a checkpoint taken at seq `after`; a
+// log whose oldest surviving record leaves a gap above `after` is an error
+// (acked history is missing), while records at or below `after` are simply
+// skipped (the checkpoint already contains them). Batch record edges alias
+// the segment read buffer — apply must consume them before returning.
+func (w *WAL) Replay(after uint64, apply func(Record) error) error {
+	segs, err := w.listSegments()
+	if err != nil {
+		return err
+	}
+	next := after + 1
+	for i, seg := range segs {
+		// Skip segments wholly covered by the checkpoint without reading
+		// them: the next segment's name states where this one ends.
+		if i+1 < len(segs) && segs[i+1].firstSeq <= next {
+			continue
+		}
+		_, _, err := w.scanSegment(seg, i == len(segs)-1, func(rec Record) error {
+			if rec.Seq < next {
+				return nil
+			}
+			if rec.Seq != next {
+				return fmt.Errorf("wal: gap: checkpoint covers through seq %d but the log resumes at %d — acked history is missing", next-1, rec.Seq)
+			}
+			next++
+			return apply(rec)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TruncateThrough deletes every segment whose records are all at or below
+// seq — the checkpoint-as-truncation-point contract: after a checkpoint at
+// WAL position seq succeeds, the log before it is dead weight. If the
+// ACTIVE segment is fully covered it is first rolled so it too can go;
+// repeated checkpoint cycles therefore keep disk usage bounded at one
+// (mostly empty) active segment plus whatever the newest checkpoint does
+// not cover. Returns the number of segments removed.
+func (w *WAL) TruncateThrough(seq uint64) (int, error) {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.segSize > int64(len(w.header)) && w.nextSeq-1 <= seq {
+		// Active segment has records, all covered: roll it to immutable so
+		// the sweep below can delete it.
+		if err := w.rollBothLocked(); err != nil {
+			return 0, err
+		}
+	}
+	segs, err := w.listSegments()
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for i, seg := range segs {
+		// A segment's records end where the next segment begins; the active
+		// segment (firstSeq == w.segStart) is never deleted.
+		if seg.firstSeq >= w.segStart {
+			break
+		}
+		end := w.segStart - 1
+		if i+1 < len(segs) && segs[i+1].firstSeq <= w.segStart {
+			end = segs[i+1].firstSeq - 1
+		}
+		if end > seq {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		w.segments.Add(int64(-removed))
+		if m := w.opts.Metrics.OnTruncate; m != nil {
+			m(removed)
+		}
+		_ = syncDir(w.opts.Dir)
+	}
+	return removed, nil
+}
+
+// Close stops the group committer, fsyncs the active segment (unless the
+// WAL already latched a failure), and closes it. The WAL is unusable
+// afterwards.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.stopCommitter != nil {
+		close(w.stopCommitter)
+		w.stopCommitter = nil
+	}
+	w.mu.Unlock()
+	w.committerWG.Wait()
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.err
+	}
+	syncErr := w.syncBothLocked()
+	if syncErr == nil {
+		// Cut the preallocated tail so a clean shutdown leaves only data on
+		// disk; best effort — the next open truncates a surviving tail too.
+		_ = w.f.Truncate(w.segSize)
+		_ = w.f.Sync()
+	}
+	closeErr := w.f.Close()
+	w.f = nil
+	if w.err == nil {
+		w.err = errors.New("wal: closed")
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

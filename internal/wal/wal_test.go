@@ -1,0 +1,506 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+func testEdges(n int, salt uint64) []stream.Edge {
+	edges := make([]stream.Edge, n)
+	for i := range edges {
+		edges[i] = stream.Edge{User: salt ^ uint64(i%37), Item: salt<<32 | uint64(i)}
+	}
+	return edges
+}
+
+func mustOpen(t *testing.T, opts Options) *WAL {
+	t.Helper()
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), segPrefix) && strings.HasSuffix(e.Name(), segSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// collect replays everything after `after` into a flat record list.
+func collect(t *testing.T, w *WAL, after uint64) []Record {
+	t.Helper()
+	var recs []Record
+	if err := w.Replay(after, func(rec Record) error {
+		// Batch edges alias the scan buffer; copy them so the collected
+		// records stay valid across segments.
+		cp := rec
+		cp.Edges = append([]stream.Edge(nil), rec.Edges...)
+		recs = append(recs, cp)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestWALRoundTripAcrossSegments: appends spanning several roll-overs come
+// back from Replay in order, byte-exact, with continuous sequence numbers
+// and interleaved rotation records intact.
+func TestWALRoundTripAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), SegmentBytes: 2048, Policy: SyncNever})
+	var want []Record
+	epoch := uint64(0)
+	epochEdges := uint64(0)
+	for i := 0; i < 40; i++ {
+		edges := testEdges(10+i, uint64(i))
+		seq, err := w.AppendBatch(edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(len(want))+1 {
+			t.Fatalf("append %d returned seq %d", i, seq)
+		}
+		epochEdges += uint64(len(edges))
+		want = append(want, Record{Seq: seq, Type: TypeBatch, Edges: edges})
+		if i%7 == 6 {
+			seq, err := w.AppendRotation(epoch, epochEdges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, Record{Seq: seq, Type: TypeRotation, Epoch: epoch, EpochEdges: epochEdges})
+			epoch++
+			epochEdges = 0
+		}
+	}
+	if n := w.SegmentCount(); n < 3 {
+		t.Fatalf("2 KiB segments after ~%d records: only %d segments", len(want), n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh open (as after a crash) replays the identical history.
+	w2 := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), SegmentBytes: 2048, Policy: SyncNever})
+	defer w2.Close()
+	got := collect(t, w2, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, x := got[i], want[i]
+		if g.Seq != x.Seq || g.Type != x.Type || g.Epoch != x.Epoch || g.EpochEdges != x.EpochEdges ||
+			len(g.Edges) != len(x.Edges) {
+			t.Fatalf("record %d: got %+v want %+v", i, g, x)
+		}
+		for j := range x.Edges {
+			if g.Edges[j] != x.Edges[j] {
+				t.Fatalf("record %d edge %d: got %v want %v", i, j, g.Edges[j], x.Edges[j])
+			}
+		}
+	}
+	// Replay from the middle skips the prefix exactly.
+	mid := want[len(want)/2].Seq
+	tail := collect(t, w2, mid)
+	if len(tail) != len(want)-int(mid) {
+		t.Fatalf("replay after %d returned %d records, want %d", mid, len(tail), len(want)-int(mid))
+	}
+	if tail[0].Seq != mid+1 {
+		t.Fatalf("tail starts at seq %d, want %d", tail[0].Seq, mid+1)
+	}
+	// And appends continue above everything on disk.
+	seq, err := w2.AppendBatch(testEdges(3, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != want[len(want)-1].Seq+1 {
+		t.Fatalf("post-reopen append got seq %d, want %d", seq, want[len(want)-1].Seq+1)
+	}
+}
+
+// TestWALTornTailTruncated: a partial record at the end of the last
+// segment — the crash-mid-write signature — is cut at the last valid frame
+// on open, the intact prefix replays, and the file is physically truncated.
+func TestWALTornTailTruncated(t *testing.T) {
+	for _, tear := range []string{"partial-record", "garbage", "mid-crc"} {
+		t.Run(tear, func(t *testing.T) {
+			dir := t.TempDir()
+			w := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), Policy: SyncNever})
+			for i := 0; i < 5; i++ {
+				if _, err := w.AppendBatch(testEdges(20, uint64(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			w.Close()
+			names := segFiles(t, dir)
+			path := filepath.Join(dir, names[len(names)-1])
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			intact := len(data)
+			switch tear {
+			case "partial-record":
+				// Half a valid record appended: a write(2) cut short.
+				next := AppendRecord(nil, Record{Seq: 6, Type: TypeBatch, Edges: testEdges(20, 9)})
+				data = append(data, next[:len(next)/2]...)
+			case "garbage":
+				data = append(data, 0xDE, 0xAD, 0xBE, 0xEF)
+			case "mid-crc":
+				// Flip a bit inside the LAST record's CRC: the tail record
+				// fails validation, earlier ones survive.
+				data[len(data)-1] ^= 0x01
+				// Find where the last record starts so we know the expected cut.
+				intact = bytes.LastIndex(data[:len(data)-4], []byte(recordMagic))
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			w2 := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), Policy: SyncNever})
+			defer w2.Close()
+			recs := collect(t, w2, 0)
+			wantRecs := 5
+			if tear == "mid-crc" {
+				wantRecs = 4
+			}
+			if len(recs) != wantRecs {
+				t.Fatalf("replayed %d records after torn tail, want %d", len(recs), wantRecs)
+			}
+			if got, err := os.ReadFile(path); err != nil || len(got) != intact {
+				t.Fatalf("torn segment is %d bytes, want truncated to %d (err %v)", len(got), intact, err)
+			}
+			// The continuation seq is the first un-durable one.
+			seq, err := w2.AppendBatch(testEdges(1, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq != uint64(wantRecs)+1 {
+				t.Fatalf("continuation seq %d, want %d", seq, wantRecs+1)
+			}
+		})
+	}
+}
+
+// TestWALInteriorCorruptionIsFatal: corruption in a non-last segment is
+// acked history going missing — Open must refuse, not truncate.
+func TestWALInteriorCorruptionIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), SegmentBytes: 1024, Policy: SyncNever})
+	for i := 0; i < 30; i++ {
+		if _, err := w.AppendBatch(testEdges(15, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	names := segFiles(t, dir)
+	if len(names) < 3 {
+		t.Fatalf("want >= 3 segments, have %d", len(names))
+	}
+	path := filepath.Join(dir, names[0])
+	data, _ := os.ReadFile(path)
+	data[len(data)-10] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	if _, err := Open(Options{Dir: dir, Fingerprint: []byte("fp"), SegmentBytes: 1024, Policy: SyncNever}); err == nil {
+		t.Fatal("corrupt interior segment opened without error")
+	}
+}
+
+// TestWALMissingSegmentIsGap: deleting an interior segment (acked history)
+// fails open; deleting a PREFIX is legal only below the checkpoint seq,
+// which Replay enforces.
+func TestWALMissingSegmentIsGap(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), SegmentBytes: 1024, Policy: SyncNever})
+	for i := 0; i < 30; i++ {
+		if _, err := w.AppendBatch(testEdges(15, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	names := segFiles(t, dir)
+	if len(names) < 3 {
+		t.Fatalf("want >= 3 segments, have %d", len(names))
+	}
+	// Interior hole: fatal at open.
+	if err := os.Remove(filepath.Join(dir, names[1])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, Fingerprint: []byte("fp"), SegmentBytes: 1024, Policy: SyncNever}); err == nil {
+		t.Fatal("gapped WAL opened without error")
+	}
+	// Prefix hole: Open succeeds (truncation legitimately removes prefixes)
+	// but a replay claiming a checkpoint OLDER than the hole must fail
+	// loudly — that prefix was acked history, not truncated history. Keep
+	// the last two segments (two in case the very last is an empty active
+	// from the previous life) so the survivors are a contiguous suffix that
+	// starts well above seq 1.
+	remaining := segFiles(t, dir)
+	if len(remaining) < 4 {
+		t.Fatalf("want >= 4 remaining segments for the prefix-hole case, have %d", len(remaining))
+	}
+	for _, n := range remaining[:len(remaining)-2] {
+		if err := os.Remove(filepath.Join(dir, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w2 := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), SegmentBytes: 1024, Policy: SyncNever})
+	defer w2.Close()
+	if err := w2.Replay(0, func(Record) error { return nil }); err == nil {
+		t.Fatal("replay over a missing prefix claimed success")
+	}
+}
+
+// TestWALTruncateThroughBoundsDisk: repeated append+truncate cycles —
+// the checkpoint loop's shape — keep the directory at a bounded segment
+// count and size, and a fully-covered ACTIVE segment rolls so it can go
+// too.
+func TestWALTruncateThroughBoundsDisk(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), SegmentBytes: 2048, Policy: SyncNever})
+	defer w.Close()
+	for cycle := 0; cycle < 20; cycle++ {
+		var lastSeq uint64
+		for i := 0; i < 10; i++ {
+			seq, err := w.AppendBatch(testEdges(20, uint64(cycle*100+i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lastSeq = seq
+		}
+		if _, err := w.TruncateThrough(lastSeq); err != nil {
+			t.Fatal(err)
+		}
+		if n := w.SegmentCount(); n > 2 {
+			t.Fatalf("cycle %d: %d segments survive a full truncation", cycle, n)
+		}
+		var total int64
+		for _, name := range segFiles(t, dir) {
+			fi, err := os.Stat(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += fi.Size()
+		}
+		if total > 2*2048 {
+			t.Fatalf("cycle %d: %d bytes on disk after truncation", cycle, total)
+		}
+		// Everything after the truncation point must still replay (nothing).
+		if got := collect(t, w, lastSeq); len(got) != 0 {
+			t.Fatalf("cycle %d: %d records after full truncation", cycle, len(got))
+		}
+	}
+	// A partial truncation keeps the uncovered suffix.
+	var seqs []uint64
+	for i := 0; i < 30; i++ {
+		seq, err := w.AppendBatch(testEdges(20, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	cut := seqs[10]
+	if _, err := w.TruncateThrough(cut); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, w, cut)
+	if len(got) != len(seqs)-11 {
+		t.Fatalf("after partial truncation: %d records, want %d", len(got), len(seqs)-11)
+	}
+	if got[0].Seq != cut+1 {
+		t.Fatalf("suffix starts at %d, want %d", got[0].Seq, cut+1)
+	}
+}
+
+// TestWALStartSeqContinuation: a WAL whose directory was fully truncated
+// (or wiped) must continue numbering above the checkpoint's position, not
+// restart at 1 — otherwise a later checkpoint+replay would double-apply.
+func TestWALStartSeqContinuation(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), StartSeq: 1000, Policy: SyncNever})
+	defer w.Close()
+	seq, err := w.AppendBatch(testEdges(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1001 {
+		t.Fatalf("first append after StartSeq 1000 got seq %d", seq)
+	}
+	if got := collect(t, w, 1000); len(got) != 1 || got[0].Seq != 1001 {
+		t.Fatalf("replay after 1000: %+v", got)
+	}
+}
+
+// TestWALFingerprintMismatch: a log written under one configuration
+// refuses to open under another.
+func TestWALFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("config-A"), Policy: SyncNever})
+	if _, err := w.AppendBatch(testEdges(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := Open(Options{Dir: dir, Fingerprint: []byte("config-B"), Policy: SyncNever}); err == nil ||
+		!strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("mismatched fingerprint: err = %v", err)
+	}
+}
+
+// TestWALSyncAccounting: unsynced bytes rise with appends under SyncNever,
+// drop to zero on Sync, and SyncTo group-commits (a covered seq does not
+// re-sync).
+func TestWALSyncAccounting(t *testing.T) {
+	dir := t.TempDir()
+	fsyncs := 0
+	w := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), Policy: SyncNever,
+		Metrics: Metrics{OnFsync: func(float64) { fsyncs++ }}})
+	defer w.Close()
+	seq, err := w.AppendBatch(testEdges(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.UnsyncedBytes() == 0 {
+		t.Fatal("no unsynced bytes after an unsynced append")
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.UnsyncedBytes() != 0 {
+		t.Fatalf("%d unsynced bytes after Sync", w.UnsyncedBytes())
+	}
+	if fsyncs != 1 {
+		t.Fatalf("%d fsyncs, want 1", fsyncs)
+	}
+	// Group commit: the completed sync covers seq; no second fsync.
+	if err := w.SyncTo(seq); err != nil {
+		t.Fatal(err)
+	}
+	if fsyncs != 1 {
+		t.Fatalf("SyncTo(covered) issued an fsync: %d total", fsyncs)
+	}
+}
+
+// TestWALAlwaysPolicyConcurrent: concurrent SyncAlways appenders all
+// succeed and everything is durable (synced == last) when they finish —
+// the group-commit path under contention, run with -race.
+func TestWALAlwaysPolicyConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), SegmentBytes: 4096, Policy: SyncAlways})
+	defer w.Close()
+	var wg sync.WaitGroup
+	const (
+		goroutines = 8
+		each       = 25
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				seq, err := w.AppendBatch(testEdges(7, uint64(g*1000+i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.Commit(seq); err != nil {
+					t.Error(err)
+					return
+				}
+				if w.synced.Load() < seq {
+					t.Errorf("Commit(%d) returned with synced at %d", seq, w.synced.Load())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if last := w.LastSeq(); last != goroutines*each {
+		t.Fatalf("LastSeq %d, want %d", last, goroutines*each)
+	}
+	if w.UnsyncedBytes() != 0 {
+		t.Fatalf("%d unsynced bytes under SyncAlways", w.UnsyncedBytes())
+	}
+	if got := collect(t, w, 0); len(got) != goroutines*each {
+		t.Fatalf("replayed %d records, want %d", len(got), goroutines*each)
+	}
+}
+
+// TestWALIntervalCommitter: the background group-committer drains unsynced
+// bytes without any explicit Sync call.
+func TestWALIntervalCommitter(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, Options{Dir: dir, Fingerprint: []byte("fp"), Policy: SyncInterval,
+		FlushInterval: 5 * time.Millisecond})
+	defer w.Close()
+	if _, err := w.AppendBatch(testEdges(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for w.UnsyncedBytes() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("committer left %d bytes unsynced after 5s", w.UnsyncedBytes())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWALClosedIsSticky: appends after Close fail, and keep failing.
+func TestWALClosedIsSticky(t *testing.T) {
+	w := mustOpen(t, Options{Dir: t.TempDir(), Fingerprint: []byte("fp"), Policy: SyncNever})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := w.AppendBatch(testEdges(1, 1)); err == nil {
+			t.Fatal("append on a closed WAL succeeded")
+		}
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("second Close did not report the latch")
+	}
+}
+
+// TestWALRecordScanHelper exercises DecodeRecord over a concatenation the
+// way segment scans consume it: records decode back-to-back, and the first
+// invalid byte stops the scan without a panic.
+func TestWALRecordScanHelper(t *testing.T) {
+	var buf []byte
+	buf = AppendRecord(buf, Record{Seq: 1, Type: TypeBatch, Edges: testEdges(3, 1)})
+	buf = AppendRecord(buf, Record{Seq: 2, Type: TypeRotation, Epoch: 0, EpochEdges: 3})
+	buf = AppendRecord(buf, Record{Seq: 3, Type: TypeBatch})
+	full := len(buf)
+	buf = append(buf, 0xFF, 0xFF)
+	pos, n := 0, 0
+	for pos < len(buf) {
+		rec, consumed, err := DecodeRecord(buf[pos:])
+		if err != nil {
+			break
+		}
+		n++
+		if rec.Seq != uint64(n) {
+			t.Fatalf("record %d has seq %d", n, rec.Seq)
+		}
+		pos += consumed
+	}
+	if n != 3 || pos != full {
+		t.Fatalf("scan stopped after %d records at offset %d, want 3 at %d", n, pos, full)
+	}
+}
