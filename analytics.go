@@ -1,0 +1,177 @@
+package streamcard
+
+// Shard-concurrent analytics read path.
+//
+// Two invariants the serving stack already guarantees make analytics queries
+// embarrassingly parallel:
+//
+//   - Users are partitioned by hash (Sharded.ShardIndex), so each user's
+//     ENTIRE estimate lives in exactly one shard. Any per-user aggregation
+//     therefore decomposes exactly: the global top k is contained in the
+//     union of per-shard top k's, a user count is the sum of per-shard
+//     counts, and no cross-shard reconciliation is ever needed.
+//   - Analytics reads run on immutable published snapshots (ShardedView
+//     assembles frozen per-shard views), so the per-shard work is lock-free
+//     and touches no writer state.
+//
+// This file fans that per-shard work out over a bounded worker pool sized to
+// GOMAXPROCS: TopK runs one bounded min-heap per shard and merges the
+// winners, NumUsers sums per-shard counts, and Users/RangeUsers pre-warm the
+// per-shard window folds in parallel before their serial in-order
+// enumeration (fn is called serially — that contract does not change).
+// Results are bit-identical to the sequential reference: the output order is
+// a strict total order over unique users, so neither the shard split nor the
+// pool's scheduling can reach the output.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachShard runs work(i) for every i in [0, n) on a bounded worker pool
+// of min(GOMAXPROCS, n) goroutines pulling indices from a shared counter.
+// With one worker (or one shard) it runs inline on the caller's goroutine —
+// single-core hosts pay no scheduling overhead and stay easy to reason
+// about. work must not panic: a panic on a pool goroutine would kill the
+// process, so callers narrow interfaces (anytime) before fanning out.
+func forEachShard(n int, work func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				work(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TopK implements TopKer with a shard-concurrent selection: one bounded
+// min-heap per shard on the worker pool, then a merge of the per-shard
+// winners.
+//
+// Exactness: each user's entire estimate lives in exactly one shard, so
+// every member of the global top k is inside its own shard's top k — the
+// union of per-shard winners (≤ shards·k candidates) is a superset of the
+// answer, and merging loses nothing. Determinism: (estimate desc, user asc)
+// is a strict total order (user IDs are unique), so the selected set and
+// its order are unique — bit-identical to TopKSerial over the same view,
+// which the property tests assert across shard counts, k, and tie-heavy
+// inputs.
+func (v *ShardedView) TopK(k int) []Spreader {
+	if k <= 0 {
+		return nil
+	}
+	n := len(v.views)
+	ests := make([]AnytimeEstimator, n)
+	for i := range ests {
+		ests[i] = v.anytime(i, "TopK")
+	}
+	if n == 1 {
+		return TopKSerial(ests[0], k)
+	}
+	per := make([][]Spreader, n)
+	forEachShard(n, func(i int) {
+		per[i] = TopKSerial(ests[i], k)
+	})
+	return mergeTopK(per, k)
+}
+
+// TopK on the live Sharded routes through the published snapshot like every
+// other read, falling back to the locked sequential scan for stacks that
+// cannot snapshot.
+func (s *Sharded) TopK(k int) []Spreader {
+	if v := s.Snapshot(); v != nil {
+		return v.TopK(k)
+	}
+	return TopKSerial(s, k)
+}
+
+// mergeTopK merges per-shard top-k selections (each already in output
+// order) into the global top k: concatenate the ≤ shards·k winners, sort
+// with the same strict total order the per-shard heaps used, truncate to k.
+func mergeTopK(per [][]Spreader, k int) []Spreader {
+	total := 0
+	for _, p := range per {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	all := make([]Spreader, 0, total)
+	for _, p := range per {
+		all = append(all, p...)
+	}
+	sortSpreaders(all)
+	if len(all) > k {
+		all = all[:k:k]
+	}
+	return all
+}
+
+// prepareFolds warms each shard view's window fold on the worker pool, so
+// the serial in-order enumeration that follows (Users and RangeUsers call
+// fn serially, shard by shard — that contract is kept) reads cached folds
+// instead of folding generations one shard at a time on its own goroutine.
+// Already-cached folds make this a near-free atomic check per shard;
+// non-windowed shard views have no cross-generation fold to warm.
+func (v *ShardedView) prepareFolds() {
+	if !v.windowed {
+		return
+	}
+	forEachShard(len(v.views), func(i int) {
+		if w, ok := v.views[i].(*Windowed); ok {
+			w.warmFold()
+		}
+	})
+}
+
+// FoldStats counts window fold-cache outcomes across an estimator stack:
+// Computes is the number of cross-generation folds actually executed, Hits
+// the number of analytics reads served from a cached fold. Inject one with
+// WithFoldStats to scope the counts to a stack (the server does, and
+// exports them on /metrics); windows built without the option report into
+// a package-level default readable via DefaultFoldStats. All methods are
+// safe for concurrent use.
+type FoldStats struct {
+	computes atomic.Uint64
+	hits     atomic.Uint64
+}
+
+// Computes returns how many cross-generation folds were executed.
+func (s *FoldStats) Computes() uint64 { return s.computes.Load() }
+
+// Hits returns how many analytics reads were served from a cached fold.
+func (s *FoldStats) Hits() uint64 { return s.hits.Load() }
+
+// defaultFoldStats absorbs counts from stacks built without WithFoldStats.
+var defaultFoldStats FoldStats
+
+// DefaultFoldStats returns the package-level collector used by windows
+// built without WithFoldStats.
+func DefaultFoldStats() *FoldStats { return &defaultFoldStats }
+
+// Interface conformance: both the live stack and its views answer TopK
+// natively.
+var (
+	_ TopKer = (*Sharded)(nil)
+	_ TopKer = (*ShardedView)(nil)
+)

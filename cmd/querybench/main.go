@@ -29,8 +29,18 @@
 // configured sketch size and at 4x that size and fails the run (exit 1) if
 // either is large or they scale with M.
 //
+// An analytics phase measures the shard-concurrent analytics read path at
+// scale (top-k, sorted user enumeration, user counts, merged totals at
+// ≥ 100k users across several live generations): each row runs on a
+// freshly dirtied view so every window fold is cold, once through the
+// one-goroutine serial reference and once through the parallel fan-out,
+// plus a cached row that re-queries an unchanged view and asserts zero
+// re-folds. Every row collects enough samples to clear the minSamples
+// floor, so the analytics percentiles are real and gateable.
+//
 // CI gates on the serving targets with -max-estimate-p50-us,
-// -max-total-p50-us, and -min-wire-speedup (0 disables a gate).
+// -max-total-p50-us, -min-wire-speedup, -max-topk-p50-us, and
+// -min-analytics-scaling (0 disables a gate).
 //
 //	go run ./cmd/querybench -edges 4000000 -queriers 8 -out BENCH_query.json
 package main
@@ -43,6 +53,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"reflect"
 	"runtime"
 	"sort"
 	"strings"
@@ -116,6 +127,23 @@ type Result struct {
 	// with the reason (e.g. too few CPUs to certify parallel speedup).
 	IngestScalingGateSkipped string `json:"ingest_scaling_gate_skipped,omitempty"`
 
+	// Analytics read path: shard-concurrent top-k / user enumeration /
+	// counts versus the one-goroutine serial reference, measured on a
+	// scaling-shards-wide stack holding AnalyticsUsers users across the
+	// live generations. Every leg runs on a freshly dirtied view (a write
+	// lands in every shard first, so all window-fold caches are cold and
+	// both legs do identical work); the topk_cached row re-queries an
+	// unchanged view, with the phase asserting via fold counters that it
+	// re-folded nothing. AnalyticsTopkScalingX is serial p50 over parallel
+	// p50; like ingest scaling, the gate skips below 4 CPUs.
+	AnalyticsUsers        int                       `json:"analytics_users"`
+	AnalyticsShards       int                       `json:"analytics_shards"`
+	AnalyticsLatency      map[string]LatencySummary `json:"analytics_latency"`
+	AnalyticsTopkScalingX float64                   `json:"analytics_topk_scaling_x"`
+	AnalyticsFoldComputes uint64                    `json:"analytics_fold_computes"`
+	AnalyticsFoldHits     uint64                    `json:"analytics_fold_hits"`
+	AnalyticsGateSkipped  string                    `json:"analytics_gate_skipped,omitempty"`
+
 	// WAL overhead: the per-request ingest cycle (decode a text body, WAL
 	// append, group-commit barrier, absorb — the way cardserved's submit
 	// path runs it) against a real log on disk, for the no-WAL baseline,
@@ -163,11 +191,15 @@ func run(args []string, stdout io.Writer) error {
 
 		scalingShards = fs.Int("scaling-shards", 8, "shard count of the ingest-scaling phase (one executor per shard in the parallel leg)")
 
-		maxEstP50   = fs.Float64("max-estimate-p50-us", 0, "fail if estimate p50 exceeds this many microseconds (0 = no gate)")
-		maxTotalP50 = fs.Float64("max-total-p50-us", 0, "fail if total p50 exceeds this many microseconds (0 = no gate)")
-		minSpeedup  = fs.Float64("min-wire-speedup", 0, "fail if binary/text wire-to-sketch speedup falls below this (0 = no gate)")
-		minScaling  = fs.Float64("min-ingest-scaling", 0, "fail if shard-parallel/serial ingest throughput falls below this (0 = no gate; skipped with a logged reason on hosts with fewer than 4 CPUs)")
-		maxWALOver  = fs.Float64("max-wal-overhead-pct", 0, "fail if the interval-policy WAL ingest overhead exceeds this percent of the no-WAL baseline (0 = no gate)")
+		analyticsUsers = fs.Int("analytics-users", 120_000, "distinct users in the analytics read-path phase")
+
+		maxEstP50           = fs.Float64("max-estimate-p50-us", 0, "fail if estimate p50 exceeds this many microseconds (0 = no gate)")
+		maxTotalP50         = fs.Float64("max-total-p50-us", 0, "fail if total p50 exceeds this many microseconds (0 = no gate)")
+		minSpeedup          = fs.Float64("min-wire-speedup", 0, "fail if binary/text wire-to-sketch speedup falls below this (0 = no gate)")
+		minScaling          = fs.Float64("min-ingest-scaling", 0, "fail if shard-parallel/serial ingest throughput falls below this (0 = no gate; skipped with a logged reason on hosts with fewer than 4 CPUs)")
+		maxWALOver          = fs.Float64("max-wal-overhead-pct", 0, "fail if the interval-policy WAL ingest overhead exceeds this percent of the no-WAL baseline (0 = no gate)")
+		maxTopkP50          = fs.Float64("max-topk-p50-us", 0, "fail if the parallel analytics top-k p50 exceeds this many microseconds (0 = no gate)")
+		minAnalyticsScaling = fs.Float64("min-analytics-scaling", 0, "fail if the parallel/serial analytics top-k speedup falls below this (0 = no gate; skipped with a logged reason on hosts with fewer than 4 CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -223,6 +255,26 @@ func run(args []string, stdout io.Writer) error {
 			"host has %d CPUs; certifying shard-parallel scaling needs at least 4", res.NumCPU)
 	}
 
+	alat, fst, err := analyticsPhase(*mbits, *scalingShards, *gens, *analyticsUsers)
+	if err != nil {
+		return err
+	}
+	res.AnalyticsUsers = *analyticsUsers
+	res.AnalyticsShards = *scalingShards
+	res.AnalyticsLatency = summarize(alat)
+	if s, p := res.AnalyticsLatency["topk_serial"], res.AnalyticsLatency["topk"]; p.P50Us > 0 {
+		res.AnalyticsTopkScalingX = s.P50Us / p.P50Us
+	}
+	res.AnalyticsFoldComputes = fst.Computes()
+	res.AnalyticsFoldHits = fst.Hits()
+	if *minAnalyticsScaling > 0 && res.NumCPU < 4 {
+		// Same reasoning as the ingest-scaling skip: with the fan-out
+		// time-slicing the serial leg's cores, the ratio is ≈1 by
+		// construction and certifies nothing.
+		res.AnalyticsGateSkipped = fmt.Sprintf(
+			"host has %d CPUs; certifying shard-parallel analytics scaling needs at least 4", res.NumCPU)
+	}
+
 	res.WALOffEdgesPerSec, res.WALIntervalEdgesPerSec, res.WALAlwaysEdgesPerSec, err =
 		walPhase(cfg, batches)
 	if err != nil {
@@ -271,6 +323,11 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "querybench: ingest scaling at %d shards: %.1fM edges/s serial, %.1fM shard-parallel (%.2fx on %d CPUs)\n",
 		*scalingShards, res.IngestSerialEdgesPerSec/1e6, res.IngestParallelEdgesPerSec/1e6,
 		res.IngestScalingX, res.NumCPU)
+	fmt.Fprintf(stdout, "querybench: analytics at %d shards / %d users: topk p50 %.0fus serial, %.0fus parallel (%.2fx), cached %.0fus; folds %d computed %d hit\n",
+		*scalingShards, *analyticsUsers,
+		res.AnalyticsLatency["topk_serial"].P50Us, res.AnalyticsLatency["topk"].P50Us,
+		res.AnalyticsTopkScalingX, res.AnalyticsLatency["topk_cached"].P50Us,
+		res.AnalyticsFoldComputes, res.AnalyticsFoldHits)
 	fmt.Fprintf(stdout, "querybench: WAL ingest %.1fM edges/s off, %.1fM interval (+%.1f%%), %.1fM always (+%.1f%%)\n",
 		res.WALOffEdgesPerSec/1e6,
 		res.WALIntervalEdgesPerSec/1e6, res.WALIntervalOverheadPct,
@@ -315,6 +372,29 @@ func run(args []string, stdout io.Writer) error {
 			violations = append(violations,
 				fmt.Sprintf("ingest scaling %.2fx < limit %.2fx at %d shards on %d CPUs",
 					res.IngestScalingX, *minScaling, *scalingShards, res.NumCPU))
+		}
+	}
+	gateAnalyticsP50 := func(kind string, limit float64) {
+		if limit <= 0 {
+			return
+		}
+		ls, ok := res.AnalyticsLatency[kind]
+		switch {
+		case !ok || ls.TooFewSamples:
+			violations = append(violations,
+				fmt.Sprintf("analytics %s: %d samples is below the %d-sample floor, cannot certify p50", kind, ls.Count, minSamples))
+		case ls.P50Us > limit:
+			violations = append(violations, fmt.Sprintf("analytics %s p50 %.0fus > limit %.0fus", kind, ls.P50Us, limit))
+		}
+	}
+	gateAnalyticsP50("topk", *maxTopkP50)
+	if *minAnalyticsScaling > 0 {
+		if res.AnalyticsGateSkipped != "" {
+			fmt.Fprintf(stdout, "querybench: analytics-scaling gate skipped: %s\n", res.AnalyticsGateSkipped)
+		} else if res.AnalyticsTopkScalingX < *minAnalyticsScaling {
+			violations = append(violations,
+				fmt.Sprintf("analytics top-k scaling %.2fx < limit %.2fx at %d shards on %d CPUs",
+					res.AnalyticsTopkScalingX, *minAnalyticsScaling, *scalingShards, res.NumCPU))
 		}
 	}
 	if *maxWALOver > 0 && res.WALIntervalOverheadPct > *maxWALOver {
@@ -638,6 +718,152 @@ func buildStack(mbits, shards, gens int) *streamcard.Sharded {
 			return streamcard.NewFreeRS(per, streamcard.WithSeed(1))
 		}, streamcard.WithGenerations(gens))
 	})
+}
+
+// Analytics phase sizing: enough iterations per row to clear the
+// minSamples floor with headroom, and a serving-realistic k.
+const (
+	analyticsIters = 20
+	analyticsK     = 10
+)
+
+// serialView is the one-goroutine analytics reference: it walks the
+// shards of a published view sequentially, exactly as the read path did
+// before the fan-out. It deliberately holds the view in a named field, not
+// an embedded one, so the view's own TopK method is never promoted —
+// TopKSerial over a serialView cannot accidentally dispatch into the
+// parallel path, and the serial legs time genuinely serial work.
+type serialView struct{ v *streamcard.ShardedView }
+
+func (s serialView) Observe(user, item uint64)            { panic("read-only") }
+func (s serialView) ObserveBatch(edges []streamcard.Edge) { panic("read-only") }
+func (s serialView) Estimate(user uint64) float64         { return s.v.Estimate(user) }
+func (s serialView) TotalDistinct() float64               { return s.v.TotalDistinct() }
+func (s serialView) MemoryBits() int64                    { return s.v.MemoryBits() }
+func (s serialView) Name() string                         { return s.v.Name() }
+
+func (s serialView) Users(fn func(user uint64, estimate float64)) {
+	for i := 0; i < s.v.NumShards(); i++ {
+		s.v.ShardView(i).(streamcard.AnytimeEstimator).Users(fn)
+	}
+}
+
+func (s serialView) RangeUsers(fn func(user uint64, estimate float64)) {
+	for i := 0; i < s.v.NumShards(); i++ {
+		if r, ok := s.v.ShardView(i).(streamcard.UserRanger); ok {
+			r.RangeUsers(fn)
+		} else {
+			s.v.ShardView(i).(streamcard.AnytimeEstimator).Users(fn)
+		}
+	}
+}
+
+func (s serialView) NumUsers() int {
+	n := 0
+	for i := 0; i < s.v.NumShards(); i++ {
+		n += s.v.ShardView(i).(streamcard.AnytimeEstimator).NumUsers()
+	}
+	return n
+}
+
+// analyticsPhase measures the analytics read path — top-k, sorted user
+// enumeration, user counts, merged totals — serial versus shard-parallel,
+// on a stack holding `users` distinct users spread across the live
+// generations. Each timed iteration runs on a freshly dirtied view: a
+// one-edge write lands in every shard first, so all fold caches are cold
+// and both legs pay the same fold work. The topk_cached row re-queries an
+// unchanged view; the phase fails if those repeats re-fold anything.
+func analyticsPhase(mbits, shards, gens, users int) (map[string][]float64, *streamcard.FoldStats, error) {
+	var fst streamcard.FoldStats
+	per := mbits / shards
+	s := streamcard.NewSharded(shards, func(int) streamcard.Estimator {
+		return streamcard.NewWindowed(func() streamcard.Estimator {
+			return streamcard.NewFreeRS(per, streamcard.WithSeed(1))
+		}, streamcard.WithGenerations(gens), streamcard.WithFoldStats(&fst))
+	})
+
+	// Fill: every user observed with 1..4 items, split across the window's
+	// generations so the folds sum several live sketches per shard.
+	rng := hashing.NewRNG(9)
+	fills := gens - 1
+	batch := make([]streamcard.Edge, 0, 1<<16)
+	flush := func() {
+		if len(batch) > 0 {
+			s.ObserveBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	for g := 0; g < fills; g++ {
+		for u := g; u < users; u += fills {
+			for n := 1 + rng.Intn(4); n > 0; n-- {
+				batch = append(batch, streamcard.Edge{User: uint64(u) + 1, Item: rng.Uint64()})
+				if len(batch) == cap(batch) {
+					flush()
+				}
+			}
+		}
+		flush()
+		if g < fills-1 {
+			s.Rotate()
+		}
+	}
+
+	// One resident user per shard, so a round of touch writes dirties every
+	// shard and the next snapshot publishes all-cold folds.
+	touch := make([]uint64, 0, shards)
+	seen := make(map[int]bool, shards)
+	for u := uint64(1); len(touch) < shards && u < uint64(users)+1; u++ {
+		if i := s.ShardIndex(u); !seen[i] {
+			seen[i] = true
+			touch = append(touch, u)
+		}
+	}
+	freshView := func() *streamcard.ShardedView {
+		for _, u := range touch {
+			s.Observe(u, rng.Uint64())
+		}
+		return s.Snapshot()
+	}
+
+	// Bit-identity spot check before timing anything.
+	{
+		v := freshView()
+		if !reflect.DeepEqual(v.TopK(analyticsK), streamcard.TopKSerial(serialView{v}, analyticsK)) {
+			return nil, nil, fmt.Errorf("analytics: parallel top-k diverges from the serial reference")
+		}
+	}
+
+	lat := map[string][]float64{}
+	row := func(kind string, fn func(v *streamcard.ShardedView)) {
+		for i := 0; i < analyticsIters; i++ {
+			v := freshView()
+			t0 := time.Now()
+			fn(v)
+			lat[kind] = append(lat[kind], float64(time.Since(t0).Microseconds()))
+		}
+	}
+	row("topk_serial", func(v *streamcard.ShardedView) { streamcard.TopKSerial(serialView{v}, analyticsK) })
+	row("topk", func(v *streamcard.ShardedView) { v.TopK(analyticsK) })
+	row("users_serial", func(v *streamcard.ShardedView) { serialView{v}.RangeUsers(func(uint64, float64) {}) })
+	row("users", func(v *streamcard.ShardedView) { v.RangeUsers(func(uint64, float64) {}) })
+	row("numusers_serial", func(v *streamcard.ShardedView) { serialView{v}.NumUsers() })
+	row("numusers", func(v *streamcard.ShardedView) { v.NumUsers() })
+	row("merged_total", func(v *streamcard.ShardedView) { v.TotalDistinctMerged() })
+
+	// Cached repeats: one fresh view, one warming query, then timed repeats
+	// that must re-fold nothing.
+	v := freshView()
+	_ = v.TopK(analyticsK)
+	computes := fst.Computes()
+	for i := 0; i < analyticsIters; i++ {
+		t0 := time.Now()
+		_ = v.TopK(analyticsK)
+		lat["topk_cached"] = append(lat["topk_cached"], float64(time.Since(t0).Microseconds()))
+	}
+	if got := fst.Computes(); got != computes {
+		return nil, nil, fmt.Errorf("analytics: repeated top-k on an unchanged view re-folded (computes %d -> %d)", computes, got)
+	}
+	return lat, &fst, nil
 }
 
 // makeBatches pre-generates a bursty stream sliced into ObserveBatch-sized

@@ -364,6 +364,8 @@ type Server struct {
 	walRecords     *metrics.Counter
 	walTruncated   *metrics.Counter
 	latency        map[string]*metrics.Histogram
+	analytics      map[string]*metrics.Histogram
+	foldStats      *streamcard.FoldStats
 }
 
 // ErrClosed is returned by ingestion paths once Close has begun.
@@ -383,6 +385,8 @@ func New(cfg Config) (*Server, error) {
 		stopTicker: make(chan struct{}),
 		reg:        metrics.NewRegistry(),
 		latency:    make(map[string]*metrics.Histogram),
+		analytics:  make(map[string]*metrics.Histogram),
+		foldStats:  &streamcard.FoldStats{},
 	}
 	for i := range s.queues {
 		s.queues[i] = make(chan shardItem, cfg.QueueDepth)
@@ -401,6 +405,7 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.wins {
 		s.wins[i] = streamcard.NewWindowed(buildSketch,
 			streamcard.WithGenerations(cfg.Generations),
+			streamcard.WithFoldStats(s.foldStats),
 			streamcard.WithOnRetire(func(g streamcard.Estimator) {
 				s.retiredGens.Inc()
 				s.retiredPairs.Add(uint64(g.TotalDistinct() + 0.5))
@@ -523,6 +528,28 @@ func (s *Server) initMetrics() {
 		s.latency[h] = s.reg.Histogram("cardserved_http_request_seconds",
 			fmt.Sprintf(`handler="%s"`, h),
 			"Request latency by handler.", metrics.LatencyBuckets())
+	}
+	// Analytics computations timed separately from their HTTP envelopes:
+	// the histogram brackets only the sketch-side work (selection, fold,
+	// merge, enumeration), not request parsing or response encoding.
+	for _, q := range []string{"topk", "users", "numusers", "merged_total"} {
+		s.analytics[q] = s.reg.Histogram("cardserved_analytics_seconds",
+			fmt.Sprintf(`query="%s"`, q),
+			"Analytics computation latency (sketch-side work only) by query.",
+			metrics.LatencyBuckets())
+	}
+	s.reg.CounterFunc("cardserved_fold_cache_computes_total", "",
+		"Cross-generation window folds executed on published views.",
+		s.foldStats.Computes)
+	s.reg.CounterFunc("cardserved_fold_cache_hits_total", "",
+		"Analytics reads served from a cached window fold instead of re-folding.",
+		s.foldStats.Hits)
+}
+
+// observeAnalytics records one analytics computation's latency.
+func (s *Server) observeAnalytics(query string, start time.Time) {
+	if h := s.analytics[query]; h != nil {
+		h.Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -1178,10 +1205,12 @@ func (s *Server) handleTotal(w http.ResponseWriter, r *http.Request) {
 	v := s.view()
 	var total float64
 	if method == "merged" {
+		start := time.Now()
 		var err error
 		if total, err = v.TotalDistinctMerged(); err != nil {
 			total, method = v.TotalDistinct(), "summed"
 		}
+		s.observeAnalytics("merged_total", start)
 	} else {
 		total = v.TotalDistinct()
 	}
@@ -1206,7 +1235,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
+	// TopK delegates to the view's shard-concurrent selection (TopKer).
+	start := time.Now()
 	top := streamcard.TopK(s.view(), k)
+	s.observeAnalytics("topk", start)
 	type entry struct {
 		User     uint64  `json:"user"`
 		Estimate float64 `json:"estimate"`
@@ -1246,7 +1278,9 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 		limit = v
 	}
 	if limit == 0 {
+		start := time.Now()
 		n := s.view().NumUsers()
+		s.observeAnalytics("numusers", start)
 		writeJSON(w, http.StatusOK, map[string]any{
 			"users": []any{}, "count": n, "truncated": n > 0,
 		})
@@ -1268,6 +1302,9 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	bw.WriteString(`{"users":[`)
 	count := 0
 	var num [32]byte
+	// Timed around the enumeration: the fold pre-warm and sorted stream
+	// dominate; encoding rides inside fn but is a few appends per user.
+	start := time.Now()
 	s.view().Users(func(u uint64, e float64) {
 		if limit < 0 || count < limit {
 			if count > 0 {
@@ -1281,6 +1318,7 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 		}
 		count++
 	})
+	s.observeAnalytics("users", start)
 	truncated := limit >= 0 && count > limit
 	fmt.Fprintf(bw, `],"count":%d,"truncated":%v}`, count, truncated)
 	bw.WriteByte('\n')

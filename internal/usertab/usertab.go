@@ -36,6 +36,7 @@ package usertab
 
 import (
 	"slices"
+	"sync"
 
 	"repro/internal/hashing"
 )
@@ -303,15 +304,19 @@ func (t *Table) Range(fn func(key uint64, val float64)) {
 // SortedRange calls fn for every entry in ascending key order — the
 // deterministic order serialization and user enumeration promise, identical
 // for equal logical states regardless of how their layouts were reached.
-// It allocates and sorts an entry slice (O(n log n)); use Range where order
-// does not matter. fn must not mutate the table.
+// It sorts an entry scratch slice (O(n log n)) drawn from a shared pool, so
+// repeated sorted enumerations (serialization, /users streams, top-k over
+// cached window folds) reuse one buffer instead of allocating 16 bytes per
+// entry per call; use Range where order does not matter. fn must not mutate
+// the table.
 func (t *Table) SortedRange(fn func(key uint64, val float64)) {
 	if t.hasZero {
 		fn(0, t.zeroVal)
 	}
+	sp := entryScratch.Get().(*[]entry)
 	// Collect values alongside keys in the single slot walk: re-probing the
 	// table per key would pay a full probe chain each at 31/32 load.
-	entries := make([]entry, 0, t.n)
+	entries := (*sp)[:0]
 	for i, k := range t.keys {
 		if k != 0 {
 			entries = append(entries, entry{k, t.vals[i]})
@@ -327,6 +332,8 @@ func (t *Table) SortedRange(fn func(key uint64, val float64)) {
 	for _, e := range entries {
 		fn(e.key, e.val)
 	}
+	*sp = entries[:0]
+	entryScratch.Put(sp)
 }
 
 // entry is SortedRange's scratch element.
@@ -334,6 +341,12 @@ type entry struct {
 	key uint64
 	val float64
 }
+
+// entryScratch pools SortedRange's sort scratch. The buffer never escapes
+// the call (fn receives copied key/value pairs), and reentrant or
+// concurrent SortedRange calls each draw their own buffer, so pooling is
+// safe; a panicking fn leaks at most one buffer to the GC.
+var entryScratch = sync.Pool{New: func() any { return new([]entry) }}
 
 // Clone returns a deep copy: same entries, same layout, no shared state
 // (eager, unlike Snapshot's lazy copy-on-write).

@@ -368,26 +368,42 @@ func (v *ShardedView) anytime(i int, method string) AnytimeEstimator {
 // within each — the same fully deterministic order as Sharded.Users, but
 // with no lock held for the duration of the stream: fn may be arbitrarily
 // slow, or even call back into the parent Sharded, without stalling ingest.
+// The expensive part — each shard's cross-generation window fold — is
+// pre-warmed on the worker pool first; only the ordered streaming of fn
+// stays on this goroutine.
 func (v *ShardedView) Users(fn func(user uint64, estimate float64)) {
+	v.prepareFolds()
 	for i := range v.views {
 		v.anytime(i, "Users").Users(fn)
 	}
 }
 
 // RangeUsers implements UserRanger: the unordered allocation-free
-// counterpart of Users, same exactly-once fan-out.
+// counterpart of Users, same exactly-once fan-out and the same parallel
+// fold pre-warm (fn itself is still called serially).
 func (v *ShardedView) RangeUsers(fn func(user uint64, estimate float64)) {
+	v.prepareFolds()
 	for i := range v.views {
 		rangeUsers(v.anytime(i, "RangeUsers"), fn)
 	}
 }
 
 // NumUsers implements AnytimeEstimator (sum of per-shard counts; exact,
-// since users partition across shards).
+// since users partition across shards). The per-shard counts — each a
+// window fold on windowed stacks — run on the worker pool.
 func (v *ShardedView) NumUsers() int {
+	n := len(v.views)
+	ests := make([]AnytimeEstimator, n)
+	for i := range ests {
+		ests[i] = v.anytime(i, "NumUsers")
+	}
+	counts := make([]int, n)
+	forEachShard(n, func(i int) {
+		counts[i] = ests[i].NumUsers()
+	})
 	total := 0
-	for i := range v.views {
-		total += v.anytime(i, "NumUsers").NumUsers()
+	for _, c := range counts {
+		total += c
 	}
 	return total
 }

@@ -3,6 +3,7 @@ package streamcard
 import (
 	"encoding"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +68,19 @@ type Windowed struct {
 	// has advanced the version. A frozen view's pub points at itself, so
 	// reads on views resolve in one hop.
 	pub atomic.Pointer[windowedPub]
+
+	// frozen marks a view built by Snapshot: its ring never moves again, so
+	// the cross-generation user fold can be computed once and cached below.
+	// Clone assembles a Windowed from existing generations through the same
+	// adoptWindowed path but returns a mutable window, so the marker is set
+	// only where Snapshot constructs the view.
+	frozen bool
+	// foldOnce/fold cache userSums on frozen views: computed at most once
+	// per published view and served to every later analytics read of that
+	// view. A new publication is a new frozen view, so invalidation is
+	// automatic — the same pattern as ShardedView's cached merged union.
+	foldOnce sync.Once
+	fold     *usertab.Table
 }
 
 // windowedPub pairs a frozen view with the ring version it freezes.
@@ -76,10 +90,11 @@ type windowedPub struct {
 }
 
 type windowedConfig struct {
-	k        int
-	boundary window.Boundary
-	clock    window.Clock
-	onRetire func(Estimator)
+	k         int
+	boundary  window.Boundary
+	clock     window.Clock
+	onRetire  func(Estimator)
+	foldStats *FoldStats
 }
 
 // WindowedOption configures NewWindowed.
@@ -126,6 +141,15 @@ func WithWindowClock(now func() time.Time) WindowedOption {
 // inherit the hook.
 func WithOnRetire(fn func(retired Estimator)) WindowedOption {
 	return func(c *windowedConfig) { c.onRetire = fn }
+}
+
+// WithFoldStats scopes the window's fold-cache counters to st, so a serving
+// stack can export its own compute/hit counts (the server wires one per
+// process into /metrics). Snapshots and clones inherit the same collector.
+// Windows built without this option report into a package-level default,
+// readable via DefaultFoldStats.
+func WithFoldStats(st *FoldStats) WindowedOption {
+	return func(c *windowedConfig) { c.foldStats = st }
 }
 
 // NewWindowed returns a windowed wrapper; build must return a fresh
@@ -255,6 +279,10 @@ func (w *Windowed) Snapshot() *Windowed {
 		ver = v
 		frozen, err = adoptWindowed(w.build, w.cfg, w.name, snaps, epoch, edges)
 		if err == nil {
+			// Mark the view frozen before publishing it: its ring never
+			// moves again, which is what licenses the per-view fold cache
+			// (userSums). Publication's atomic store orders the write.
+			frozen.frozen = true
 			// A view answers Snapshot with itself (its ring never moves),
 			// so reads routed through Snapshot resolve in one hop on
 			// views.
@@ -425,13 +453,61 @@ func (w *Windowed) UserEntries() int {
 	return total
 }
 
-// userSums folds the live generations' per-user estimates into one flat
-// table, generation order outermost — the same summation order Estimate
+// foldStatsOut returns the collector this window's fold-cache outcomes are
+// counted into: the injected one (WithFoldStats) or the package default.
+func (w *Windowed) foldStatsOut() *FoldStats {
+	if w.cfg.foldStats != nil {
+		return w.cfg.foldStats
+	}
+	return &defaultFoldStats
+}
+
+// userSums returns the window's merged per-user estimate table. On a frozen
+// view (the only place analytics reads land once snapshots are published —
+// Users/RangeUsers/NumUsers route through Snapshot) the fold is computed at
+// most once and cached for the view's lifetime: repeated analytics queries
+// within one publication epoch re-fold nothing, and the next publication is
+// a new view, so invalidation is automatic. Mutable windows fold fresh —
+// their ring can move under them.
+func (w *Windowed) userSums() *usertab.Table {
+	if !w.frozen {
+		return w.computeUserSums()
+	}
+	hit := true
+	w.foldOnce.Do(func() {
+		w.runFold()
+		hit = false
+	})
+	if hit {
+		w.foldStatsOut().hits.Add(1)
+	}
+	return w.fold
+}
+
+// warmFold populates a frozen view's fold cache if it is still cold,
+// counting a compute but never a hit — the shard-concurrent fan-out uses it
+// to move fold work onto pool goroutines; the query that follows does the
+// counted read. No-op on mutable windows, which have no cache.
+func (w *Windowed) warmFold() {
+	if !w.frozen {
+		return
+	}
+	w.foldOnce.Do(w.runFold)
+}
+
+// runFold executes the fold under foldOnce.
+func (w *Windowed) runFold() {
+	w.fold = w.computeUserSums()
+	w.foldStatsOut().computes.Add(1)
+}
+
+// computeUserSums folds the live generations' per-user estimates into one
+// flat table, generation order outermost — the same summation order Estimate
 // uses for a single user, so the folded value matches Estimate bit for bit.
 // The fold reads each generation through its unordered allocation-free
 // iterator; only the result table is allocated, pre-sized to the entry
 // upper bound (Σ per-generation entries) so the fold never rehashes.
-func (w *Windowed) userSums() *usertab.Table {
+func (w *Windowed) computeUserSums() *usertab.Table {
 	var merged *usertab.Table
 	w.ring.View(func(live []Estimator) {
 		entries := 0
