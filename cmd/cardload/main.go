@@ -23,13 +23,23 @@
 // off by more than the fraction t — only meaningful against a freshly
 // started, unrotated server that receives this workload alone.
 //
-// With -progress FILE (requires -c 1) the driver atomically rewrites FILE
-// with the cumulative acked edge count after every acked batch, so a
-// crash-recovery harness that kills the server mid-replay knows the exact
-// acked prefix to assert against after the WAL replay.
+// With -progress FILE (requires -c 1, or -conns 1 over TCP) the driver
+// atomically rewrites FILE with the cumulative acked edge count after every
+// acked batch, so a crash-recovery harness that kills the server mid-replay
+// knows the exact acked prefix to assert against after the WAL replay.
+//
+// With -transport tcp the driver speaks CWT1 (the persistent pipelined
+// binary transport) instead of HTTP: -conns long-lived connections each
+// carry a contiguous span of the stream as sequenced CWB1 frames, keeping
+// up to -window frames in flight and crediting edges as the out-of-band
+// acks come back — so ack latency stops serializing the send path. -addr
+// stays the HTTP base URL (health, /flush, /total, -check all still ride
+// HTTP); -tcp-addr is the frame endpoint. The report adds per-connection
+// rates next to the aggregate.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -37,6 +47,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -73,8 +84,12 @@ func run(args []string, out io.Writer) error {
 		conc    = fs.Int("c", 1, "concurrent senders (contiguous stream spans)")
 		wait    = fs.Bool("wait", false, "use ?wait=1 (response only after the batch is absorbed)")
 		check   = fs.Float64("check", 0, "fail if /total deviates from exact truth by more than this fraction (0 = report only)")
-		proto   = fs.String("proto", "text", "ingest protocol: text|binary")
-		prog    = fs.String("progress", "", "file atomically rewritten with the cumulative acked edge count after every acked batch (requires -c 1); a crash-recovery harness reads it to learn exactly how much the server acked before dying")
+		proto   = fs.String("proto", "text", "ingest protocol for -transport http: text|binary (TCP always carries CWB1 frames)")
+		prog    = fs.String("progress", "", "file atomically rewritten with the cumulative acked edge count after every acked batch (requires -c 1, or -conns 1 over TCP); a crash-recovery harness reads it to learn exactly how much the server acked before dying")
+		trans   = fs.String("transport", "http", "ingest transport: http (one request per batch) | tcp (persistent pipelined CWT1 connections; needs cardserved -tcp-addr)")
+		tcpAddr = fs.String("tcp-addr", "127.0.0.1:9090", "CWT1 frame endpoint (host:port) for -transport tcp; -addr stays the HTTP base for health/flush/total")
+		conns   = fs.Int("conns", 1, "TCP connections for -transport tcp, each sending a contiguous stream span")
+		window  = fs.Int("window", 64, "max unacked frames in flight per TCP connection")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,11 +97,26 @@ func run(args []string, out io.Writer) error {
 	if *batch <= 0 || *conc <= 0 {
 		return errors.New("-batch and -c must be positive")
 	}
-	if *prog != "" && *conc != 1 {
-		return errors.New("-progress needs -c 1: with concurrent spans the acked count is not a stream prefix")
-	}
 	if *proto != "text" && *proto != "binary" {
 		return fmt.Errorf("-proto %q: want text or binary", *proto)
+	}
+	switch *trans {
+	case "http":
+		if *prog != "" && *conc != 1 {
+			return errors.New("-progress needs -c 1: with concurrent spans the acked count is not a stream prefix")
+		}
+	case "tcp":
+		if *conns <= 0 || *window <= 0 {
+			return errors.New("-conns and -window must be positive")
+		}
+		if *prog != "" && *conns != 1 {
+			return errors.New("-progress needs -conns 1: with concurrent spans the acked count is not a stream prefix")
+		}
+		if *wait {
+			return errors.New("-wait is an HTTP ?wait=1 option; over TCP use the final /flush barrier (always applied)")
+		}
+	default:
+		return fmt.Errorf("-transport %q: want http or tcp", *trans)
 	}
 
 	cfg, err := datagen.PaperConfig(*dataset, *scale, *seed)
@@ -111,7 +141,11 @@ func run(args []string, out io.Writer) error {
 	if *wait {
 		ingestURL += "?wait=1"
 	}
-	spans := splitSpans(edges, *conc)
+	nSenders := *conc
+	if *trans == "tcp" {
+		nSenders = *conns
+	}
+	spans := splitSpans(edges, nSenders)
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -119,48 +153,58 @@ func run(args []string, out io.Writer) error {
 		firstErr error
 	)
 	start := time.Now()
-	for _, span := range spans {
-		wg.Add(1)
-		go func(span []stream.Edge) {
-			defer wg.Done()
-			var sb strings.Builder
-			var frame []byte
-			acked := 0 // per-span; -progress forces a single span, so it is the total
-			for i := 0; i < len(span); i += *batch {
-				end := i + *batch
-				if end > len(span) {
-					end = len(span)
-				}
-				var body []byte
-				contentType := "text/plain"
-				if *proto == "binary" {
-					frame = stream.AppendWire(frame[:0], span[i:end])
-					body, contentType = frame, stream.WireContentType
-				} else {
-					sb.Reset()
-					if err := stream.WriteText(&sb, span[i:end]); err != nil {
-						panic(err) // strings.Builder writes cannot fail
-					}
-					body = []byte(sb.String())
-				}
-				if err := postBatch(ingestURL, contentType, body); err != nil {
-					mu.Lock()
+	if *trans == "tcp" {
+		for id, span := range spans {
+			wg.Add(1)
+			go func(id int, span []stream.Edge) {
+				defer wg.Done()
+				t0 := time.Now()
+				frames, err := replayTCP(*tcpAddr, span, *batch, *window, *prog)
+				elapsed := time.Since(t0)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
 					if firstErr == nil {
-						firstErr = err
+						firstErr = fmt.Errorf("conn %d: %w", id, err)
 					}
-					mu.Unlock()
 					return
 				}
-				mu.Lock()
-				batches++
-				mu.Unlock()
-				acked += end - i
-				if *prog != "" {
-					// Atomic replace: a kill mid-update leaves the previous
-					// complete count, never a torn file. The count can lag the
-					// server's ack by at most the one batch between its 200 and
-					// this write — the crash harness's tolerance window.
-					if err := writeProgress(*prog, acked); err != nil {
+				batches += frames
+				fmt.Fprintf(out, "cardload: conn %d: %d edges in %d frames over %v -> %.0f edges/sec\n",
+					id, len(span), frames, elapsed.Round(time.Millisecond),
+					float64(len(span))/elapsed.Seconds())
+			}(id, span)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+	} else {
+		for _, span := range spans {
+			wg.Add(1)
+			go func(span []stream.Edge) {
+				defer wg.Done()
+				var sb strings.Builder
+				var frame []byte
+				acked := 0 // per-span; -progress forces a single span, so it is the total
+				for i := 0; i < len(span); i += *batch {
+					end := i + *batch
+					if end > len(span) {
+						end = len(span)
+					}
+					var body []byte
+					contentType := "text/plain"
+					if *proto == "binary" {
+						frame = stream.AppendWire(frame[:0], span[i:end])
+						body, contentType = frame, stream.WireContentType
+					} else {
+						sb.Reset()
+						if err := stream.WriteText(&sb, span[i:end]); err != nil {
+							panic(err) // strings.Builder writes cannot fail
+						}
+						body = []byte(sb.String())
+					}
+					if err := postBatch(ingestURL, contentType, body); err != nil {
 						mu.Lock()
 						if firstErr == nil {
 							firstErr = err
@@ -168,13 +212,31 @@ func run(args []string, out io.Writer) error {
 						mu.Unlock()
 						return
 					}
+					mu.Lock()
+					batches++
+					mu.Unlock()
+					acked += end - i
+					if *prog != "" {
+						// Atomic replace: a kill mid-update leaves the previous
+						// complete count, never a torn file. The count can lag the
+						// server's ack by at most the one batch between its 200 and
+						// this write — the crash harness's tolerance window.
+						if err := writeProgress(*prog, acked); err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+							return
+						}
+					}
 				}
-			}
-		}(span)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+			}(span)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
 	}
 	// Flush barrier: the rate and the /total reading below cover every edge
 	// actually absorbed into the sketch, not just queued.
@@ -183,8 +245,12 @@ func run(args []string, out io.Writer) error {
 	}
 	elapsed := time.Since(start)
 	rate := float64(len(edges)) / elapsed.Seconds()
-	fmt.Fprintf(out, "cardload: %d edges in %d batches over %v -> %.0f edges/sec (%s protocol)\n",
-		len(edges), batches, elapsed.Round(time.Millisecond), rate, *proto)
+	wire := *proto + " protocol"
+	if *trans == "tcp" {
+		wire = fmt.Sprintf("tcp transport, %d conns, window %d", len(spans), *window)
+	}
+	fmt.Fprintf(out, "cardload: %d edges in %d batches over %v -> %.0f edges/sec (%s)\n",
+		len(edges), batches, elapsed.Round(time.Millisecond), rate, wire)
 
 	total, method, err := fetchTotal(base)
 	if err != nil {
@@ -206,6 +272,101 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// replayTCP drives one CWT1 connection: span is cut into batch-sized
+// frames sent with strictly increasing sequence numbers, keeping up to
+// window frames unacked in flight; a reader goroutine consumes the
+// out-of-band acks in order, maintains the acked-prefix edge count (frame
+// k's size is derivable from k alone, so no per-frame bookkeeping is
+// needed), and rewrites the -progress file after every ack exactly as the
+// HTTP path does after every 200. Any non-200 ack, out-of-order ack, or
+// early close is an error. Returns the frame count.
+func replayTCP(addr string, span []stream.Edge, batch, window int, prog string) (int, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("no CWT1 listener at %s (cardserved -tcp-addr): %w", addr, err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(stream.TCPMagic)); err != nil {
+		return 0, err
+	}
+	nFrames := (len(span) + batch - 1) / batch
+	frameEdges := func(seq uint64) int { // edges carried by frame seq (1-based)
+		lo := int(seq-1) * batch
+		hi := lo + batch
+		if hi > len(span) {
+			hi = len(span)
+		}
+		return hi - lo
+	}
+
+	sem := make(chan struct{}, window)
+	ackDone := make(chan struct{})
+	ackErr := make(chan error, 1)
+	go func() {
+		defer close(ackDone)
+		br := bufio.NewReader(conn)
+		var rec [stream.AckLen]byte
+		acked := 0
+		for next := uint64(1); next <= uint64(nFrames); next++ {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				ackErr <- fmt.Errorf("connection lost waiting for ack %d of %d: %w", next, nFrames, err)
+				return
+			}
+			seq, status, err := stream.ParseAck(rec[:])
+			if err != nil {
+				ackErr <- err
+				return
+			}
+			if seq != next {
+				ackErr <- fmt.Errorf("ack for frame %d, want %d", seq, next)
+				return
+			}
+			if status != stream.AckOK {
+				ackErr <- fmt.Errorf("frame %d refused with status %d", seq, status)
+				return
+			}
+			acked += frameEdges(seq)
+			if prog != "" {
+				if err := writeProgress(prog, acked); err != nil {
+					ackErr <- err
+					return
+				}
+			}
+			<-sem
+		}
+		ackErr <- nil
+	}()
+
+	var frame []byte
+	for seq := uint64(1); seq <= uint64(nFrames); seq++ {
+		select {
+		case sem <- struct{}{}: // at most `window` unacked frames in flight
+		case <-ackDone: // ack stream failed; the error below explains why
+			return 0, <-ackErr
+		}
+		lo := int(seq-1) * batch
+		frame = stream.AppendFrameHeader(frame[:0], seq, stream.WireSize(frameEdges(seq)))
+		frame = stream.AppendWire(frame, span[lo:lo+frameEdges(seq)])
+		if _, err := conn.Write(frame); err != nil {
+			<-ackDone // the read side usually says something more specific
+			if aerr := <-ackErr; aerr != nil {
+				return 0, aerr
+			}
+			return 0, err
+		}
+	}
+	// Half-close: every frame is on the wire; the server drains, acks, and
+	// closes its side once we have the full ack prefix.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	<-ackDone
+	if err := <-ackErr; err != nil {
+		return 0, err
+	}
+	return nFrames, nil
 }
 
 // writeProgress atomically replaces path with the decimal edge count.

@@ -1,0 +1,141 @@
+package main
+
+// The -transport tcp leg: cardload must drive the CWT1 pipelined transport
+// end to end — windowed in-flight frames, per-connection spans, the same
+// -check truth assertion, and acked-prefix -progress accounting — against a
+// real server.ServeTCP listener.
+
+import (
+	"bytes"
+	"net"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// startTCPBackend runs a server with both the HTTP surface (health, flush,
+// total) and a CWT1 listener, returning the two addresses.
+func startTCPBackend(t *testing.T) (httpURL, tcpAddr string) {
+	t.Helper()
+	s, err := server.New(server.Config{
+		MemoryBits: 1 << 20, Shards: 2, Generations: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.ServeTCP(ln)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return ts.URL, ln.Addr().String()
+}
+
+// TestCardloadTCPTransportChecks: the CI smoke invocation over TCP — the
+// -check truth assertion must hold identically to HTTP.
+func TestCardloadTCPTransportChecks(t *testing.T) {
+	httpURL, tcpAddr := startTCPBackend(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", httpURL, "-transport", "tcp", "-tcp-addr", tcpAddr,
+		"-dataset", "flickr", "-scale", "0.0005", "-seed", "5",
+		"-batch", "2000", "-window", "8",
+		"-check", "0.25",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	for _, want := range []string{"conn 0:", "tcp transport, 1 conns, window 8", "deviation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCardloadTCPMultipleConnections: -conns splits the stream into
+// per-connection spans, each reported individually plus the aggregate.
+func TestCardloadTCPMultipleConnections(t *testing.T) {
+	httpURL, tcpAddr := startTCPBackend(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", httpURL, "-transport", "tcp", "-tcp-addr", tcpAddr,
+		"-dataset", "chicago", "-scale", "0.0002",
+		"-edges", "6000", "-batch", "500", "-conns", "3", "-window", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	for _, want := range []string{"conn 0:", "conn 1:", "conn 2:", "tcp transport, 3 conns"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCardloadTCPProgressFile: acked-prefix accounting over TCP lands on
+// exactly the full stream, same contract as HTTP.
+func TestCardloadTCPProgressFile(t *testing.T) {
+	httpURL, tcpAddr := startTCPBackend(t)
+	prog := filepath.Join(t.TempDir(), "acked")
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", httpURL, "-transport", "tcp", "-tcp-addr", tcpAddr,
+		"-dataset", "chicago", "-scale", "0.0002",
+		"-edges", "4000", "-batch", "500", "-window", "4",
+		"-progress", prog,
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	b, err := os.ReadFile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(\d+) edges to replay`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no edge count in report:\n%s", out.String())
+	}
+	if got := strings.TrimSpace(string(b)); got != m[1] {
+		t.Fatalf("progress file reads %q after a fully acked replay of %s edges", got, m[1])
+	}
+}
+
+func TestCardloadTCPBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-transport", "quic"}, &out); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	if err := run([]string{"-transport", "tcp", "-window", "0"}, &out); err == nil {
+		t.Fatal("window=0 accepted")
+	}
+	if err := run([]string{"-transport", "tcp", "-conns", "0"}, &out); err == nil {
+		t.Fatal("conns=0 accepted")
+	}
+	if err := run([]string{"-transport", "tcp", "-progress", "p", "-conns", "2"}, &out); err == nil {
+		t.Fatal("-progress with multiple connections accepted")
+	}
+	if err := run([]string{"-transport", "tcp", "-wait"}, &out); err == nil {
+		t.Fatal("-wait over tcp accepted")
+	}
+}
+
+// TestCardloadTCPNoListener: an HTTP-healthy server without a CWT1
+// listener must fail with a pointer at the missing -tcp-addr, not hang.
+func TestCardloadTCPNoListener(t *testing.T) {
+	ts := startBackend(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", ts.URL, "-transport", "tcp", "-tcp-addr", "127.0.0.1:1",
+		"-dataset", "chicago", "-scale", "0.0002", "-edges", "1000",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "CWT1") {
+		t.Fatalf("dead tcp address: %v", err)
+	}
+}

@@ -63,6 +63,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	fs := flag.NewFlagSet("cardserved", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", ":8080", "listen address")
+		tcpAddr  = fs.String("tcp-addr", "", "CWT1 persistent TCP ingest listen address (empty = disabled); long-lived connections carrying pipelined CWB1 frames with per-frame acks")
 		method   = fs.String("method", "freers", "estimator: freers|freebs")
 		mbits    = fs.Int("mbits", 1<<26, "total sketch memory in bits (split across shards, spent once per generation)")
 		shards   = fs.Int("shards", 4, "independently locked shards")
@@ -130,6 +131,22 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	httpSrv := &http.Server{Handler: s.Handler(), WriteTimeout: *writeTO}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+	if *tcpAddr != "" {
+		tcpLn, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			s.Close()
+			return err
+		}
+		// ServeTCP returns ErrClosed when s.Close tears the listener down —
+		// the clean path; anything else (a mid-run accept failure) is fatal
+		// like an HTTP serve error.
+		go func() {
+			if err := s.ServeTCP(tcpLn); err != nil && !errors.Is(err, server.ErrClosed) {
+				serveErr <- err
+			}
+		}()
+		fmt.Fprintf(out, "cardserved: tcp ingest on %s\n", tcpLn.Addr())
+	}
 	if s.Restored() {
 		fmt.Fprintf(out, "cardserved: restored checkpoint from %s (epoch=%d)\n", *spool, s.Epoch())
 	}

@@ -18,6 +18,17 @@
 // line protocol versus the CWB1 binary frame, reporting edges/sec each and
 // the binary/text speedup.
 //
+// A transport phase compares the two ways CWB1 frames reach a real server:
+// sequential keep-alive HTTP POSTs (one round trip per frame — the
+// request/response transport cardload's -proto binary drives) versus the
+// CWT1 persistent TCP transport (one long-lived connection, a window of
+// pipelined frames, out-of-band per-frame acks). Both legs carry identical
+// frame payloads into identical server.New stacks at -scaling-shards, so
+// the ratio isolates what pipelining saves in per-request transport
+// overhead; -min-tcp-speedup gates it (skipped with a logged reason on
+// single-CPU hosts, where client and server time-slice one core and
+// overlap is impossible by construction).
+//
 // A WAL phase measures what durability costs the same absorb loop: no WAL,
 // the interval (group-commit) fsync policy, and the always policy, each
 // against a real log on disk, with -max-wal-overhead-pct gating the
@@ -39,19 +50,22 @@
 // floor, so the analytics percentiles are real and gateable.
 //
 // CI gates on the serving targets with -max-estimate-p50-us,
-// -max-total-p50-us, -min-wire-speedup, -max-topk-p50-us, and
-// -min-analytics-scaling (0 disables a gate).
+// -max-total-p50-us, -min-wire-speedup, -min-tcp-speedup,
+// -max-topk-p50-us, and -min-analytics-scaling (0 disables a gate).
 //
 //	go run ./cmd/querybench -edges 4000000 -queriers 8 -out BENCH_query.json
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"reflect"
 	"runtime"
@@ -63,6 +77,7 @@ import (
 
 	streamcard "repro"
 	"repro/internal/hashing"
+	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/wal"
 )
@@ -111,6 +126,22 @@ type Result struct {
 	WireTextEdgesPerSec   float64 `json:"wire_text_edges_per_sec"`
 	WireBinaryEdgesPerSec float64 `json:"wire_binary_edges_per_sec"`
 	WireSpeedup           float64 `json:"wire_speedup"`
+
+	// Transport comparison against a real server at TransportShards:
+	// identical CWB1 frame payloads delivered as sequential keep-alive HTTP
+	// POSTs (an ack round trip per frame) versus the CWT1 persistent TCP
+	// transport (one connection, TransportWindow pipelined frames in
+	// flight, per-frame acks read out of band). Edges/sec counts acked
+	// frames end to end, so the ratio is the per-request transport overhead
+	// pipelining removes. -min-tcp-speedup gates TCPSpeedupX; skipped with
+	// the logged reason in TCPGateSkipped on single-CPU hosts.
+	TransportShards          int     `json:"transport_shards"`
+	TransportFrameEdges      int     `json:"transport_frame_edges"`
+	TransportWindow          int     `json:"transport_window"`
+	TransportHTTPEdgesPerSec float64 `json:"transport_http_edges_per_sec"`
+	TransportTCPEdgesPerSec  float64 `json:"transport_tcp_edges_per_sec"`
+	TCPSpeedupX              float64 `json:"tcp_speedup_x"`
+	TCPGateSkipped           string  `json:"tcp_gate_skipped,omitempty"`
 
 	// Ingest scaling: the same decode→partition→absorb pipeline executed by
 	// ONE goroutine (partition a batch, absorb every shard's sub-batch
@@ -196,6 +227,7 @@ func run(args []string, stdout io.Writer) error {
 		maxEstP50           = fs.Float64("max-estimate-p50-us", 0, "fail if estimate p50 exceeds this many microseconds (0 = no gate)")
 		maxTotalP50         = fs.Float64("max-total-p50-us", 0, "fail if total p50 exceeds this many microseconds (0 = no gate)")
 		minSpeedup          = fs.Float64("min-wire-speedup", 0, "fail if binary/text wire-to-sketch speedup falls below this (0 = no gate)")
+		minTCPSpeedup       = fs.Float64("min-tcp-speedup", 0, "fail if the pipelined-TCP/HTTP-binary transport speedup falls below this (0 = no gate; skipped with a logged reason on hosts with fewer than 2 CPUs)")
 		minScaling          = fs.Float64("min-ingest-scaling", 0, "fail if shard-parallel/serial ingest throughput falls below this (0 = no gate; skipped with a logged reason on hosts with fewer than 4 CPUs)")
 		maxWALOver          = fs.Float64("max-wal-overhead-pct", 0, "fail if the interval-policy WAL ingest overhead exceeds this percent of the no-WAL baseline (0 = no gate)")
 		maxTopkP50          = fs.Float64("max-topk-p50-us", 0, "fail if the parallel analytics top-k p50 exceeds this many microseconds (0 = no gate)")
@@ -242,6 +274,25 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	res.WireSpeedup = res.WireBinaryEdgesPerSec / res.WireTextEdgesPerSec
+
+	res.TransportShards = *scalingShards
+	res.TransportFrameEdges = transportFrameEdges
+	res.TransportWindow = transportWindow
+	res.TransportHTTPEdgesPerSec, res.TransportTCPEdgesPerSec, err =
+		transportPhase(cfg, batches, *scalingShards)
+	if err != nil {
+		return err
+	}
+	res.TCPSpeedupX = res.TransportTCPEdgesPerSec / res.TransportHTTPEdgesPerSec
+	if *minTCPSpeedup > 0 && res.NumCPU < 2 {
+		// On one core the client, the HTTP server, and the shard executors
+		// time-slice the same CPU: pipelined frames cannot overlap anything,
+		// so the ratio certifies scheduling luck, not the transport. Recorded
+		// in the JSON like the other skips so a stored BENCH file says why
+		// the gate did not run.
+		res.TCPGateSkipped = fmt.Sprintf(
+			"host has %d CPUs; certifying pipelined-transport speedup needs at least 2", res.NumCPU)
+	}
 
 	res.IngestSerialEdgesPerSec, res.IngestParallelEdgesPerSec =
 		ingestScalingPhase(cfg, batches, *scalingShards)
@@ -320,6 +371,9 @@ func run(args []string, stdout io.Writer) error {
 		res.QueryLatency["estimate"].P99Us, res.QueryLatency["total"].P50Us)
 	fmt.Fprintf(stdout, "querybench: wire-to-sketch %.1fM edges/s text, %.1fM binary (%.1fx)\n",
 		res.WireTextEdgesPerSec/1e6, res.WireBinaryEdgesPerSec/1e6, res.WireSpeedup)
+	fmt.Fprintf(stdout, "querybench: transport at %d shards: %.1fM edges/s http binary, %.1fM tcp pipelined (%.2fx, window %d, %d-edge frames)\n",
+		*scalingShards, res.TransportHTTPEdgesPerSec/1e6, res.TransportTCPEdgesPerSec/1e6,
+		res.TCPSpeedupX, transportWindow, transportFrameEdges)
 	fmt.Fprintf(stdout, "querybench: ingest scaling at %d shards: %.1fM edges/s serial, %.1fM shard-parallel (%.2fx on %d CPUs)\n",
 		*scalingShards, res.IngestSerialEdgesPerSec/1e6, res.IngestParallelEdgesPerSec/1e6,
 		res.IngestScalingX, res.NumCPU)
@@ -364,6 +418,15 @@ func run(args []string, stdout io.Writer) error {
 	if *minSpeedup > 0 && res.WireSpeedup < *minSpeedup {
 		violations = append(violations,
 			fmt.Sprintf("wire speedup %.2fx < limit %.2fx", res.WireSpeedup, *minSpeedup))
+	}
+	if *minTCPSpeedup > 0 {
+		if res.TCPGateSkipped != "" {
+			fmt.Fprintf(stdout, "querybench: tcp-speedup gate skipped: %s\n", res.TCPGateSkipped)
+		} else if res.TCPSpeedupX < *minTCPSpeedup {
+			violations = append(violations,
+				fmt.Sprintf("tcp transport speedup %.2fx < limit %.2fx at %d shards on %d CPUs",
+					res.TCPSpeedupX, *minTCPSpeedup, *scalingShards, res.NumCPU))
+		}
 	}
 	if *minScaling > 0 {
 		if res.IngestScalingGateSkipped != "" {
@@ -460,6 +523,188 @@ func wireToSketch(cfg phaseConfig, seconds float64, bodies [][]byte, decode func
 		edges += int64(len(b))
 	}
 	return float64(edges) / time.Since(start).Seconds(), nil
+}
+
+// Transport phase sizing: each leg-rep is time-bounded like the wire
+// phase, frames are small enough that per-request overhead — the thing the
+// phase measures — is a visible fraction of each request, and the TCP
+// window matches cardload's default pipelining depth. transportReps
+// interleaved repetitions run and the best rep per leg is kept, the same
+// noise discipline as walPhase.
+const (
+	transportSecondsCap = 1.0
+	transportReps       = 3
+	transportFrameEdges = 2048
+	transportWindow     = 64
+)
+
+// transportPhase measures how CWB1 frames reach a real server: identical
+// frame payloads are driven into identical server stacks (server.New at
+// `shards`, no WAL — durability is walPhase's subject) once as sequential
+// keep-alive HTTP POSTs and once over one CWT1 connection with
+// transportWindow pipelined frames in flight. Both acks mean the same
+// thing — batch validated and queued on the shard executors — so
+// acked-edges-per-second is an apples-to-apples transport number: the HTTP
+// leg pays a full request/response round trip per frame, the TCP leg
+// streams frames back to back and reads compact acks out of band.
+func transportPhase(cfg phaseConfig, batches [][]streamcard.Edge, shards int) (httpEPS, tcpEPS float64, err error) {
+	seconds := cfg.seconds
+	if seconds > transportSecondsCap {
+		seconds = transportSecondsCap
+	}
+	dur := time.Duration(seconds * float64(time.Second))
+
+	// Re-slice the pool into transport-sized frames and pre-encode the CWB1
+	// bodies both legs share.
+	var frames [][]streamcard.Edge
+	for _, b := range batches {
+		for len(b) >= transportFrameEdges && len(frames) < 64 {
+			frames = append(frames, b[:transportFrameEdges])
+			b = b[transportFrameEdges:]
+		}
+	}
+	if len(frames) == 0 {
+		return 0, 0, fmt.Errorf("transport: batch pool smaller than one %d-edge frame", transportFrameEdges)
+	}
+	bodies := make([][]byte, len(frames))
+	for i, f := range frames {
+		bodies[i] = stream.AppendWire(nil, f)
+	}
+
+	newServer := func() (*server.Server, net.Listener, error) {
+		s, err := server.New(server.Config{
+			MemoryBits: cfg.mbits, Shards: shards, Generations: cfg.gens, Seed: 1,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			return nil, nil, err
+		}
+		return s, ln, nil
+	}
+
+	httpLeg := func() (float64, error) {
+		s, ln, err := newServer()
+		if err != nil {
+			return 0, err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln)
+		defer func() { hs.Close(); s.Close() }()
+		client := &http.Client{}
+		defer client.CloseIdleConnections()
+		url := "http://" + ln.Addr().String() + "/ingest"
+		deadline := time.Now().Add(dur)
+		start := time.Now()
+		var edges int64
+		for i := 0; time.Now().Before(deadline); i++ {
+			resp, err := client.Post(url, stream.WireContentType, bytes.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				return 0, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				return 0, fmt.Errorf("transport: http ingest status %d", resp.StatusCode)
+			}
+			edges += int64(len(frames[i%len(frames)]))
+		}
+		return float64(edges) / time.Since(start).Seconds(), nil
+	}
+
+	tcpLeg := func() (float64, error) {
+		s, ln, err := newServer()
+		if err != nil {
+			return 0, err
+		}
+		go s.ServeTCP(ln)
+		defer s.Close()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return 0, err
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte(stream.TCPMagic)); err != nil {
+			return 0, err
+		}
+		// The reader drains acks until the server's half-close EOF (every
+		// frame acked), releasing the writer's window as they land; elapsed
+		// time runs until the last ack, so the tail drain is counted exactly
+		// like the other phases count their absorption tails.
+		sem := make(chan struct{}, transportWindow)
+		var ackedEdges atomic.Int64
+		ackErr := make(chan error, 1)
+		ackDone := make(chan struct{})
+		go func() {
+			defer close(ackDone)
+			br := bufio.NewReaderSize(conn, 32<<10)
+			var rec [stream.AckLen]byte
+			for {
+				if _, err := io.ReadFull(br, rec[:]); err != nil {
+					if err != io.EOF {
+						ackErr <- err
+					}
+					return
+				}
+				seq, status, err := stream.ParseAck(rec[:])
+				if err != nil {
+					ackErr <- err
+					return
+				}
+				if status != stream.AckOK {
+					ackErr <- fmt.Errorf("transport: tcp ack status %d for frame %d", status, seq)
+					return
+				}
+				ackedEdges.Add(int64(len(frames[int((seq-1))%len(frames)])))
+				<-sem
+			}
+		}()
+		deadline := time.Now().Add(dur)
+		start := time.Now()
+		var buf []byte
+	write:
+		for seq := uint64(1); time.Now().Before(deadline); seq++ {
+			select {
+			case sem <- struct{}{}:
+			case <-ackDone:
+				break write
+			}
+			body := bodies[int((seq-1))%len(bodies)]
+			buf = stream.AppendFrameHeader(buf[:0], seq, len(body))
+			buf = append(buf, body...)
+			if _, err := conn.Write(buf); err != nil {
+				break
+			}
+		}
+		conn.(*net.TCPConn).CloseWrite()
+		<-ackDone
+		elapsed := time.Since(start)
+		select {
+		case err := <-ackErr:
+			return 0, err
+		default:
+		}
+		return float64(ackedEdges.Load()) / elapsed.Seconds(), nil
+	}
+
+	// Interleaved best-of-N, exactly like walPhase: a slow scheduler slice
+	// landing on one leg must not masquerade as transport overhead.
+	for rep := 0; rep < transportReps; rep++ {
+		h, err := httpLeg()
+		if err != nil {
+			return 0, 0, err
+		}
+		tcp, err := tcpLeg()
+		if err != nil {
+			return 0, 0, err
+		}
+		httpEPS = math.Max(httpEPS, h)
+		tcpEPS = math.Max(tcpEPS, tcp)
+	}
+	return httpEPS, tcpEPS, nil
 }
 
 // walSecondsCap bounds each leg-rep of the WAL-overhead phase; walReps

@@ -46,6 +46,16 @@ func TestQueryBenchEmitsJSON(t *testing.T) {
 		t.Fatalf("snapshot publication not O(1): %v B at M, %v B at 4M",
 			res.SnapshotPublishBytes, res.SnapshotPublishBytes4x)
 	}
+	// The transport phase drove both legs against real listeners: positive
+	// throughput on each means every frame was acked end to end over both
+	// HTTP and CWT1. The ratio itself is host-dependent and gated in CI,
+	// not here.
+	if res.TransportHTTPEdgesPerSec <= 0 || res.TransportTCPEdgesPerSec <= 0 {
+		t.Fatalf("transport phase legs missing: %+v", res)
+	}
+	if res.TransportShards <= 0 || res.TransportFrameEdges <= 0 || res.TransportWindow <= 0 {
+		t.Fatalf("transport config not recorded: %+v", res)
+	}
 	// All three WAL legs ran against a real log; the always leg pays an
 	// fsync per batch, so it can never beat the interval leg by more than
 	// noise.

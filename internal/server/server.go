@@ -263,6 +263,12 @@ type ingestBatch struct {
 	edges     int
 	remaining atomic.Int32  // shard sub-batches not yet absorbed
 	done      chan struct{} // non-nil for ?wait=1 requests
+	// onAbsorbed, when non-nil, runs once the whole batch is absorbed (after
+	// the partition buffers are released). The TCP path hangs its pooled read
+	// buffer's return on it: with one shard the partition ALIASES the decoded
+	// frame instead of copying it, so the frame's backing buffer must stay
+	// untouched until the executor is done with it.
+	onAbsorbed func()
 }
 
 // shardItem is one shard-pure sub-batch queued for a shard executor.
@@ -349,6 +355,11 @@ type Server struct {
 
 	mux *http.ServeMux
 
+	// tcp is the CWT1 persistent-transport listener state (tcp.go): the
+	// connection/listener registry Close tears down, and the pooled frame
+	// read buffers.
+	tcp tcpState
+
 	// Instruments.
 	reg            *metrics.Registry
 	edgesIngested  *metrics.Counter
@@ -366,6 +377,12 @@ type Server struct {
 	latency        map[string]*metrics.Histogram
 	analytics      map[string]*metrics.Histogram
 	foldStats      *streamcard.FoldStats
+	tcpConnsTotal  *metrics.Counter
+	tcpFrames      *metrics.Counter
+	tcpBytesRead   *metrics.Counter
+	tcpAckByStatus map[uint16]*metrics.Counter
+	tcpStalls      *metrics.Counter
+	tcpAckLatency  *metrics.Histogram
 }
 
 // ErrClosed is returned by ingestion paths once Close has begun.
@@ -538,6 +555,26 @@ func (s *Server) initMetrics() {
 			"Analytics computation latency (sketch-side work only) by query.",
 			metrics.LatencyBuckets())
 	}
+	s.reg.Gauge("cardserved_tcp_connections_active", "",
+		"Open CWT1 ingest connections.",
+		func() float64 { return float64(s.tcp.active.Load()) })
+	s.tcpConnsTotal = s.reg.Counter("cardserved_tcp_connections_total", "",
+		"CWT1 ingest connections accepted since start.")
+	s.tcpFrames = s.reg.Counter("cardserved_tcp_frames_total", "",
+		"CWT1 frames read off ingest connections (accepted or rejected).")
+	s.tcpBytesRead = s.reg.Counter("cardserved_tcp_bytes_read_total", "",
+		"Bytes read off CWT1 ingest connections.")
+	s.tcpAckByStatus = make(map[uint16]*metrics.Counter)
+	for _, st := range []uint16{stream.AckOK, stream.AckBad, stream.AckError, stream.AckShutdown} {
+		s.tcpAckByStatus[st] = s.reg.Counter("cardserved_tcp_acks_total",
+			fmt.Sprintf(`status="%d"`, st),
+			"CWT1 acks written, by status.")
+	}
+	s.tcpStalls = s.reg.Counter("cardserved_tcp_backpressure_stalls_total", "",
+		"CWT1 frame fan-outs that found a shard queue full and blocked (reads stall: backpressure).")
+	s.tcpAckLatency = s.reg.Histogram("cardserved_tcp_ack_seconds", "",
+		"Frame-read-to-ack-write latency over CWT1 (includes WAL commit).",
+		metrics.LatencyBuckets())
 	s.reg.CounterFunc("cardserved_fold_cache_computes_total", "",
 		"Cross-generation window folds executed on published views.",
 		s.foldStats.Computes)
@@ -627,6 +664,9 @@ func (s *Server) finishShardItem(b *ingestBatch) {
 	s.edgesIngested.Add(uint64(b.edges))
 	s.batches.Inc()
 	b.part.Release()
+	if b.onAbsorbed != nil {
+		b.onAbsorbed()
+	}
 	if b.done != nil {
 		close(b.done)
 	}
@@ -658,45 +698,10 @@ func (s *Server) finishShardItem(b *ingestBatch) {
 // every later batch is refused too: the service never acks what the log
 // lost. With the WAL disabled this path is untouched — one nil check.
 func (s *Server) submit(edges []stream.Edge, wait bool) error {
-	s.gate.RLock()
-	if s.closed {
-		s.gate.RUnlock()
-		return ErrClosed
+	b, walSeq, err := s.submitAsync(edges, wait, nil, nil)
+	if err != nil || b == nil {
+		return err
 	}
-	b := &ingestBatch{part: s.part.Split(edges), edges: len(edges)}
-	touched := 0
-	for t := 0; t < s.cfg.Shards; t++ {
-		if len(b.part.Shard(t)) > 0 {
-			touched++
-		}
-	}
-	if touched == 0 {
-		b.part.Release()
-		s.gate.RUnlock()
-		return nil
-	}
-	if wait {
-		b.done = make(chan struct{})
-	}
-	b.remaining.Store(int32(touched))
-	var walSeq uint64
-	if s.wal != nil {
-		s.walMu.Lock()
-		seq, err := s.wal.AppendBatch(edges)
-		if err != nil {
-			s.walMu.Unlock()
-			b.part.Release()
-			s.gate.RUnlock()
-			return fmt.Errorf("server: refusing unlogged batch: %w", err)
-		}
-		walSeq = seq
-		s.epochEdges += uint64(len(edges))
-		s.enqueue(b)
-		s.walMu.Unlock()
-	} else {
-		s.enqueue(b)
-	}
-	s.gate.RUnlock()
 	if s.wal != nil {
 		// Under the "always" policy this is the group-committed fsync
 		// barrier; other policies return immediately. Outside the gate so a
@@ -715,15 +720,91 @@ func (s *Server) submit(edges []stream.Edge, wait bool) error {
 	return nil
 }
 
+// submitAsync is submit's pipelined core: partition, WAL append, and queue
+// fan-out — everything up to but NOT including the durability barrier
+// (wal.Commit) and the absorption wait. It exists for the TCP transport,
+// where the reader goroutine must keep consuming frames while earlier
+// frames' fsyncs are still in flight: the reader calls submitAsync and
+// hands the returned walSeq to the acker goroutine, which Commits before
+// writing each ack — so under WALSync "always" the fsync latency overlaps
+// with reading (and appending) later frames instead of serializing ingest.
+//
+// onAbsorbed, when non-nil, is attached to the batch and runs after full
+// absorption (see ingestBatch). stalls, when non-nil, counts queue sends
+// that found the shard queue full — the backpressure signal. On error
+// nothing is queued and onAbsorbed will never run (the caller keeps
+// ownership of the decode buffer); a nil batch with nil error means the
+// batch was empty — absorbed trivially, onAbsorbed already called.
+func (s *Server) submitAsync(edges []stream.Edge, wait bool, onAbsorbed func(), stalls *metrics.Counter) (*ingestBatch, uint64, error) {
+	s.gate.RLock()
+	if s.closed {
+		s.gate.RUnlock()
+		return nil, 0, ErrClosed
+	}
+	b := &ingestBatch{part: s.part.Split(edges), edges: len(edges), onAbsorbed: onAbsorbed}
+	touched := 0
+	for t := 0; t < s.cfg.Shards; t++ {
+		if len(b.part.Shard(t)) > 0 {
+			touched++
+		}
+	}
+	if touched == 0 {
+		b.part.Release()
+		s.gate.RUnlock()
+		if onAbsorbed != nil {
+			onAbsorbed()
+		}
+		return nil, 0, nil
+	}
+	if wait {
+		b.done = make(chan struct{})
+	}
+	b.remaining.Store(int32(touched))
+	var walSeq uint64
+	if s.wal != nil {
+		s.walMu.Lock()
+		seq, err := s.wal.AppendBatch(edges)
+		if err != nil {
+			s.walMu.Unlock()
+			b.part.Release()
+			s.gate.RUnlock()
+			return nil, 0, fmt.Errorf("server: refusing unlogged batch: %w", err)
+		}
+		walSeq = seq
+		s.epochEdges += uint64(len(edges))
+		s.enqueue(b, stalls)
+		s.walMu.Unlock()
+	} else {
+		s.enqueue(b, stalls)
+	}
+	s.gate.RUnlock()
+	return b, walSeq, nil
+}
+
 // enqueue fans a counted batch out to its shard queues. Callers hold the
-// shared gate (and, with the WAL on, walMu).
-func (s *Server) enqueue(b *ingestBatch) {
+// shared gate (and, with the WAL on, walMu). A full queue blocks the send —
+// that block IS the service's backpressure (an HTTP handler stalls its
+// request; the TCP reader stops reading and the client's send window
+// fills) — and, when a stall counter is supplied, is counted.
+func (s *Server) enqueue(b *ingestBatch, stalls *metrics.Counter) {
 	s.pendMu.Lock()
 	s.pending++
 	s.pendMu.Unlock()
 	for t := 0; t < s.cfg.Shards; t++ {
-		if sub := b.part.Shard(t); len(sub) > 0 {
-			s.queues[t] <- shardItem{edges: sub, batch: b}
+		sub := b.part.Shard(t)
+		if len(sub) == 0 {
+			continue
+		}
+		item := shardItem{edges: sub, batch: b}
+		if stalls == nil {
+			s.queues[t] <- item
+			continue
+		}
+		select {
+		case s.queues[t] <- item:
+		default:
+			stalls.Inc()
+			s.queues[t] <- item
 		}
 	}
 }
@@ -1015,6 +1096,13 @@ func (s *Server) WALReplayed() (records, edges int) {
 // call more than once.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		// TCP first: stop accepting, half-close every CWT1 connection so its
+		// reader sees EOF at the next frame boundary, and wait for the
+		// readers and ackers to drain. Their already-submitted frames sit in
+		// the shard queues (executors are still running), and every frame
+		// read before the half-close gets its ack before the connection
+		// closes.
+		s.tcpShutdown()
 		s.gate.Lock()
 		s.closed = true
 		s.gate.Unlock()

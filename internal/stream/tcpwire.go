@@ -1,0 +1,184 @@
+package stream
+
+// The persistent TCP ingest transport ("CWT1"): HTTP gives every batch its
+// own request/response round trip, so at service rates the wire path pays
+// header parsing, handler dispatch, and an ack's worth of latency per
+// batch — constant costs the CWB1 binary frame already exposed as the
+// bottleneck. CWT1 removes them: one long-lived connection carries a
+// stream of sequenced, length-prefixed CWB1 frames, and the server returns
+// compact per-frame acks out-of-band on the same connection, so a client
+// keeps many frames in flight (pipelining) and ack latency never
+// serializes ingest.
+//
+// Connection preamble (client -> server, once, immediately after connect):
+//
+//	offset  size  field
+//	0       4     magic "CWT1"
+//
+// Frame (client -> server, repeated):
+//
+//	offset  size  field
+//	0       8     frame sequence number, uint64 LE (strictly increasing, >= 1)
+//	8       4     payload length, uint32 LE (size of the CWB1 frame below)
+//	12      4     CRC-32 (IEEE) over bytes 0..11, big-endian
+//	16      ...   payload: one CWB1 frame, verbatim (AppendWire/DecodeWire)
+//
+// Ack (server -> client, one per frame, in frame order):
+//
+//	offset  size  field
+//	0       8     frame sequence number, uint64 LE
+//	8       2     status, uint16 LE (HTTP-style: 200 accepted, 400 bad
+//	              frame, 500 log failure, 503 server closing)
+//	10      2     reserved, zero
+//
+// Error discipline, chosen so a damaged stream can never be mis-acked: the
+// header carries its own CRC, so a corrupt header is detected before its
+// length field can de-frame the stream — the connection closes (framing is
+// lost; there is no reliable resync point). A frame whose HEADER is valid
+// but whose CWB1 payload fails validation is rejected alone — acked with
+// status 400 and skipped — because the header's length still delimits it
+// exactly; the stream stays in sync and later frames are unaffected,
+// mirroring the HTTP path's atomic-batch 400. Sequence numbers must be
+// strictly increasing; a violation closes the connection (a client that
+// reuses a sequence could otherwise mistake one frame's ack for another's).
+//
+// The same framing — sequenced, CRC-delimited, self-describing records on
+// a long-lived connection — is the planned WAL replication stream: a
+// replica tails the primary's log over exactly this kind of transport.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// TCPMagic is the 4-byte connection preamble a CWT1 client sends before
+// its first frame; the server refuses connections that open with anything
+// else (a stray HTTP request, say) before reading any frame.
+const TCPMagic = "CWT1"
+
+const (
+	// FrameHeaderLen is the fixed CWT1 frame header size: seq (8) +
+	// payload length (4) + header CRC (4).
+	FrameHeaderLen = 16
+	// AckLen is the fixed CWT1 ack record size: seq (8) + status (2) +
+	// reserved (2).
+	AckLen = 12
+)
+
+// CWT1 ack status codes, HTTP-style so operators read them unaided.
+const (
+	AckOK       = 200 // frame accepted: appended to the WAL (if on) and queued
+	AckBad      = 400 // CWB1 payload failed validation; frame skipped
+	AckError    = 500 // server could not log the frame; nothing ingested
+	AckShutdown = 503 // server closing; frame not ingested
+)
+
+// AppendFrameHeader appends the 16-byte CWT1 frame header for a payload of
+// payloadLen bytes to dst and returns the extended slice.
+func AppendFrameHeader(dst []byte, seq uint64, payloadLen int) []byte {
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// ParseFrameHeader decodes a 16-byte CWT1 frame header. A CRC mismatch
+// means the 12 bytes it covers — including the length that delimits the
+// stream — cannot be trusted, so the caller must close the connection
+// rather than resync.
+func ParseFrameHeader(b []byte) (seq uint64, payloadLen int, err error) {
+	if len(b) < FrameHeaderLen {
+		return 0, 0, fmt.Errorf("tcpwire: frame header needs %d bytes, have %d", FrameHeaderLen, len(b))
+	}
+	if sum := crc32.ChecksumIEEE(b[:12]); sum != binary.BigEndian.Uint32(b[12:FrameHeaderLen]) {
+		return 0, 0, fmt.Errorf("tcpwire: frame header checksum mismatch")
+	}
+	return binary.LittleEndian.Uint64(b), int(binary.LittleEndian.Uint32(b[8:12])), nil
+}
+
+// AppendAck appends the 12-byte CWT1 ack record to dst and returns the
+// extended slice.
+func AppendAck(dst []byte, seq uint64, status uint16) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint16(dst, status)
+	return append(dst, 0, 0)
+}
+
+// ParseAck decodes a 12-byte CWT1 ack record. Nonzero reserved bytes are
+// an error: they would otherwise become impossible to claim later.
+func ParseAck(b []byte) (seq uint64, status uint16, err error) {
+	if len(b) < AckLen {
+		return 0, 0, fmt.Errorf("tcpwire: ack needs %d bytes, have %d", AckLen, len(b))
+	}
+	if b[10] != 0 || b[11] != 0 {
+		return 0, 0, fmt.Errorf("tcpwire: ack reserved bytes nonzero")
+	}
+	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint16(b[8:10]), nil
+}
+
+// FrameScanner reads CWT1 frames off a connection's byte stream. It
+// tolerates arbitrary read fragmentation (a frame split across any number
+// of reads decodes identically to one arriving whole — io.ReadFull
+// reassembles), enforces the strictly-increasing sequence discipline, and
+// bounds payload size so a hostile length field cannot make the server
+// allocate unboundedly. It does NOT validate the CWB1 payload itself: the
+// caller decodes it (DecodeWire) and decides between rejecting the one
+// frame (the header delimited it correctly either way) and closing.
+type FrameScanner struct {
+	r          io.Reader
+	maxPayload int
+	lastSeq    uint64
+	hdr        [FrameHeaderLen]byte
+}
+
+// NewFrameScanner returns a scanner over r, rejecting frames whose payload
+// exceeds maxPayload bytes (<= 0 means no bound). r should already be
+// buffered if small reads matter; the scanner adds no buffering of its own.
+func NewFrameScanner(r io.Reader, maxPayload int) *FrameScanner {
+	return &FrameScanner{r: r, maxPayload: maxPayload}
+}
+
+// Next reads one frame, returning its sequence number and payload. The
+// payload is read into buf when buf's capacity suffices (so callers can
+// recycle buffers across frames); otherwise a new slice is allocated. A
+// clean EOF at a frame boundary returns io.EOF; EOF mid-frame returns
+// io.ErrUnexpectedEOF. Any other error — header CRC, sequence violation,
+// oversized payload — is fatal to the stream: framing can no longer be
+// trusted, and the caller must close the connection.
+func (sc *FrameScanner) Next(buf []byte) (seq uint64, payload []byte, err error) {
+	if _, err := io.ReadFull(sc.r, sc.hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF // clean close, exactly between frames
+		}
+		// A partial header (io.ErrUnexpectedEOF) is a torn stream, like any
+		// other read error.
+		return 0, nil, fmt.Errorf("tcpwire: reading frame header: %w", err)
+	}
+	seq, n, err := ParseFrameHeader(sc.hdr[:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if seq <= sc.lastSeq {
+		return 0, nil, fmt.Errorf("tcpwire: frame seq %d not above %d", seq, sc.lastSeq)
+	}
+	if n < WireSize(0) {
+		return 0, nil, fmt.Errorf("tcpwire: frame payload %d bytes is below a CWB1 frame's minimum %d", n, WireSize(0))
+	}
+	if sc.maxPayload > 0 && n > sc.maxPayload {
+		return 0, nil, fmt.Errorf("tcpwire: frame payload %d bytes exceeds the %d-byte bound", n, sc.maxPayload)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(sc.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("tcpwire: reading %d-byte frame payload: %w", n, err)
+	}
+	sc.lastSeq = seq
+	return seq, buf, nil
+}

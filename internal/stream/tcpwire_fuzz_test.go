@@ -1,0 +1,106 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/iotest"
+)
+
+// FuzzTCPFraming hardens the CWT1 stream scanner against hostile or
+// damaged connections: for arbitrary input bytes treated as a connection's
+// byte stream, the scanner must never panic, must consume frames
+// deterministically, and must reach the exact same sequence of
+// (seq, payload, verdict) outcomes whether the stream arrives in one read
+// or one byte at a time — the property that makes partial TCP reads and
+// frames split across read boundaries invisible. Every accepted frame's
+// payload goes through DecodeWire too: accept there implies the canonical
+// re-encode identity FuzzDecodeWire pins, so a damaged frame can never be
+// silently mis-absorbed (and therefore never mis-acked).
+//
+// The corpus is seeded with genuine multi-frame streams plus truncations,
+// header CRC flips, payload corruptions, length-field inflations, and
+// sequence-number replays of them.
+func FuzzTCPFraming(f *testing.F) {
+	streams := [][]byte{
+		appendTCPFrame(nil, 1, nil),
+		appendTCPFrame(appendTCPFrame(nil, 1, []Edge{{User: 1, Item: 2}}), 2, burstyEdges(50, 5, 9)),
+		appendTCPFrame(appendTCPFrame(appendTCPFrame(nil, 3, burstyEdges(20, 2, 1)), 4, nil), 9, burstyEdges(8, 1, 2)),
+	}
+	for _, s := range streams {
+		f.Add(s)
+		f.Add(s[:len(s)-1])
+		f.Add(s[:len(s)/2])
+		f.Add(s[:FrameHeaderLen-1])
+		crcFlip := append([]byte{}, s...)
+		crcFlip[12] ^= 0xff // header CRC byte of the first frame
+		f.Add(crcFlip)
+		lenFlip := append([]byte{}, s...)
+		lenFlip[8] ^= 0x10 // length field (caught by the header CRC)
+		f.Add(lenFlip)
+		payloadFlip := append([]byte{}, s...)
+		payloadFlip[len(payloadFlip)-1] ^= 0x01
+		f.Add(payloadFlip)
+		// Sequence replay: the second frame re-sends the first one's seq.
+		if len(s) > 2*FrameHeaderLen {
+			replay := appendTCPFrame(nil, 5, []Edge{{User: 1, Item: 1}})
+			replay = appendTCPFrame(replay, 5, []Edge{{User: 2, Item: 2}})
+			f.Add(replay)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte(TCPMagic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type outcome struct {
+			seq     uint64
+			payload string
+			failed  bool
+			clean   bool
+		}
+		const maxPayload = 1 << 20
+		scan := func(r io.Reader) []outcome {
+			sc := NewFrameScanner(r, maxPayload)
+			var out []outcome
+			var buf []byte
+			for {
+				seq, payload, err := sc.Next(buf)
+				if err != nil {
+					return append(out, outcome{failed: true, clean: err == io.EOF})
+				}
+				out = append(out, outcome{seq: seq, payload: string(payload)})
+				buf = payload[:0]
+				if len(out) > len(data) { // can't happen: every frame consumes >= FrameHeaderLen bytes
+					t.Fatalf("scanner yielded more frames than input bytes")
+				}
+			}
+		}
+		whole := scan(bytes.NewReader(data))
+		bytewise := scan(iotest.OneByteReader(bytes.NewReader(data)))
+		if len(whole) != len(bytewise) {
+			t.Fatalf("read fragmentation changed the frame count: %d vs %d", len(whole), len(bytewise))
+		}
+		for i := range whole {
+			if whole[i] != bytewise[i] {
+				t.Fatalf("read fragmentation changed outcome %d: %+v vs %+v", i, whole[i], bytewise[i])
+			}
+		}
+		// Every accepted frame is delimited by a CRC-valid header, so its
+		// payload is exactly what the client framed; if that payload also
+		// passes CWB1 validation, the canonical-encoding identity must hold
+		// (the mis-ack guard: a frame either absorbs exactly as sent, or is
+		// rejected — never a silent in-between).
+		for _, o := range whole {
+			if o.failed {
+				continue
+			}
+			edges, err := DecodeWire([]byte(o.payload))
+			if err != nil {
+				continue // rejected frame: the server acks it 400, stream stays in sync
+			}
+			if re := AppendWire(nil, edges); !bytes.Equal(re, []byte(o.payload)) {
+				t.Fatalf("accepted payload is not the canonical encoding of its edges")
+			}
+		}
+	})
+}

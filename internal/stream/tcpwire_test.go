@@ -1,0 +1,210 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+)
+
+// appendTCPFrame encodes one full CWT1 frame (header + CWB1 payload).
+func appendTCPFrame(dst []byte, seq uint64, edges []Edge) []byte {
+	payload := AppendWire(nil, edges)
+	dst = AppendFrameHeader(dst, seq, len(payload))
+	return append(dst, payload...)
+}
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		seq uint64
+		n   int
+	}{{1, 0}, {1, 12}, {42, 1 << 20}, {^uint64(0), 1}} {
+		hdr := AppendFrameHeader(nil, tc.seq, tc.n)
+		if len(hdr) != FrameHeaderLen {
+			t.Fatalf("header is %d bytes, want %d", len(hdr), FrameHeaderLen)
+		}
+		seq, n, err := ParseFrameHeader(hdr)
+		if err != nil || seq != tc.seq || n != tc.n {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d,%v)", tc.seq, tc.n, seq, n, err)
+		}
+	}
+}
+
+func TestFrameHeaderRejectsCorruption(t *testing.T) {
+	hdr := AppendFrameHeader(nil, 7, 100)
+	for i := range hdr {
+		bad := append([]byte{}, hdr...)
+		bad[i] ^= 0x40
+		if _, _, err := ParseFrameHeader(bad); err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+	}
+	if _, _, err := ParseFrameHeader(hdr[:FrameHeaderLen-1]); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		seq    uint64
+		status uint16
+	}{{1, AckOK}, {99, AckBad}, {^uint64(0), AckShutdown}} {
+		b := AppendAck(nil, tc.seq, tc.status)
+		if len(b) != AckLen {
+			t.Fatalf("ack is %d bytes, want %d", len(b), AckLen)
+		}
+		seq, status, err := ParseAck(b)
+		if err != nil || seq != tc.seq || status != tc.status {
+			t.Fatalf("round trip (%d,%d) -> (%d,%d,%v)", tc.seq, tc.status, seq, status, err)
+		}
+	}
+	bad := AppendAck(nil, 1, AckOK)
+	bad[11] = 1
+	if _, _, err := ParseAck(bad); err == nil {
+		t.Fatal("nonzero reserved byte accepted")
+	}
+	if _, _, err := ParseAck(bad[:AckLen-1]); err == nil {
+		t.Fatal("short ack accepted")
+	}
+}
+
+// TestFrameScannerStream: a multi-frame stream decodes frame by frame, and
+// identically through a one-byte-at-a-time reader — the partial-read
+// tolerance a real TCP receive path needs (the kernel hands back whatever
+// happens to have arrived, never aligned to frames).
+func TestFrameScannerStream(t *testing.T) {
+	batches := [][]Edge{
+		{{User: 1, Item: 10}, {User: 1, Item: 11}, {User: 2, Item: 10}},
+		nil, // empty CWB1 frame is a legal keep-alive
+		burstyEdges(200, 3, 7),
+	}
+	var wire []byte
+	for i, b := range batches {
+		wire = appendTCPFrame(wire, uint64(i+1), b)
+	}
+
+	for name, r := range map[string]io.Reader{
+		"whole":    bytes.NewReader(wire),
+		"bytewise": iotest.OneByteReader(bytes.NewReader(wire)),
+	} {
+		sc := NewFrameScanner(r, 0)
+		var buf []byte
+		for i, want := range batches {
+			seq, payload, err := sc.Next(buf)
+			if err != nil {
+				t.Fatalf("%s: frame %d: %v", name, i, err)
+			}
+			if seq != uint64(i+1) {
+				t.Fatalf("%s: frame %d: seq %d", name, i, seq)
+			}
+			got, err := DecodeWire(payload)
+			if err != nil {
+				t.Fatalf("%s: frame %d payload: %v", name, i, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: frame %d: %d edges, want %d", name, i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("%s: frame %d edge %d: %v != %v", name, i, j, got[j], want[j])
+				}
+			}
+			buf = payload[:0] // recycle, as the server's pool does
+		}
+		if _, _, err := sc.Next(buf); err != io.EOF {
+			t.Fatalf("%s: end of stream: %v, want io.EOF", name, err)
+		}
+	}
+}
+
+func TestFrameScannerSequenceDiscipline(t *testing.T) {
+	edges := []Edge{{User: 1, Item: 1}}
+	for _, seqs := range [][]uint64{{2, 2}, {5, 3}, {0}} {
+		var wire []byte
+		for _, s := range seqs {
+			payload := AppendWire(nil, edges)
+			wire = AppendFrameHeader(wire, s, len(payload))
+			wire = append(wire, payload...)
+		}
+		sc := NewFrameScanner(bytes.NewReader(wire), 0)
+		var err error
+		for range seqs {
+			if _, _, err = sc.Next(nil); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			t.Fatalf("sequence %v accepted", seqs)
+		}
+	}
+	// Gaps are fine: a client may number frames however it likes, as long
+	// as numbers only go up (acks stay unambiguous).
+	var wire []byte
+	wire = appendTCPFrame(wire, 10, edges)
+	wire = appendTCPFrame(wire, 1000, edges)
+	sc := NewFrameScanner(bytes.NewReader(wire), 0)
+	for _, want := range []uint64{10, 1000} {
+		seq, _, err := sc.Next(nil)
+		if err != nil || seq != want {
+			t.Fatalf("gapped seq %d: got %d, %v", want, seq, err)
+		}
+	}
+}
+
+func TestFrameScannerErrors(t *testing.T) {
+	edges := []Edge{{User: 1, Item: 1}, {User: 2, Item: 2}}
+	frame := appendTCPFrame(nil, 1, edges)
+
+	// Torn header: fatal, not clean EOF.
+	sc := NewFrameScanner(bytes.NewReader(frame[:FrameHeaderLen-3]), 0)
+	if _, _, err := sc.Next(nil); err == nil || err == io.EOF {
+		t.Fatalf("torn header: %v", err)
+	}
+	// Torn payload: io.ErrUnexpectedEOF wrapped.
+	sc = NewFrameScanner(bytes.NewReader(frame[:len(frame)-2]), 0)
+	if _, _, err := sc.Next(nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn payload: %v", err)
+	}
+	// Corrupt header CRC: fatal.
+	bad := append([]byte{}, frame...)
+	bad[5] ^= 0xff
+	sc = NewFrameScanner(bytes.NewReader(bad), 0)
+	if _, _, err := sc.Next(nil); err == nil {
+		t.Fatal("corrupt header accepted")
+	}
+	// Oversized payload refused before any allocation or read.
+	sc = NewFrameScanner(bytes.NewReader(frame), len(frame)-FrameHeaderLen-1)
+	if _, _, err := sc.Next(nil); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	// Payload length below the smallest CWB1 frame refused.
+	tiny := AppendFrameHeader(nil, 1, WireSize(0)-1)
+	sc = NewFrameScanner(bytes.NewReader(append(tiny, make([]byte, 32)...)), 0)
+	if _, _, err := sc.Next(nil); err == nil {
+		t.Fatal("sub-minimum payload length accepted")
+	}
+}
+
+// TestFrameScannerBufferReuse: a caller-supplied buffer with enough
+// capacity is used in place (the pooled zero-copy path); a too-small one
+// is replaced, never overflowed.
+func TestFrameScannerBufferReuse(t *testing.T) {
+	frame := appendTCPFrame(nil, 1, burstyEdges(64, 2, 3))
+	payloadLen := len(frame) - FrameHeaderLen
+
+	big := make([]byte, 0, payloadLen+100)
+	sc := NewFrameScanner(bytes.NewReader(frame), 0)
+	_, payload, err := sc.Next(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &payload[0] != &big[:1][0] {
+		t.Fatal("sufficient buffer was not reused")
+	}
+	sc = NewFrameScanner(bytes.NewReader(frame), 0)
+	_, payload, err = sc.Next(make([]byte, 0, 8))
+	if err != nil || len(payload) != payloadLen {
+		t.Fatalf("small-buffer read: %d bytes, %v", len(payload), err)
+	}
+}
